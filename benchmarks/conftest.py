@@ -1,0 +1,42 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark regenerates one of the paper's tables or figures, writes
+the rendered table to ``benchmarks/results/``, asserts the paper's
+*shape* claims about it, and reports wall-clock through
+pytest-benchmark.
+
+Environment knobs:
+
+* ``REPRO_CBI_RUNS`` — failing/passing run count for the CBI baseline
+  (default 1000, the paper's setting; lower it for quick smoke runs).
+"""
+
+import os
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def cbi_runs():
+    """CBI campaign size (paper default: 1000 + 1000)."""
+    return int(os.environ.get("REPRO_CBI_RUNS", "1000"))
+
+
+@pytest.fixture
+def save_result():
+    """Write an ExperimentResult's rendering to benchmarks/results/."""
+    def _save(result):
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / ("%s.txt" % result.name)
+        path.write_text(result.format() + "\n")
+        print()
+        print(result.format())
+        return path
+    return _save
+
+
+def run_once(benchmark, fn):
+    """Run *fn* exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, iterations=1, rounds=1)

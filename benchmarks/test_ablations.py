@@ -1,0 +1,33 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out."""
+
+from conftest import run_once
+
+from repro.experiments import ablations
+
+
+def test_ablation_ioctl_pollution(benchmark, save_result):
+    result = run_once(benchmark, ablations.run_pollution)
+    save_result(result)
+    captured = [r for r in result.raw
+                if r["with"] is not None and r["without"] is not None]
+    assert len(captured) == 7
+    # With pollution modeled the FPE is never shallower than without:
+    # the disable ioctl's dummy reads occupy ring slots above it.
+    for r in captured:
+        assert r["without"] <= r["with"], r
+    # And for at least half the captured failures it makes a strict
+    # difference — the pollution model is not a no-op.
+    strict = sum(1 for r in captured if r["without"] < r["with"])
+    assert strict >= 4
+
+
+def test_ablation_lcr_capacity(benchmark, save_result):
+    result = run_once(benchmark, ablations.run_lcr_capacity)
+    save_result(result)
+    raw = result.raw
+    # Monotone in capacity, saturating at the 7 capturable failures.
+    capacities = sorted(raw)
+    counts = [raw[c] for c in capacities]
+    assert counts == sorted(counts)
+    assert raw[16] == 7
+    assert raw[32] == 7          # the 4 misses are not a capacity issue

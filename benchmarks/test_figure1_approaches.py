@@ -1,0 +1,23 @@
+"""Regenerates Figure 1: the diagnosis-approach design space."""
+
+from conftest import run_once
+
+from repro.experiments import figure1
+
+
+def test_figure1(benchmark, save_result):
+    result = run_once(benchmark, figure1.run)
+    save_result(result)
+    rates = {}
+    for row in result.rows:
+        if row[0].startswith("short-term memory"):
+            capacity = int(row[0].split()[-1].rstrip(")"))
+            captured = int(row[2].split("/")[0])
+            rates[capacity] = captured
+    # Capture rate grows with record size and saturates by 16 entries
+    # ("with just 16 record entries ... 27 out of 31 failures").
+    assert rates[4] <= rates[8] <= rates[16] <= rates[32]
+    assert rates[16] >= 18            # nearly everything at Nehalem size
+    assert rates[4] >= 8              # even Pentium 4's LBR helps
+    # The failure-site approach captures nothing by construction.
+    assert result.rows[0][2] == "0/20"

@@ -1,0 +1,21 @@
+"""Regenerates Figure 2: source-to-machine branch mapping."""
+
+from conftest import run_once
+
+from repro.experiments import figure2
+
+
+def test_figure2(benchmark, save_result):
+    result = run_once(benchmark, figure2.run)
+    save_result(result)
+    # One conditional jump (false edge) and one inserted unconditional
+    # jump (true edge), both mapped to the same source conditional.
+    roles = [row[2] for row in result.rows]
+    assert any("false edge" in role for role in roles)
+    assert any("true edge" in role for role in roles)
+    decoded = [row[3] for row in result.rows]
+    assert any(d.endswith("=F") for d in decoded)
+    assert any(d.endswith("=T") for d in decoded)
+    # Both run directions produced a decodable record.
+    assert "[True]" in result.notes[0]
+    assert "[False]" in result.notes[0]

@@ -1,0 +1,18 @@
+"""Regenerates the Section 5.3 logging-latency comparison."""
+
+from conftest import run_once
+
+from repro.experiments import loglatency
+
+
+def test_logging_latency(benchmark, save_result):
+    result = run_once(benchmark, loglatency.run)
+    save_result(result)
+    values = {}
+    for row in result.rows:
+        values[row[0]] = float(row[2].split()[0])
+    # Paper ordering: LBR/LCR logging << call stack << core dump.
+    assert values["log LBR/LCR"] < values["record call stack"]
+    assert values["record call stack"] < values["dump core"]
+    # LBR/LCR logging stays under the paper's 20 us.
+    assert values["log LBR/LCR"] < 20.0

@@ -1,0 +1,18 @@
+"""Regenerates Table 1: LBR machine-specific registers."""
+
+from conftest import run_once
+
+from repro.experiments import table1
+
+
+def test_table1(benchmark, save_result):
+    result = run_once(benchmark, table1.run)
+    save_result(result)
+    # MSR ids and values of Table 1.
+    assert result.row_by_key("IA32_DEBUGCTL")[1] == "ID: 0x1d9"
+    assert result.row_by_key("LBR_SELECT")[1] == "ID: 0x1c8"
+    assert result.row_by_key("0x801")[1] == "Enable LBR"
+    # The starred rows: exactly the six masks the paper uses.
+    starred = [row[0] for row in result.rows if row[2] == "*"]
+    assert starred == ["0x1", "0x8", "0x10", "0x20", "0x40", "0x100"]
+    assert "ok" in result.notes[0]

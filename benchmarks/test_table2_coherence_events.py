@@ -1,0 +1,18 @@
+"""Regenerates Table 2: L1-D cache-coherence events."""
+
+from conftest import run_once
+
+from repro.experiments import table2
+
+
+def test_table2(benchmark, save_result):
+    result = run_once(benchmark, table2.run)
+    save_result(result)
+    # Unit masks of Table 2, in order I, S, E, M.
+    assert [row[0] for row in result.rows] == \
+        ["0x01", "0x02", "0x04", "0x08"]
+    # Every state observable by both loads and stores on the simulated
+    # MESI hierarchy.
+    for row in result.rows:
+        assert row[2] > 0, "load state never observed: %s" % (row,)
+        assert row[3] > 0, "store state never observed: %s" % (row,)

@@ -1,0 +1,21 @@
+"""Regenerates Table 4: features of the evaluated failures."""
+
+from conftest import run_once
+
+from repro.experiments import table4
+
+
+def test_table4(benchmark, save_result):
+    result = run_once(benchmark, table4.run)
+    save_result(result)
+    sequential = [r for r in result.rows if r[8] == "sequential"]
+    concurrency = [r for r in result.rows if r[8] == "concurrency"]
+    assert len(sequential) == 20
+    assert len(concurrency) == 11
+    # Root-cause taxonomy matches Table 4.
+    kinds = {r[3] for r in sequential}
+    assert kinds == {"config.", "semantic", "memory"}
+    kinds = {r[3] for r in concurrency}
+    assert kinds == {"A.V.", "O.V."}
+    # Every miniature exposes at least one logging site.
+    assert all(r[7] >= 1 for r in result.rows)

@@ -1,0 +1,110 @@
+#!/usr/bin/env python
+"""A tour of the simulated hardware, driven the way the paper does.
+
+Shows the three layers the diagnosis tools sit on:
+
+1. the ``/dev/lbrdriver`` ioctl interface (Figure 7) programming the
+   LBR through its real MSR numbers (Table 1);
+2. the MESI-coherent cache hierarchy producing the Table 2 event
+   classes;
+3. the proposed LCR recording (program counter, observed state) pairs
+   while a two-thread program races.
+
+Run with:  python examples/hardware_tour.py
+"""
+
+from repro.compiler import compile_source
+from repro.hwpmu.lbr import LBR_SELECT_PAPER_MASK
+from repro.kernel.driver import (
+    DRIVER_CLEAN_LBR,
+    DRIVER_CONFIG_LBR,
+    DRIVER_DISABLE_LBR,
+    DRIVER_ENABLE_LBR,
+    DRIVER_PROFILE_LBR,
+    LbrDriver,
+)
+from repro.machine.cpu import Machine
+
+PROGRAM = """
+int shared = 0;
+int __pad[8];
+int done = 0;
+
+int worker(int n) {
+    int i = 0;
+    while (i < n) {
+        shared = shared + 1;        // remote stores invalidate main's copy
+        i = i + 1;
+    }
+    done = 1;
+    return 0;
+}
+
+int main(int n) {
+    __lcr_config_all(2);
+    __lcr_enable_all();
+    int t = spawn worker(n);
+    int seen = 0;
+    int probes = 0;
+    while (done == 0) {
+        seen = shared;              // observes I whenever worker wrote
+        probes = probes + 1;
+        yield_();
+    }
+    join(t);
+    __lcr_profile(7);
+    print(seen);
+    print(probes);
+    return 0;
+}
+"""
+
+
+def main():
+    program = compile_source(PROGRAM, source_name="tour.c")
+    machine = Machine(program)
+    machine.load(args=(6,))
+
+    print("=" * 64)
+    print("1. Program the LBR through the Figure 7 ioctl interface")
+    print("=" * 64)
+    driver = LbrDriver(machine)
+    fd = driver.open("/dev/lbrdriver")
+    driver.ioctl(fd, DRIVER_CLEAN_LBR)
+    driver.ioctl(fd, DRIVER_CONFIG_LBR, int(LBR_SELECT_PAPER_MASK))
+    driver.ioctl(fd, DRIVER_ENABLE_LBR)
+    print("LBR enabled:", machine.cores[0].lbr.enabled,
+          "| LBR_SELECT = 0x%x" % machine.cores[0].lbr.select_mask)
+
+    print()
+    print("=" * 64)
+    print("2. Run the two-thread program on the MESI-coherent machine")
+    print("=" * 64)
+    status = machine.run()
+    print("outcome:", status.describe(), "output:", list(status.output))
+    counters = machine.cores[0].counters
+    print("core 0 coherence counters (Table 2 events):")
+    for (access, state), count in sorted(
+            counters.counts.items(),
+            key=lambda item: (item[0][0].value, item[0][1].value)):
+        print("   %-5s @ %s : %d" % (access.value, state.letter, count))
+
+    print()
+    print("=" * 64)
+    print("3. Read the rings")
+    print("=" * 64)
+    driver.ioctl(fd, DRIVER_DISABLE_LBR)
+    pairs = driver.ioctl(fd, DRIVER_PROFILE_LBR)
+    print("LBR (from -> to), newest first:")
+    for from_ip, to_ip in pairs[:8]:
+        print("   0x%x -> 0x%x" % (from_ip, to_ip))
+    lcr_snapshot = status.profiles[-1]
+    print("LCR (pc, observed state), newest first:")
+    for entry in lcr_snapshot.entries[:8]:
+        location = program.debug_info.location_at(entry.pc)
+        print("   %-24s %s" % (location, entry))
+    driver.close(fd)
+
+
+if __name__ == "__main__":
+    main()

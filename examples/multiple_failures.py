@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Section 5.3 "Multiple failures": one deployment, several bugs.
+
+Large software fails for different reasons; each failure-run profile
+identifies the site it was collected at, so LBRA groups profiles by
+failure site and diagnoses each group separately — different root
+causes never contaminate each other's statistics.
+
+Run with:  python examples/multiple_failures.py
+"""
+
+from repro.core.lbra import LbraTool
+from repro.runtime.workload import RunPlan, Workload
+
+
+class FlakyServer(Workload):
+    """A server with two independent bugs, hit by different requests."""
+
+    name = "flaky-server"
+    log_functions = ("server_log",)
+    source = """
+int auth_bad = 0;
+int cache_bad = 0;
+
+int server_log(int msg) {
+    print_str(msg);
+    return 0;
+}
+
+int check_auth(int token) {
+    if (token == 0) {                   // bug A: empty tokens accepted
+        auth_bad = 1;
+    }
+    return 0;
+}
+
+int check_cache(int size) {
+    if (size > 6) {                     // bug B: oversized entries kept
+        cache_bad = 1;
+    }
+    return 0;
+}
+
+int handle(int token, int size) {
+    check_auth(token);
+    check_cache(size);
+    if (auth_bad == 1) {
+        server_log("server: request with invalid credentials");
+        return 1;
+    }
+    if (cache_bad == 1) {
+        server_log("server: cache entry overflow");
+        return 2;
+    }
+    return 0;
+}
+
+int main(int token, int size) {
+    return handle(token, size);
+}
+"""
+
+    def failing_run_plan(self, k):
+        # Production traffic alternates between the two failure modes.
+        return RunPlan(args=(0, 3) if k % 2 == 0 else (5, 9))
+
+    def passing_run_plan(self, k):
+        return RunPlan(args=((4, 2), (9, 5), (7, 1))[k % 3])
+
+    def is_failure(self, status):
+        return bool(status.exit_code)
+
+
+def main():
+    workload = FlakyServer()
+    tool = LbraTool(workload, scheme="reactive")
+    diagnoses = tool.diagnose_all(n_failures_per_site=8, n_successes=8)
+
+    print("observed %d distinct failure sites\n" % len(diagnoses))
+    for site_id, diagnosis in sorted(diagnoses.items()):
+        print("=" * 64)
+        print("failure site #%d: %s (line %d)"
+              % (site_id, diagnosis.failure_site.function,
+                 diagnosis.failure_site.line))
+        print("=" * 64)
+        print(diagnosis.describe(n=3))
+        print()
+
+
+if __name__ == "__main__":
+    main()

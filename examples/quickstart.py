@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Quickstart: diagnose a failure with LBRLOG and LBRA in ~60 lines.
+
+We write a small buggy MiniC application, let the log-enhancement
+transformer instrument it (Section 5.1 of the paper), crash it, read
+the Last Branch Record collected at the failure site, and then let
+LBRA rank the failure-predicting branches automatically.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro.core.lbra import LbraTool
+from repro.core.lbrlog import LbrLogTool
+from repro.runtime.workload import RunPlan, Workload
+
+
+class BuggyTool(Workload):
+    """A command-line tool with an off-by-one in its option handling."""
+
+    name = "buggy-tool"
+    log_functions = ("error",)
+    failure_output = "invalid combination"
+    source = """
+    int verbose = 0;
+    int jobs = 0;
+
+    int parse_options(int v, int j) {
+        if (v >= 1) {               // line 6: root cause (should be > 1)
+            verbose = 2;            // accidentally maximal verbosity
+        }
+        jobs = j;
+        return 0;
+    }
+
+    int run_jobs(int n) {
+        int i = 0;
+        int done = 0;
+        while (i < n) {
+            done = done + 1;
+            i = i + 1;
+        }
+        if (verbose == 2) {
+            if (jobs < 2) {
+                error(1, "tool: invalid combination of options");
+                return 1;
+            }
+        }
+        return done;
+    }
+
+    int main(int v, int j) {
+        parse_options(v, j);
+        run_jobs(jobs);
+        return 0;
+    }
+    """
+
+    def failing_run_plan(self, k):
+        return RunPlan(args=(1, 1))      # -v with a single job: fails
+
+    def passing_run_plan(self, k):
+        return RunPlan(args=((0, 1), (0, 4), (0, 3))[k % 3])
+
+
+def main():
+    workload = BuggyTool()
+
+    print("=" * 64)
+    print("LBRLOG: the 16-entry branch record captured at the failure")
+    print("=" * 64)
+    tool = LbrLogTool(workload)                  # transform + compile
+    report = tool.capture_failure()              # run the failing input
+    print(report.describe())
+    print()
+    print("root-cause branch (line 6) is the %s-th latest LBR entry"
+          % report.position_of_line([6]))
+
+    print()
+    print("=" * 64)
+    print("LBRA: automatic ranking from 10 failing + 10 passing runs")
+    print("=" * 64)
+    diagnosis = LbraTool(workload, scheme="reactive").diagnose(10, 10)
+    print(diagnosis.describe(n=5))
+    print()
+    print("rank of the root-cause branch: %s"
+          % diagnosis.rank_of_line([6]))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+"""repro — reproduction of *Leveraging the Short-Term Memory of Hardware to
+Diagnose Production-Run Software Failures* (Arulraj, Jin, Lu — ASPLOS 2014).
+
+The package is layered bottom-up:
+
+* hardware substrates: :mod:`repro.isa`, :mod:`repro.machine`,
+  :mod:`repro.cache`, :mod:`repro.hwpmu`, :mod:`repro.kernel`;
+* software substrates: :mod:`repro.lang` (MiniC), :mod:`repro.compiler`,
+  :mod:`repro.runtime`;
+* the paper's contribution: :mod:`repro.core` (LBRLOG, LCRLOG, LBRA, LCRA)
+  and :mod:`repro.analysis`;
+* evaluation machinery: :mod:`repro.baselines` (CBI/CCI/PBI/CBI-adaptive),
+  :mod:`repro.bugs` (the 31-failure benchmark suite), and
+  :mod:`repro.experiments` (one driver per paper table/figure).
+
+The most common entry points are re-exported here::
+
+    from repro import get_bug, LbrLogTool, LbraTool
+    report = LbrLogTool(get_bug("sort")).capture_failure()
+"""
+
+from repro.bugs.registry import all_bugs, get_bug
+from repro.core.lbra import Diagnosis, DiagnosisError, LbraTool
+from repro.core.lbrlog import LbrLogTool
+from repro.core.lcra import LcraTool
+from repro.core.lcrlog import LcrLogTool
+from repro.runtime.workload import RunPlan, Workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Diagnosis",
+    "DiagnosisError",
+    "LbraTool",
+    "LbrLogTool",
+    "LcraTool",
+    "LcrLogTool",
+    "RunPlan",
+    "Workload",
+    "__version__",
+    "all_bugs",
+    "get_bug",
+]

@@ -1,0 +1,38 @@
+"""Static analyses used by the evaluation.
+
+* :mod:`repro.analysis.cfg` — machine-level control-flow graph with the
+  edge classification the LBR filter cares about (record-producing taken
+  branches vs silent fall-throughs);
+* :mod:`repro.analysis.static_infer` — the useful-branch-ratio analyzer
+  of Section 7.1.1 (the paper's LLVM pass, reimplemented over MiniC
+  machine code): walks backward from every logging site enumerating
+  possible 16-entry LBR fillings and measures how many entries could not
+  have been inferred statically;
+* :mod:`repro.analysis.patch_distance` — the source-line distance metric
+  of Table 6 (patch distance from the failure site vs from LBR entries).
+"""
+
+from repro.analysis.cfg import ControlFlowGraph, EdgeKind
+from repro.analysis.static_infer import (
+    SiteUsefulness,
+    UsefulBranchAnalyzer,
+    useful_branch_ratio,
+)
+from repro.analysis.patch_distance import (
+    INFINITE_DISTANCE,
+    line_distance,
+    lbr_patch_distance,
+    failure_site_patch_distance,
+)
+
+__all__ = [
+    "ControlFlowGraph",
+    "EdgeKind",
+    "INFINITE_DISTANCE",
+    "SiteUsefulness",
+    "UsefulBranchAnalyzer",
+    "failure_site_patch_distance",
+    "lbr_patch_distance",
+    "line_distance",
+    "useful_branch_ratio",
+]

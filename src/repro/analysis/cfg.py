@@ -1,0 +1,118 @@
+"""Machine-level control-flow graph.
+
+Edges are classified by whether traversing them deposits an entry in an
+LBR configured with the paper's filter mask (conditional branches and
+near relative unconditional jumps record; fall-throughs, calls, and
+returns do not).
+"""
+
+import enum
+from dataclasses import dataclass
+
+from repro.isa.instructions import Opcode
+from repro.isa.layout import INSTRUCTION_SIZE
+
+
+class EdgeKind(enum.Enum):
+    """How control reached an instruction."""
+
+    FALLTHROUGH = "fallthrough"      # sequential, or a not-taken Jcc
+    TAKEN_CONDITIONAL = "taken-cond" # recorded in the LBR
+    TAKEN_JUMP = "taken-jmp"         # recorded in the LBR
+    CALL = "call"                    # filtered by the paper's LBR mask
+    RETURN = "return"                # filtered by the paper's LBR mask
+
+    @property
+    def produces_record(self):
+        return self in (EdgeKind.TAKEN_CONDITIONAL, EdgeKind.TAKEN_JUMP)
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A CFG edge ``source -> target``."""
+
+    source: int          # instruction address
+    target: int
+    kind: EdgeKind
+
+
+#: Opcodes that never fall through to the next instruction.
+_NO_FALLTHROUGH = frozenset({Opcode.JMP, Opcode.RET, Opcode.HALT})
+
+
+class ControlFlowGraph:
+    """Forward and backward edges over a linked program."""
+
+    def __init__(self, program):
+        self.program = program
+        self._successors = {}
+        self._predecessors = {}
+        self._build()
+
+    def _add(self, edge):
+        self._successors.setdefault(edge.source, []).append(edge)
+        self._predecessors.setdefault(edge.target, []).append(edge)
+
+    def _build(self):
+        program = self.program
+        return_sites = {}     # function entry -> list of return-to addrs
+        ret_instructions = {} # function name -> list of RET addrs
+        for function in program.functions.values():
+            ret_instructions[function.name] = []
+        for instr in program.instructions:
+            address = instr.address
+            opcode = instr.opcode
+            next_address = address + INSTRUCTION_SIZE
+            if opcode is Opcode.JMP:
+                self._add(Edge(address, instr.target, EdgeKind.TAKEN_JUMP))
+            elif opcode in (Opcode.JZ, Opcode.JNZ):
+                self._add(Edge(address, instr.target,
+                               EdgeKind.TAKEN_CONDITIONAL))
+                self._add(Edge(address, next_address,
+                               EdgeKind.FALLTHROUGH))
+            elif opcode is Opcode.CALL:
+                self._add(Edge(address, instr.target, EdgeKind.CALL))
+                return_sites.setdefault(instr.target, []).append(
+                    next_address
+                )
+            elif opcode is Opcode.RET:
+                function = program.function_at(address)
+                if function is not None:
+                    ret_instructions[function.name].append(address)
+            elif opcode is not Opcode.HALT:
+                if program.has_instruction(next_address):
+                    self._add(Edge(address, next_address,
+                                   EdgeKind.FALLTHROUGH))
+        # Return edges: each RET flows to every return site of its function.
+        for function in program.functions.values():
+            sites = return_sites.get(function.entry, [])
+            for ret_address in ret_instructions[function.name]:
+                for site in sites:
+                    self._add(Edge(ret_address, site, EdgeKind.RETURN))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def successors(self, address):
+        """Edges leaving *address*."""
+        return tuple(self._successors.get(address, ()))
+
+    def predecessors(self, address):
+        """Edges entering *address*."""
+        return tuple(self._predecessors.get(address, ()))
+
+    def conditional_branch_addresses(self):
+        """Addresses of all conditional branch instructions."""
+        return tuple(
+            instr.address for instr in self.program.instructions
+            if instr.opcode in (Opcode.JZ, Opcode.JNZ)
+        )
+
+    def callers_of(self, function_name):
+        """Addresses of CALL instructions targeting *function_name*."""
+        entry = self.program.function_named(function_name).entry
+        return tuple(
+            instr.address for instr in self.program.instructions
+            if instr.opcode is Opcode.CALL and instr.target == entry
+        )

@@ -1,0 +1,40 @@
+"""Patch-distance metrics (Table 6).
+
+The paper measures, in lines of code, how far the bug's patch is from
+(a) the failure site and (b) the closest branch captured in the LBR,
+reporting infinity when patch and reference point live in different
+source files.  The miniatures are single-file, so plain line distance is
+always defined; :data:`INFINITE_DISTANCE` is still produced when a
+report captured nothing usable.
+"""
+
+INFINITE_DISTANCE = float("inf")
+
+
+def line_distance(lines_a, lines_b):
+    """Minimum absolute line distance between two line collections."""
+    pairs = [
+        abs(a - b)
+        for a in lines_a
+        for b in lines_b
+    ]
+    return min(pairs) if pairs else INFINITE_DISTANCE
+
+
+def failure_site_patch_distance(bug, report):
+    """Distance in lines from the failure site to the patch."""
+    if report.site is None:
+        return INFINITE_DISTANCE
+    return line_distance([report.site.line], bug.patch_lines)
+
+
+def lbr_patch_distance(bug, report):
+    """Distance in lines from the closest LBR-captured branch to the
+    patch."""
+    lines = [
+        row.line for row in report.entries
+        if row.event.kind == "branch" and row.line > 0
+    ]
+    if not lines:
+        return INFINITE_DISTANCE
+    return line_distance(lines, bug.patch_lines)

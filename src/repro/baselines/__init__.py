@@ -1,0 +1,32 @@
+"""Baseline production-run failure-diagnosis systems.
+
+Reimplementations of the cooperative-bug-isolation family the paper
+compares against (Section 5.3 and the evaluation):
+
+* :mod:`repro.baselines.cbi` — CBI (Liblit et al.): randomly sampled
+  branch predicates, scored with Failure/Context/Increase/Importance;
+* :mod:`repro.baselines.cci` — CCI: sampled cross-thread predicates
+  ("was the previous access to this location by another thread?");
+* :mod:`repro.baselines.pbi` — PBI: coherence-event predicates sampled
+  through hardware performance-counter interrupts.
+
+All three need failures to occur hundreds of times under their default
+1/100 sampling before predictors emerge — the diagnosis-latency gap the
+paper's Section 7.2 quantifies.
+"""
+
+from repro.baselines.sampling import GeometricSampler
+from repro.baselines.scoring import ScoredPredicate, liblit_rank
+from repro.baselines.cbi import BaselineUnsupportedError, CbiTool
+from repro.baselines.cci import CciTool
+from repro.baselines.pbi import PbiTool
+
+__all__ = [
+    "BaselineUnsupportedError",
+    "CbiTool",
+    "CciTool",
+    "GeometricSampler",
+    "PbiTool",
+    "ScoredPredicate",
+    "liblit_rank",
+]

@@ -1,0 +1,121 @@
+"""Shared campaign machinery for the CBI-family baselines."""
+
+from dataclasses import dataclass, field
+
+from repro.baselines.scoring import liblit_rank, rank_of_line
+from repro.compiler.frontend import compile_module
+from repro.machine.cpu import Machine, MachineConfig
+
+
+@dataclass
+class BaselineDiagnosis:
+    """Result of one baseline diagnosis campaign."""
+
+    ranked: list
+    n_failures: int
+    n_successes: int
+    tool: str
+    #: instrumentation cost counters for the overhead model
+    events_observed: int = 0
+    samples_taken: int = 0
+    retired_total: int = 0
+    notes: dict = field(default_factory=dict)
+
+    def best(self):
+        return self.ranked[0] if self.ranked else None
+
+    def top(self, n=5):
+        return self.ranked[:n]
+
+    def rank_of_line(self, lines, detail_suffix=None):
+        """Dense rank of the best predicate on one of *lines*."""
+        return rank_of_line(self.ranked, lines, detail_suffix)
+
+    def describe(self, n=5):
+        lines = ["%s diagnosis (%d failing, %d passing runs)"
+                 % (self.tool, self.n_failures, self.n_successes)]
+        lines.extend("  %s" % p for p in self.top(n))
+        return "\n".join(lines)
+
+
+class BaselineToolBase:
+    """Runs campaigns over an uninstrumented (plain) program build.
+
+    Subclasses implement :meth:`attach` (install observers for one run,
+    returning a callable that yields the run's RunObservation) and
+    :meth:`predicate_info`.
+    """
+
+    tool_name = "baseline"
+
+    def __init__(self, workload, seed=0):
+        self.workload = workload
+        self.seed = seed
+        self.program = compile_module(workload.build_module(),
+                                      toggling=False)
+        self.machine_config = MachineConfig(num_cores=workload.num_cores)
+        self.events_observed = 0
+        self.samples_taken = 0
+        self.retired_total = 0
+
+    # -- subclass hooks --------------------------------------------------
+
+    def attach(self, machine, run_seed):
+        """Install observers on *machine*; return finish(failed) -> obs."""
+        raise NotImplementedError
+
+    def predicate_info(self):
+        """Return predicate id -> (site, function, line, detail)."""
+        raise NotImplementedError
+
+    # -- campaign ---------------------------------------------------------
+
+    def _run_once(self, plan, run_seed):
+        machine = Machine(self.program, config=self.machine_config,
+                          scheduler=plan.make_scheduler())
+        machine.load(args=plan.args)
+        for name, value in plan.globals_setup.items():
+            if isinstance(value, (list, tuple)):
+                for index, word in enumerate(value):
+                    machine.set_global(name, word, index=index)
+            else:
+                machine.set_global(name, value)
+        finish = self.attach(machine, run_seed)
+        status = machine.run(max_steps=plan.max_steps)
+        self.retired_total += status.retired
+        failed = self.workload.is_failure(status)
+        return failed, finish(failed)
+
+    def diagnose(self, n_failures=1000, n_successes=1000,
+                 max_attempts=None):
+        """Collect runs until the outcome quotas are met, then rank."""
+        cap = max_attempts if max_attempts is not None else \
+            (n_failures + n_successes) * 5 + 100
+        observations = []
+        failures = 0
+        successes = 0
+        attempt = 0
+        while failures < n_failures and attempt < cap:
+            plan = self.workload.failing_run_plan(attempt)
+            failed, observation = self._run_once(plan, attempt)
+            observations.append(observation)
+            failures += int(failed)
+            successes += int(not failed)
+            attempt += 1
+        while successes < n_successes and attempt < cap:
+            plan = self.workload.passing_run_plan(attempt)
+            failed, observation = self._run_once(plan, attempt)
+            observations.append(observation)
+            failures += int(failed)
+            successes += int(not failed)
+            attempt += 1
+        ranked = liblit_rank(observations, self.predicate_info())
+        return BaselineDiagnosis(
+            ranked=ranked,
+            n_failures=failures,
+            n_successes=successes,
+            tool=self.tool_name,
+            events_observed=self.events_observed,
+            samples_taken=self.samples_taken,
+            retired_total=self.retired_total,
+        )

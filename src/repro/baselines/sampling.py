@@ -1,0 +1,44 @@
+"""Random-sampling machinery for the CBI-style baselines.
+
+CBI's instrumentation uses geometric countdowns so the common path is a
+decrement-and-test: with sampling rate 1/N, the next sample is a
+geometrically distributed number of observations away.  The same
+countdown drives CCI's access sampling.
+"""
+
+import math
+import random
+
+#: The default sampling rate used by CBI/CCI in the paper's comparison.
+DEFAULT_SAMPLING_RATE = 1.0 / 100.0
+
+
+class GeometricSampler:
+    """Bernoulli(rate) sampling via geometric countdowns."""
+
+    def __init__(self, rate=DEFAULT_SAMPLING_RATE, seed=0):
+        if not 0.0 < rate <= 1.0:
+            raise ValueError("sampling rate must be in (0, 1]")
+        self.rate = rate
+        self._rng = random.Random(seed)
+        self._countdown = self._draw()
+        self.observations = 0
+        self.samples = 0
+
+    def _draw(self):
+        if self.rate >= 1.0:
+            return 1
+        u = self._rng.random()
+        # Geometric with success probability `rate`, support {1, 2, ...}.
+        return max(1, int(math.ceil(math.log(1.0 - u)
+                                    / math.log(1.0 - self.rate))))
+
+    def should_sample(self):
+        """Count one observation; return True when it is sampled."""
+        self.observations += 1
+        self._countdown -= 1
+        if self._countdown <= 0:
+            self._countdown = self._draw()
+            self.samples += 1
+            return True
+        return False

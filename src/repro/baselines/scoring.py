@@ -1,0 +1,151 @@
+"""Statistical scoring for the CBI-style baselines.
+
+Implements the predicate ranking of Liblit et al. ("Scalable statistical
+bug isolation", PLDI 2005), which CBI, CCI, and PBI all use:
+
+* ``Failure(P)`` — probability a run fails given P was observed true;
+* ``Context(P)`` — probability a run fails given P's site was observed;
+* ``Increase(P) = Failure(P) - Context(P)`` — predicates with
+  non-positive Increase are pruned;
+* ``Importance(P)`` — harmonic mean of Increase(P) and a normalized
+  log-recall term, balancing sensitivity and specificity.
+"""
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ScoredPredicate:
+    """One ranked predicate."""
+
+    predicate_id: str
+    site_id: str
+    function: str
+    line: int
+    detail: str
+    failure_true: int       # F(P): failing runs where P observed true
+    success_true: int       # S(P)
+    failure_observed: int   # F(P observed)
+    success_observed: int   # S(P observed)
+    increase: float
+    importance: float
+    rank: int = 0
+
+    def __str__(self):
+        return "#%d %s (Imp=%.3f Inc=%.3f F=%d S=%d)" % (
+            self.rank, self.predicate_id, self.importance,
+            self.increase, self.failure_true, self.success_true,
+        )
+
+
+@dataclass
+class RunObservation:
+    """What one run's sampling observed.
+
+    ``true_predicates`` — predicate ids observed true at least once;
+    ``observed_sites`` — site ids whose predicates were sampled at all.
+    """
+
+    failed: bool
+    true_predicates: frozenset
+    observed_sites: frozenset
+
+
+def liblit_rank(observations, predicate_info):
+    """Rank predicates from per-run observations.
+
+    *predicate_info* maps predicate id -> (site_id, function, line,
+    detail).  Returns :class:`ScoredPredicate` rows, best first, with
+    dense ranks; predicates with non-positive Increase are pruned, as in
+    CBI.
+    """
+    total_failures = sum(1 for o in observations if o.failed)
+    f_true = {}
+    s_true = {}
+    f_obs = {}
+    s_obs = {}
+    for observation in observations:
+        true_bucket = f_true if observation.failed else s_true
+        obs_bucket = f_obs if observation.failed else s_obs
+        for predicate_id in observation.true_predicates:
+            true_bucket[predicate_id] = \
+                true_bucket.get(predicate_id, 0) + 1
+        for site_id in observation.observed_sites:
+            obs_bucket[site_id] = obs_bucket.get(site_id, 0) + 1
+
+    scored = []
+    for predicate_id, info in predicate_info.items():
+        site_id, function, line, detail = info
+        f_p = f_true.get(predicate_id, 0)
+        s_p = s_true.get(predicate_id, 0)
+        f_o = f_obs.get(site_id, 0)
+        s_o = s_obs.get(site_id, 0)
+        if f_p + s_p == 0 or f_o + s_o == 0:
+            continue
+        failure = f_p / (f_p + s_p)
+        context = f_o / (f_o + s_o)
+        increase = failure - context
+        if increase <= 0:
+            continue
+        importance = _importance(increase, f_p, total_failures)
+        scored.append(ScoredPredicate(
+            predicate_id=predicate_id, site_id=site_id,
+            function=function, line=line, detail=detail,
+            failure_true=f_p, success_true=s_p,
+            failure_observed=f_o, success_observed=s_o,
+            increase=increase, importance=importance,
+        ))
+    scored.sort(key=lambda p: (-p.importance, -p.increase,
+                               p.predicate_id))
+    return _dense_rank(scored)
+
+
+def _importance(increase, failure_true, total_failures):
+    """Harmonic mean of Increase and the normalized log-recall term."""
+    if total_failures <= 1:
+        log_term = 1.0 if failure_true > 0 else 0.0
+    else:
+        log_term = math.log(failure_true + 1) / math.log(total_failures + 1)
+    if increase <= 0 or log_term <= 0:
+        return 0.0
+    return 2.0 / (1.0 / increase + 1.0 / log_term)
+
+
+def _dense_rank(scored):
+    ranked = []
+    rank = 0
+    previous = None
+    for predicate in scored:
+        key = (predicate.importance, predicate.increase)
+        if key != previous:
+            rank += 1
+            previous = key
+        ranked.append(ScoredPredicate(
+            predicate_id=predicate.predicate_id,
+            site_id=predicate.site_id,
+            function=predicate.function,
+            line=predicate.line,
+            detail=predicate.detail,
+            failure_true=predicate.failure_true,
+            success_true=predicate.success_true,
+            failure_observed=predicate.failure_observed,
+            success_observed=predicate.success_observed,
+            increase=predicate.increase,
+            importance=predicate.importance,
+            rank=rank,
+        ))
+    return ranked
+
+
+def rank_of_line(ranked, lines, detail_suffix=None):
+    """Dense rank of the best predicate on one of *lines*, or None."""
+    wanted = set(lines)
+    for predicate in ranked:
+        if predicate.line not in wanted:
+            continue
+        if detail_suffix is not None \
+                and not predicate.predicate_id.endswith(detail_suffix):
+            continue
+        return predicate.rank
+    return None

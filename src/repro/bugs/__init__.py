@@ -1,0 +1,29 @@
+"""The 31-failure benchmark suite (Table 4 of the paper).
+
+Each module under :mod:`repro.bugs.sequential` and
+:mod:`repro.bugs.concurrency` provides a miniature MiniC reproduction of
+one real-world failure the paper evaluates, preserving the failure's
+*diagnostic structure*: the kind of root cause, the symptom, the control
+flow (or interleaving) between root cause and failure, and the library
+calls whose branches pollute the LBR without toggling.
+
+Use :func:`repro.bugs.registry.all_bugs` to enumerate them.
+"""
+
+from repro.bugs.base import BugBenchmark, FailureKind, RootCauseKind
+from repro.bugs.registry import (
+    all_bugs,
+    concurrency_bugs,
+    get_bug,
+    sequential_bugs,
+)
+
+__all__ = [
+    "BugBenchmark",
+    "FailureKind",
+    "RootCauseKind",
+    "all_bugs",
+    "concurrency_bugs",
+    "get_bug",
+    "sequential_bugs",
+]

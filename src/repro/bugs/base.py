@@ -1,0 +1,140 @@
+"""Base class for bug benchmarks.
+
+A :class:`BugBenchmark` is a :class:`~repro.runtime.workload.Workload`
+plus the evaluation anchors the experiment drivers need:
+
+* Table 4 metadata (program, version, real KLOC, root-cause kind,
+  symptom, log points);
+* the root-cause source lines (and, for the ``X*`` rows of Table 6,
+  the root-cause-*related* lines that are captured instead);
+* the patch lines, for the patch-distance columns;
+* for concurrency bugs, the failure-predicting-event description of
+  Table 3 (which lines, which coherence classes, and whether the FPE
+  occurs in the failure thread);
+* the paper's reported results, so EXPERIMENTS.md can print
+  paper-vs-measured side by side.
+"""
+
+import enum
+
+from repro.runtime.workload import RunPlan, Workload
+
+
+class RootCauseKind(enum.Enum):
+    """Root-cause classification from Table 4."""
+
+    CONFIG = "config."
+    SEMANTIC = "semantic"
+    MEMORY = "memory"
+    ATOMICITY_VIOLATION = "A.V."
+    ORDER_VIOLATION = "O.V."
+
+
+class FailureKind(enum.Enum):
+    """Failure-symptom classification from Table 4."""
+
+    ERROR_MESSAGE = "error message"
+    CRASH = "crash"
+    HANG = "hang"
+    WRONG_OUTPUT = "wrong output"
+    CORRUPTED_LOG = "corrupted log"
+
+
+class BugBenchmark(Workload):
+    """One miniature reproduction of a paper benchmark failure."""
+
+    # ---- Table 4 metadata -------------------------------------------------
+    paper_name = ""          # e.g. "Apache1"
+    program = ""             # e.g. "Apache"
+    version = ""             # e.g. "2.0.43"
+    paper_kloc = 0.0         # size of the real application
+    root_cause_kind = RootCauseKind.SEMANTIC
+    failure_kind = FailureKind.ERROR_MESSAGE
+    paper_log_points = 0     # logging sites in the real application
+    category = "sequential"  # or "concurrency"
+
+    # ---- evaluation anchors -----------------------------------------------
+    #: source lines of the root-cause branch (sequential) or the
+    #: failure-predicting instruction (concurrency)
+    root_cause_lines = ()
+    #: recorded outcome of the root-cause branch, when meaningful
+    root_cause_outcome = None
+    #: lines related to the root cause (the X* rows: root missed but a
+    #: related branch captured)
+    related_lines = ()
+    #: lines the real patch changes, mapped onto the miniature
+    patch_lines = ()
+    #: function containing the patch (None = same-file semantics)
+    patch_function = None
+
+    # concurrency-only anchors (Table 3):
+    #: coherence classes of the FPE, e.g. ("load@I",)
+    fpe_state_tags = ()
+    #: does the FPE occur in the failure thread?
+    fpe_in_failure_thread = True
+    #: concurrency bug subtype, e.g. "RWR", "WWR", "read-too-early"
+    interleaving_type = ""
+
+    # ---- paper-reported results (for paper-vs-measured tables) -------------
+    #: Table 6 / Table 7 cells, verbatim strings such as "3", "2*", "-",
+    #: "N/A"
+    paper_results = {}
+
+    #: MiniC source with the real bug's patch applied (None when the
+    #: miniature does not model the patch); used to verify that the
+    #: diagnosed branch is indeed what the fix rewrites (Section 7.1.2:
+    #: "LBRLOG can help diagnose failures and design patches").
+    patched_source = None
+
+    def patched(self):
+        """Return a workload running the patched program."""
+        if self.patched_source is None:
+            raise ValueError("%s has no patched source" % self.name)
+        fixed = type(self)()
+        fixed.source = self.patched_source
+        fixed.name = self.name + "-patched"
+        return fixed
+
+    # ------------------------------------------------------------------
+    # Defaults
+    # ------------------------------------------------------------------
+
+    #: a deterministic list of argument tuples for passing runs; cycled.
+    passing_args = ((0,),)
+    #: argument tuple for failing runs.
+    failing_args = (1,)
+    #: step budget per run (hang bugs need a small one)
+    run_max_steps = 200_000
+
+    def failing_run_plan(self, k):
+        return RunPlan(args=self.failing_args,
+                       max_steps=self.run_max_steps)
+
+    def passing_run_plan(self, k):
+        args = self.passing_args[k % len(self.passing_args)]
+        return RunPlan(args=args, max_steps=self.run_max_steps)
+
+    # ------------------------------------------------------------------
+    # Reporting helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def describe(cls):
+        return "%s (%s %s): %s / %s" % (
+            cls.paper_name, cls.program, cls.version,
+            cls.root_cause_kind.value, cls.failure_kind.value,
+        )
+
+
+def line_of(source, marker):
+    """Return the 1-based line number of the first line containing
+    *marker* in MiniC *source*.
+
+    Bug modules anchor root-cause and patch lines with source comments
+    (``// A: root cause``) and resolve them through this helper, so the
+    anchors survive edits to the miniature programs.
+    """
+    for number, text in enumerate(source.splitlines(), 1):
+        if marker in text:
+            return number
+    raise ValueError("marker %r not found in source" % (marker,))

@@ -1,0 +1,36 @@
+"""The 11 concurrency-bug failures of Table 4.
+
+Interleavings are forced deterministically through data gates: the
+failing configuration makes the racing thread wait for the victim to
+pass the first half of the buggy window before striking, and the
+passing configuration delays the racing access until after the window.
+The racy accesses themselves stay unsynchronized, so the coherence
+states the LCR observes are exactly those of Table 3.
+"""
+
+from repro.bugs.concurrency.mozilla import (
+    MozillaJs1Bug,
+    MozillaJs2Bug,
+    MozillaJs3Bug,
+)
+from repro.bugs.concurrency.apache import Apache4Bug, Apache5Bug
+from repro.bugs.concurrency.cherokee import CherokeeBug
+from repro.bugs.concurrency.splash import FftBug, LuBug
+from repro.bugs.concurrency.mysql import MySql1Bug, MySql2Bug
+from repro.bugs.concurrency.pbzip import Pbzip3Bug
+
+CONCURRENCY_BUGS = (
+    Apache4Bug,
+    Apache5Bug,
+    CherokeeBug,
+    FftBug,
+    LuBug,
+    MozillaJs1Bug,
+    MozillaJs2Bug,
+    MozillaJs3Bug,
+    MySql1Bug,
+    MySql2Bug,
+    Pbzip3Bug,
+)
+
+__all__ = ["CONCURRENCY_BUGS"] + [cls.__name__ for cls in CONCURRENCY_BUGS]

@@ -1,0 +1,188 @@
+"""Miniatures of the two concurrency Apache httpd failures (Table 4)."""
+
+from repro.bugs.base import (
+    BugBenchmark,
+    FailureKind,
+    RootCauseKind,
+    line_of,
+)
+
+APACHE4_SOURCE = """
+// httpd miniature - Apache 2.0.50 (bug 21287 shape): an RWR atomicity
+// violation on a connection buffer pointer.  The worker checks the
+// pointer (a1), another worker frees and nulls it (a3), and the first
+// worker's use (a2) crashes.
+int conn_buffer = 0;
+int __pad_a[8];
+int race_gate = 0;
+int race_ack = 0;
+int done = 0;
+
+int ap_log_error(int msg) {
+    print_str(msg);
+    return 0;
+}
+
+int buffer_reaper(int race) {
+    if (race == 1) {
+        while (race_gate == 0) { yield_(); }
+        conn_buffer = 0;                    // a3: remote write (free+null)
+        race_ack = 1;
+    } else {
+        while (done == 0) { yield_(); }
+        conn_buffer = 0;
+    }
+    return 0;
+}
+
+int process_connection(int race) {
+    if (conn_buffer != 0) {                 // a1: check
+        if (race == 1) {
+            race_gate = 1;
+            while (race_ack == 0) { yield_(); }
+        }
+        int buf = conn_buffer;              // a2: FPE (invalid read)
+        int first = buf[0];                 // F: segfault when nulled
+        return first;
+    }
+    return 0;
+}
+
+int main(int race) {
+    conn_buffer = malloc(4);
+    int t = spawn buffer_reaper(race);
+    process_connection(race);
+    done = 1;
+    join(t);
+    return 0;
+}
+"""
+
+
+class Apache4Bug(BugBenchmark):
+    name = "apache4"
+    paper_name = "Apache4"
+    program = "Apache"
+    version = "2.0.50"
+    paper_kloc = 263
+    category = "concurrency"
+    root_cause_kind = RootCauseKind.ATOMICITY_VIOLATION
+    failure_kind = FailureKind.CRASH
+    paper_log_points = 2412
+    interleaving_type = "RWR"
+    source = APACHE4_SOURCE
+    log_functions = ("ap_log_error",)
+    root_cause_lines = (line_of(APACHE4_SOURCE, "// a2: FPE"),)
+    fpe_state_tags = ("load@I",)
+    fpe_in_failure_thread = True
+    patch_lines = (line_of(APACHE4_SOURCE, "// a1: check"),)
+    patch_function = "process_connection"
+    failing_args = (1,)
+    passing_args = ((0,),)
+    paper_results = {
+        "lcrlog_conf1": "3", "lcrlog_conf2": "5", "lcra": "1",
+    }
+
+    def is_failure(self, status):
+        return status.fault is not None
+
+
+APACHE5_SOURCE = """
+// httpd miniature - Apache 2.2.9 (bug 25520 shape): two workers append
+// to the access log buffer without holding the buffer lock; the raced
+// length update silently corrupts an entry.  The corruption is only
+// noticed when the buffer is flushed after many more requests, so no
+// failure-predicting event survives in the LCR.
+int log_len = 0;
+int log_buf[8];
+int race_gate = 0;
+int race_ack = 0;
+int done = 0;
+int requests[400];
+
+int ap_log_error(int msg) {
+    print_str(msg);
+    return 0;
+}
+
+int log_writer(int race) {
+    if (race == 1) {
+        while (race_gate == 0) { yield_(); }
+        log_len = log_len + 1;              // a3: remote unsynchronized
+        race_ack = 1;
+    } else {
+        while (done == 0) { yield_(); }
+        log_buf[log_len] = 42;
+        log_len = log_len + 1;
+    }
+    return 0;
+}
+
+int append_entry(int race) {
+    int slot = log_len;                     // a1: read length
+    if (race == 1) {
+        race_gate = 1;
+        while (race_ack == 0) { yield_(); }
+    }
+    log_buf[slot] = 41;                     // a2: writes a stale slot
+    log_len = slot + 1;                     // lost update corrupts buffer
+    return 0;
+}
+
+int flush_log(int dummy) {
+    // many more requests are served before the flush notices the hole
+    int i = 0;
+    while (i < 400) {
+        requests[i] = i;
+        i = i + 8;
+    }
+    int corrupted = 0;
+    int j = 0;
+    while (j < 2) {
+        if (log_buf[j] == 0) {
+            corrupted = 1;
+        }
+        j = j + 1;
+    }
+    if (corrupted == 1) {
+        ap_log_error("httpd: corrupted access log entry");      // F
+        return 1;
+    }
+    return 0;
+}
+
+int main(int race) {
+    int t = spawn log_writer(race);
+    append_entry(race);
+    done = 1;
+    join(t);
+    flush_log(0);
+    return 0;
+}
+"""
+
+
+class Apache5Bug(BugBenchmark):
+    name = "apache5"
+    paper_name = "Apache5"
+    program = "Apache"
+    version = "2.2.9"
+    paper_kloc = 333
+    category = "concurrency"
+    root_cause_kind = RootCauseKind.ATOMICITY_VIOLATION
+    failure_kind = FailureKind.CORRUPTED_LOG
+    paper_log_points = 2515
+    interleaving_type = "RWW"
+    source = APACHE5_SOURCE
+    log_functions = ("ap_log_error",)
+    failure_output = "corrupted access log"
+    root_cause_lines = (line_of(APACHE5_SOURCE, "// a2: writes"),)
+    fpe_state_tags = ("store@I",)
+    fpe_in_failure_thread = True
+    patch_lines = (line_of(APACHE5_SOURCE, "// a1: read length"),)
+    patch_function = "append_entry"
+    failing_args = (1,)
+    passing_args = ((0,),)
+    paper_results = {
+        "lcrlog_conf1": "-", "lcrlog_conf2": "-", "lcra": "-",
+    }

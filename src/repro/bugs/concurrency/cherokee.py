@@ -1,0 +1,113 @@
+"""Miniature of the Cherokee 0.98.0 concurrency failure (Table 4).
+
+An atomicity violation on the cached log timestamp corrupts an access-log
+entry; the corruption is detected only when the log is rotated much
+later, so no failure-predicting event survives in the 16-entry LCR
+(Table 7 reports "-" for Cherokee).
+"""
+
+from repro.bugs.base import (
+    BugBenchmark,
+    FailureKind,
+    RootCauseKind,
+    line_of,
+)
+
+CHEROKEE_SOURCE = """
+// cherokee miniature - 0.98.0 (bug 326 shape).  Two worker threads
+// refresh the shared cached-time string without synchronization; a
+// half-updated timestamp is written into the access log.  The rotation
+// check that notices the corruption runs after many more requests.
+int time_sec = 0;
+int time_usec = 0;
+int log_entry_sec = 0;
+int log_entry_usec = 0;
+int race_gate = 0;
+int race_ack = 0;
+int done = 0;
+int served[400];
+
+int cherokee_logger_write(int msg) {
+    print_str(msg);
+    return 0;
+}
+
+int time_refresher(int race) {
+    if (race == 1) {
+        while (race_gate == 0) { yield_(); }
+        time_usec = 200;                    // a3: remote half-update
+        race_ack = 1;
+    } else {
+        while (done == 0) { yield_(); }
+        time_sec = 200;
+        time_usec = 200;
+    }
+    return 0;
+}
+
+int log_request(int race) {
+    log_entry_sec = time_sec;               // a1: first half
+    if (race == 1) {
+        race_gate = 1;
+        while (race_ack == 0) { yield_(); }
+    }
+    log_entry_usec = time_usec;              // a2: FPE (torn pair)
+    return 0;
+}
+
+int rotate_log(int dummy) {
+    int i = 0;
+    while (i < 400) {
+        served[i] = i;
+        i = i + 8;
+    }
+    int torn = 0;
+    if (log_entry_sec != log_entry_usec) {
+        if (log_entry_sec == 0) {
+            torn = 1;
+        }
+    }
+    if (torn == 1) {
+        cherokee_logger_write("cherokee: corrupted log timestamp");  // F
+        return 1;
+    }
+    return 0;
+}
+
+int main(int race) {
+    time_sec = 0;
+    time_usec = 0;
+    int t = spawn time_refresher(race);
+    log_request(race);
+    done = 1;
+    join(t);
+    rotate_log(0);
+    return 0;
+}
+"""
+
+
+class CherokeeBug(BugBenchmark):
+    name = "cherokee"
+    paper_name = "Cherokee"
+    program = "Cherokee"
+    version = "0.98.0"
+    paper_kloc = 85
+    category = "concurrency"
+    root_cause_kind = RootCauseKind.ATOMICITY_VIOLATION
+    failure_kind = FailureKind.CORRUPTED_LOG
+    paper_log_points = 184
+    interleaving_type = "RWR"
+    source = CHEROKEE_SOURCE
+    log_functions = ("cherokee_logger_write",)
+    failure_output = "corrupted log timestamp"
+    root_cause_lines = (line_of(CHEROKEE_SOURCE, "// a2: FPE"),)
+    fpe_state_tags = ("load@I",)
+    fpe_in_failure_thread = True
+    patch_lines = (line_of(CHEROKEE_SOURCE, "// a1: first half"),)
+    patch_function = "log_request"
+    failing_args = (1,)
+    passing_args = ((0,),)
+    paper_results = {
+        "lcrlog_conf1": "-", "lcrlog_conf2": "-", "lcra": "-",
+    }

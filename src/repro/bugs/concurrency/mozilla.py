@@ -1,0 +1,321 @@
+"""Miniatures of the three Mozilla JavaScript engine failures (Table 4).
+
+Mozilla-JS3 is the paper's Figure 4 case study: a WWR atomicity
+violation on ``st->table`` whose failure-predicting event is the invalid
+state observed by the ``if (!st->table)`` check.
+"""
+
+from repro.bugs.base import (
+    BugBenchmark,
+    FailureKind,
+    RootCauseKind,
+    line_of,
+)
+
+MOZILLA_JS3_SOURCE = """
+// Mozilla JS engine miniature (Figure 4) - WWR atomicity violation.
+// Thread 1 initializes st->table (a1) and checks it (a2); thread 2
+// occasionally destroys the table (a3) between the two, and thread 1
+// reports a spurious out-of-memory failure.
+int st_table = 0;
+int __pad_a[8];
+int race_gate = 0;
+int race_ack = 0;
+int done = 0;
+
+int ReportOutOfMemory(int dummy) {
+    print_str("out of memory");
+    return dummy;
+}
+
+int FreeState(int race) {
+    if (race == 1) {
+        while (race_gate == 0) { yield_(); }
+        st_table = 0;                       // a3: remote write
+        race_ack = 1;
+    } else {
+        while (done == 0) { yield_(); }
+        st_table = 0;                       // orderly teardown
+    }
+    return 0;
+}
+
+int InitState(int race) {
+    st_table = malloc(4);                   // a1
+    if (race == 1) {
+        race_gate = 1;
+        while (race_ack == 0) { yield_(); }
+    }
+    if (st_table == 0) {                    // a2: FPE (invalid read)
+        ReportOutOfMemory(0);               // F
+        return 0;
+    }
+    st_table[0] = 7;
+    return 1;
+}
+
+int main(int race) {
+    int t = spawn FreeState(race);
+    InitState(race);
+    done = 1;
+    join(t);
+    return 0;
+}
+"""
+
+
+class MozillaJs3Bug(BugBenchmark):
+    name = "mozilla-js3"
+    paper_name = "Mozilla-JS3"
+    program = "Mozilla-JS"
+    version = "1.5"
+    paper_kloc = 107
+    category = "concurrency"
+    root_cause_kind = RootCauseKind.ATOMICITY_VIOLATION
+    failure_kind = FailureKind.ERROR_MESSAGE
+    paper_log_points = 343
+    interleaving_type = "WWR"
+    source = MOZILLA_JS3_SOURCE
+    log_functions = ("ReportOutOfMemory",)
+    failure_output = "out of memory"
+    root_cause_lines = (line_of(MOZILLA_JS3_SOURCE, "// a2: FPE"),)
+    fpe_state_tags = ("load@I",)
+    fpe_in_failure_thread = True
+    patch_lines = (line_of(MOZILLA_JS3_SOURCE, "// a1"),)
+    patch_function = "InitState"
+    failing_args = (1,)
+    passing_args = ((0,),)
+    paper_results = {
+        "lcrlog_conf1": "3", "lcrlog_conf2": "11", "lcra": "1",
+    }
+
+
+MOZILLA_JS1_SOURCE = """
+// Mozilla JS engine miniature - RWR atomicity violation that crashes.
+// The GC thread nulls cx->gc_thing between the mutator's check (a1) and
+// use (a2); the use dereferences NULL inside the engine.
+int gc_thing = 0;
+int __pad_a[8];
+int race_gate = 0;
+int race_ack = 0;
+int done = 0;
+
+int gc_sweep(int race) {
+    if (race == 1) {
+        while (race_gate == 0) { yield_(); }
+        gc_thing = 0;                       // a3: remote write
+        race_ack = 1;
+    } else {
+        while (done == 0) { yield_(); }
+        gc_thing = 0;
+    }
+    return 0;
+}
+
+int js_MarkAtom(int race) {
+    if (gc_thing != 0) {                    // a1: check
+        if (race == 1) {
+            race_gate = 1;
+            while (race_ack == 0) { yield_(); }
+        }
+        int flags = gc_thing;               // a2: FPE (invalid read)
+        int mark = flags[0];                // F: segfault when nulled
+        return mark;
+    }
+    return 0;
+}
+
+int main(int race) {
+    gc_thing = malloc(2);
+    int t = spawn gc_sweep(race);
+    js_MarkAtom(race);
+    done = 1;
+    join(t);
+    return 0;
+}
+"""
+
+
+class MozillaJs1Bug(BugBenchmark):
+    name = "mozilla-js1"
+    paper_name = "Mozilla-JS1"
+    program = "Mozilla-JS"
+    version = "1.5"
+    paper_kloc = 107
+    category = "concurrency"
+    root_cause_kind = RootCauseKind.ATOMICITY_VIOLATION
+    failure_kind = FailureKind.CRASH
+    paper_log_points = 343
+    interleaving_type = "RWR"
+    source = MOZILLA_JS1_SOURCE
+    log_functions = ("ReportOutOfMemory",)
+    root_cause_lines = (line_of(MOZILLA_JS1_SOURCE, "// a2: FPE"),)
+    fpe_state_tags = ("load@I",)
+    fpe_in_failure_thread = True
+    patch_lines = (line_of(MOZILLA_JS1_SOURCE, "// a1: check"),)
+    patch_function = "js_MarkAtom"
+    failing_args = (1,)
+    passing_args = ((0,),)
+    paper_results = {
+        "lcrlog_conf1": "3", "lcrlog_conf2": "8", "lcra": "1",
+    }
+
+    def is_failure(self, status):
+        return status.fault is not None
+
+
+MOZILLA_JS2_SOURCE = """
+// Mozilla JS engine miniature - atomicity violation causing silent
+// data corruption.  The raced property value is consumed by a long
+// interpreter loop before any check notices the wrong output, so the
+// failure-predicting event has long been evicted from the LCR when the
+// failure is finally logged.
+int prop_value = 0;
+int __pad_b[8];
+int race_gate = 0;
+int race_ack = 0;
+int done = 0;
+int bytecode[40];
+
+int ReportWrongResult(int dummy) {
+    print_str("wrong script result");
+    return dummy;
+}
+
+int property_updater(int race) {
+    if (race == 1) {
+        while (race_gate == 0) { yield_(); }
+        prop_value = 99;                    // a3: remote write mid-window
+        race_ack = 1;
+    } else {
+        while (done == 0) { yield_(); }
+        prop_value = 99;
+    }
+    return 0;
+}
+
+int interpret(int race) {
+    int local = prop_value;                 // a1
+    if (race == 1) {
+        race_gate = 1;
+        while (race_ack == 0) { yield_(); }
+    }
+    local = prop_value;                     // a2: FPE (invalid read)
+    // long interpreter loop: touches 20 fresh cache lines, evicting
+    // the FPE from the 16-entry LCR before the failure is detected
+    int pc = 0;
+    int accum = 0;
+    while (pc < 40) {
+        accum = accum + bytecode[pc];
+        pc = pc + 8;
+    }
+    int i = 0;
+    while (i < 400) {
+        scratchpad[i] = accum + i;
+        i = i + 8;
+    }
+    if (local != 0) {                       // wrong value propagated
+        ReportWrongResult(0);               // F
+        return 1;
+    }
+    return 0;
+}
+
+int main(int race) {
+    int t = spawn property_updater(race);
+    interpret(race);
+    done = 1;
+    join(t);
+    return 0;
+}
+
+int scratchpad[400];
+"""
+
+
+class MozillaJs2Bug(BugBenchmark):
+    name = "mozilla-js2"
+    paper_name = "Mozilla-JS2"
+    program = "Mozilla-JS"
+    version = "1.5"
+    paper_kloc = 107
+    category = "concurrency"
+    root_cause_kind = RootCauseKind.ATOMICITY_VIOLATION
+    failure_kind = FailureKind.WRONG_OUTPUT
+    paper_log_points = 343
+    interleaving_type = "RWR"
+    source = MOZILLA_JS2_SOURCE
+    log_functions = ("ReportWrongResult",)
+    failure_output = "wrong script result"
+    root_cause_lines = (line_of(MOZILLA_JS2_SOURCE, "// a2: FPE"),)
+    fpe_state_tags = ("load@I",)
+    fpe_in_failure_thread = True
+    patch_lines = (line_of(MOZILLA_JS2_SOURCE, "// a1"),)
+    patch_function = "interpret"
+    failing_args = (1,)
+    passing_args = ((0,),)
+    paper_results = {
+        "lcrlog_conf1": "-", "lcrlog_conf2": "-", "lcra": "-",
+    }
+
+
+# The real fix serializes InitState against FreeState (Section 3.2's
+# "unsynchronized accesses of the shared variable st->table").
+MozillaJs3Bug.patched_source = MOZILLA_JS3_SOURCE.replace(
+    """int FreeState(int race) {
+    if (race == 1) {
+        while (race_gate == 0) { yield_(); }
+        st_table = 0;                       // a3: remote write
+        race_ack = 1;
+    } else {
+        while (done == 0) { yield_(); }
+        st_table = 0;                       // orderly teardown
+    }
+    return 0;
+}""",
+    """int state_mutex[1];
+
+int FreeState(int race) {
+    if (race == 1) {
+        while (race_gate == 0) { yield_(); }
+        race_ack = 1;
+        lock(&state_mutex[0]);
+        st_table = 0;                       // a3: now serialized
+        unlock(&state_mutex[0]);
+    } else {
+        while (done == 0) { yield_(); }
+        st_table = 0;
+    }
+    return 0;
+}""",
+).replace(
+    """int InitState(int race) {
+    st_table = malloc(4);                   // a1
+    if (race == 1) {
+        race_gate = 1;
+        while (race_ack == 0) { yield_(); }
+    }
+    if (st_table == 0) {                    // a2: FPE (invalid read)
+        ReportOutOfMemory(0);               // F
+        return 0;
+    }
+    st_table[0] = 7;
+    return 1;
+}""",
+    """int InitState(int race) {
+    lock(&state_mutex[0]);
+    st_table = malloc(4);                   // a1
+    if (race == 1) {
+        race_gate = 1;
+        while (race_ack == 0) { yield_(); }
+    }
+    if (st_table == 0) {                    // a2: now serialized
+        unlock(&state_mutex[0]);
+        ReportOutOfMemory(0);               // F
+        return 0;
+    }
+    st_table[0] = 7;
+    unlock(&state_mutex[0]);
+    return 1;
+}""",
+)

@@ -1,0 +1,239 @@
+"""Miniatures of the two MySQL concurrency failures (Table 4).
+
+MySQL1 is the suite's WRW atomicity violation: the failure-predicting
+event (the invalid *write* when the rotating thread reopens the binlog)
+occurs in the *non-failure* thread, so the failure thread's LCR cannot
+capture it — the paper's explanation for the "-" row of Table 7.  PBI,
+which samples every core, still diagnoses it.
+"""
+
+from repro.bugs.base import (
+    BugBenchmark,
+    FailureKind,
+    RootCauseKind,
+    line_of,
+)
+
+MYSQL1_SOURCE = """
+// mysqld miniature - 4.0.18 (bug 791 shape): WRW atomicity violation
+// on the binlog state.  The rotating thread closes (a1) and reopens
+// (a2) the binlog; the dump thread observes the closed state in the
+// window (a3) and crashes on the nulled log handle.  The
+// failure-predicting event is a2's store, which observes the Shared
+// state the dump thread's read left behind - but a2 runs in the
+// *rotating* thread, so the failure thread's LCR never sees it.
+int binlog_open = 1;
+int log_handle = 0;
+int __pad_a[8];
+int race_gate = 0;
+int race_ack = 0;
+int rotation_done = 0;
+int done = 0;
+
+int sql_print_error(int msg) {
+    print_str(msg);
+    return 0;
+}
+
+int rotate_binlog(int race) {
+    binlog_open = 0;                        // a1: close
+    log_handle = 0;
+    if (race == 1) {
+        race_gate = 1;
+        while (race_ack == 0) { yield_(); } // window held open
+    }
+    binlog_open = 1;                        // a2: FPE (store observes S
+    log_handle = malloc(2);                 //     in the rotating thread)
+    rotation_done = 1;
+    return 0;
+}
+
+int dump_thread(int race) {
+    if (race == 1) {
+        while (race_gate == 0) { yield_(); }
+    } else {
+        while (rotation_done == 0) { yield_(); }
+    }
+    if (binlog_open == 0) {                 // a3: reads raced state
+        int handle = log_handle;            // nulled by a1
+        race_ack = 1;
+        while (rotation_done == 0) { yield_(); }
+        int block = handle[0];              // F: segfault in dump thread
+        return block;
+    }
+    return 0;
+}
+
+int main(int race) {
+    log_handle = malloc(2);
+    int t = spawn dump_thread(race);
+    rotate_binlog(race);
+    done = 1;
+    join(t);
+    return 0;
+}
+"""
+
+
+class MySql1Bug(BugBenchmark):
+    name = "mysql1"
+    paper_name = "MySQL1"
+    program = "MySQL"
+    version = "4.0.18"
+    paper_kloc = 658
+    category = "concurrency"
+    root_cause_kind = RootCauseKind.ATOMICITY_VIOLATION
+    failure_kind = FailureKind.CRASH
+    paper_log_points = 1585
+    interleaving_type = "WRW"
+    source = MYSQL1_SOURCE
+    log_functions = ("sql_print_error",)
+    root_cause_lines = (line_of(MYSQL1_SOURCE, "// a2: FPE"),)
+    fpe_state_tags = ("store@S", "store@I")
+    fpe_in_failure_thread = False
+    patch_lines = (line_of(MYSQL1_SOURCE, "// a1: close"),)
+    patch_function = "rotate_binlog"
+    failing_args = (1,)
+    passing_args = ((0,),)
+    paper_results = {
+        "lcrlog_conf1": "-", "lcrlog_conf2": "-", "lcra": "-",
+    }
+
+    def is_failure(self, status):
+        return status.fault is not None
+
+
+MYSQL2_SOURCE = """
+// mysqld miniature - 4.0.12: RWW atomicity violation on a balance-style
+// counter (the Table 3 RWW example).  The failure thread loads the
+// counter (a1), a concurrent deposit lands (a3), and the stale store
+// (a2) loses the update; the consistency check then reports a wrong
+// result.
+int balance = 0;
+int __pad_a[8];
+int race_gate = 0;
+int race_ack = 0;
+int done = 0;
+
+int sql_print_error(int msg) {
+    print_str(msg);
+    return 0;
+}
+
+int deposit_thread(int race) {
+    if (race == 1) {
+        while (race_gate == 0) { yield_(); }
+        balance = balance + 7;              // a3: remote write in window
+        race_ack = 1;
+    } else {
+        while (done == 0) { yield_(); }
+        balance = balance + 7;
+    }
+    return 0;
+}
+
+int apply_deposit(int race) {
+    int tmp = balance + 5;                  // a1: read
+    if (race == 1) {
+        race_gate = 1;
+        while (race_ack == 0) { yield_(); }
+    }
+    balance = tmp;                          // a2: FPE (invalid write)
+    return tmp;
+}
+
+int check_balance(int expected) {
+    if (balance != expected) {
+        sql_print_error("mysqld: wrong balance after deposits");   // F
+        return 1;
+    }
+    return 0;
+}
+
+int main(int race) {
+    int t = spawn deposit_thread(race);
+    apply_deposit(race);
+    done = 1;
+    join(t);
+    check_balance(12);
+    return 0;
+}
+"""
+
+
+class MySql2Bug(BugBenchmark):
+    name = "mysql2"
+    paper_name = "MySQL2"
+    program = "MySQL"
+    version = "4.0.12"
+    paper_kloc = 639
+    category = "concurrency"
+    root_cause_kind = RootCauseKind.ATOMICITY_VIOLATION
+    failure_kind = FailureKind.WRONG_OUTPUT
+    paper_log_points = 1523
+    interleaving_type = "RWW"
+    source = MYSQL2_SOURCE
+    log_functions = ("sql_print_error",)
+    failure_output = "wrong balance"
+    root_cause_lines = (line_of(MYSQL2_SOURCE, "// a2: FPE"),)
+    fpe_state_tags = ("store@I",)
+    fpe_in_failure_thread = True
+    patch_lines = (line_of(MYSQL2_SOURCE, "// a1: read"),)
+    patch_function = "apply_deposit"
+    failing_args = (1,)
+    passing_args = ((0,),)
+    paper_results = {
+        "lcrlog_conf1": "3", "lcrlog_conf2": "9", "lcra": "1",
+    }
+
+
+# The real fix makes the read-modify-write atomic.
+MySql2Bug.patched_source = MYSQL2_SOURCE.replace(
+    """int deposit_thread(int race) {
+    if (race == 1) {
+        while (race_gate == 0) { yield_(); }
+        balance = balance + 7;              // a3: remote write in window
+        race_ack = 1;
+    } else {
+        while (done == 0) { yield_(); }
+        balance = balance + 7;
+    }
+    return 0;
+}""",
+    """int balance_mutex[1];
+
+int deposit_thread(int race) {
+    if (race == 1) {
+        while (race_gate == 0) { yield_(); }
+        race_ack = 1;
+        lock(&balance_mutex[0]);
+        balance = balance + 7;              // a3: now serialized
+        unlock(&balance_mutex[0]);
+    } else {
+        while (done == 0) { yield_(); }
+        balance = balance + 7;
+    }
+    return 0;
+}""",
+).replace(
+    """int apply_deposit(int race) {
+    int tmp = balance + 5;                  // a1: read
+    if (race == 1) {
+        race_gate = 1;
+        while (race_ack == 0) { yield_(); }
+    }
+    balance = tmp;                          // a2: FPE (invalid write)
+    return tmp;
+}""",
+    """int apply_deposit(int race) {
+    lock(&balance_mutex[0]);
+    int tmp = balance + 5;                  // a1: read
+    if (race == 1) {
+        race_gate = 1;
+        while (race_ack == 0) { yield_(); }
+    }
+    balance = tmp;                          // a2: now serialized
+    unlock(&balance_mutex[0]);
+    return tmp;
+}""",
+)

@@ -1,0 +1,122 @@
+"""Miniature of the PBZIP2 0.9.4 order violation (Table 4; Figure 6).
+
+The main thread destroys (NULLs) the queue mutex before the consumer
+thread is done using it; the consumer's next ``pthread_mutex_lock``
+crashes.  The failure-predicting event is the invalid state observed by
+the consumer's read of the mutex pointer (read-too-late, Table 3).
+"""
+
+from repro.bugs.base import (
+    BugBenchmark,
+    FailureKind,
+    RootCauseKind,
+    line_of,
+)
+
+PBZIP3_SOURCE = """
+// pbzip2 miniature - 0.9.4 (Figure 6): read-too-late order violation.
+// Thread 2 should use the mutex before thread 1 destroys it.
+int fifo_mutex = 0;
+int mutex_storage[1];
+int queue_len = 1;
+int __pad_a[8];
+int race_gate = 0;
+int race_ack = 0;
+int done = 0;
+
+int fprintf(int stream, int msg) {
+    print_str(msg);
+    return stream;
+}
+
+int consumer(int race) {
+    int m1 = fifo_mutex;                    // B1: read mutex pointer
+    lock(m1);
+    queue_len = queue_len - 1;
+    unlock(m1);                             // B2
+    if (race == 1) {
+        race_gate = 1;
+        while (race_ack == 0) { yield_(); }
+    }
+    int m3 = fifo_mutex;                    // B3: FPE (invalid read)
+    lock(m3);                               // F: segfault when destroyed
+    queue_len = queue_len + 1;
+    unlock(m3);
+    done = 1;
+    return 0;
+}
+
+int main(int race) {
+    fifo_mutex = &mutex_storage[0];
+    int t = spawn consumer(race);
+    if (race == 1) {
+        while (race_gate == 0) { yield_(); }
+        fifo_mutex = 0;                     // A: destroys too early
+        race_ack = 1;
+    } else {
+        while (done == 0) { yield_(); }
+        fifo_mutex = 0;
+    }
+    join(t);
+    return 0;
+}
+"""
+
+
+class Pbzip3Bug(BugBenchmark):
+    name = "pbzip3"
+    paper_name = "PBZIP3"
+    program = "PBZIP"
+    version = "0.9.4"
+    paper_kloc = 2.1
+    category = "concurrency"
+    root_cause_kind = RootCauseKind.ORDER_VIOLATION
+    failure_kind = FailureKind.CRASH
+    paper_log_points = 163
+    interleaving_type = "read-too-late"
+    source = PBZIP3_SOURCE
+    log_functions = ("fprintf",)
+    root_cause_lines = (line_of(PBZIP3_SOURCE, "// B3: FPE"),)
+    fpe_state_tags = ("load@I",)
+    fpe_in_failure_thread = True
+    patch_lines = (line_of(PBZIP3_SOURCE, "// A: destroys too early"),)
+    patch_function = "main"
+    failing_args = (1,)
+    passing_args = ((0,),)
+    paper_results = {
+        "lcrlog_conf1": "3", "lcrlog_conf2": "7", "lcra": "1",
+    }
+
+    def is_failure(self, status):
+        return status.fault is not None
+
+
+# The real fix destroys the mutex only after the consumers exit
+# (Figure 6: "thread 2 should use mutex before thread 1 destroys it").
+Pbzip3Bug.patched_source = PBZIP3_SOURCE.replace(
+    """int main(int race) {
+    fifo_mutex = &mutex_storage[0];
+    int t = spawn consumer(race);
+    if (race == 1) {
+        while (race_gate == 0) { yield_(); }
+        fifo_mutex = 0;                     // A: destroys too early
+        race_ack = 1;
+    } else {
+        while (done == 0) { yield_(); }
+        fifo_mutex = 0;
+    }
+    join(t);
+    return 0;
+}""",
+    """int main(int race) {
+    fifo_mutex = &mutex_storage[0];
+    int t = spawn consumer(race);
+    if (race == 1) {
+        while (race_gate == 0) { yield_(); }
+        race_ack = 1;
+    }
+    join(t);
+    fifo_mutex = 0;                         // A: patched (after join)
+    return 0;
+}""",
+)

@@ -1,0 +1,208 @@
+"""Miniatures of the two SPLASH-2 order-violation failures (Table 4).
+
+FFT is the paper's Figure 5 case study: a read-too-early order violation
+where the timing thread reads ``Gend`` before the compute thread
+initializes it.  The failure-predicting event is the *exclusive* state
+observed by the second read — during success runs that read observes the
+Shared state instead (the writer's copy is downgraded on the fill).
+"""
+
+from repro.bugs.base import (
+    BugBenchmark,
+    FailureKind,
+    RootCauseKind,
+    line_of,
+)
+
+FFT_SOURCE = """
+// FFT miniature - SPLASH-2 (Figure 5): read-too-early order violation.
+// Thread 2 should initialize Gend before thread 1 prints the timing
+// summary; without enforced ordering, thread 1 occasionally reads the
+// uninitialized value.
+int Ginit = 0;
+int __pad_a[8];
+int Gend = 0;
+int __pad_b[8];
+int ready = 0;
+int done = 0;
+
+int report_error(int msg) {
+    print_str(msg);
+    return 0;
+}
+
+int compute_thread(int race) {
+    if (race == 1) {
+        while (done == 0) { yield_(); }     // A: finishes too late
+        Gend = 77;
+    } else {
+        Gend = 77;
+        ready = 1;
+    }
+    return 0;
+}
+
+int print_timing(int race) {
+    if (race == 0) {
+        while (ready == 0) { yield_(); }
+    }
+    int end_time = Gend;                    // B1: first read
+    int elapsed = Gend - Ginit;             // B2: FPE (exclusive read)
+    if (elapsed <= 0) {
+        report_error("fft: non-positive elapsed time");   // F
+        return 1;
+    }
+    print(end_time);
+    return 0;
+}
+
+int main(int race) {
+    Ginit = 1;
+    int t = spawn compute_thread(race);
+    print_timing(race);
+    done = 1;
+    join(t);
+    return 0;
+}
+"""
+
+
+class FftBug(BugBenchmark):
+    name = "fft"
+    paper_name = "FFT"
+    program = "FFT"
+    version = "2.0"
+    paper_kloc = 1.3
+    category = "concurrency"
+    root_cause_kind = RootCauseKind.ORDER_VIOLATION
+    failure_kind = FailureKind.WRONG_OUTPUT
+    paper_log_points = 59
+    interleaving_type = "read-too-early"
+    source = FFT_SOURCE
+    log_functions = ("report_error",)
+    failure_output = "non-positive elapsed"
+    root_cause_lines = (
+        line_of(FFT_SOURCE, "// B2: FPE"),
+        line_of(FFT_SOURCE, "// B1: first read"),
+    )
+    fpe_state_tags = ("load@E", "load@I")
+    fpe_in_failure_thread = True
+    patch_lines = (line_of(FFT_SOURCE, "// A: finishes too late"),)
+    patch_function = "compute_thread"
+    failing_args = (1,)
+    passing_args = ((0,),)
+    paper_results = {
+        "lcrlog_conf1": "4", "lcrlog_conf2": "6", "lcra": "1",
+    }
+
+
+LU_SOURCE = """
+// LU miniature - SPLASH-2: read-too-early order violation on the
+// pivot row.  The factorization thread reads the pivot before the
+// owner thread publishes it, producing a wrong decomposition that the
+// residual check reports.
+int pivot = 0;
+int __pad_a[8];
+int published = 0;
+int done = 0;
+int __pad_b[8];
+int matrix[4];
+
+int report_error(int msg) {
+    print_str(msg);
+    return 0;
+}
+
+int pivot_owner(int race) {
+    if (race == 1) {
+        while (done == 0) { yield_(); }     // A: publishes too late
+        pivot = 4;
+    } else {
+        pivot = 4;
+        published = 1;
+    }
+    return 0;
+}
+
+int factorize(int race) {
+    if (race == 0) {
+        while (published == 0) { yield_(); }
+    }
+    int row = pivot;                        // B1: first read
+    int scale = pivot + 1;                  // B2: FPE (exclusive read)
+    matrix[0] = 8 - scale * 2;
+    int residual = matrix[0] - 8 + scale * 2 + row - row;
+    if (scale < 2) {
+        report_error("lu: residual check failed");        // F
+        return 1;
+    }
+    return residual;
+}
+
+int main(int race) {
+    matrix[0] = 8;
+    int t = spawn pivot_owner(race);
+    factorize(race);
+    done = 1;
+    join(t);
+    return 0;
+}
+"""
+
+
+class LuBug(BugBenchmark):
+    name = "lu"
+    paper_name = "LU"
+    program = "LU"
+    version = "2.0"
+    paper_kloc = 1.2
+    category = "concurrency"
+    root_cause_kind = RootCauseKind.ORDER_VIOLATION
+    failure_kind = FailureKind.WRONG_OUTPUT
+    paper_log_points = 45
+    interleaving_type = "read-too-early"
+    source = LU_SOURCE
+    log_functions = ("report_error",)
+    failure_output = "residual check failed"
+    root_cause_lines = (
+        line_of(LU_SOURCE, "// B2: FPE"),
+        line_of(LU_SOURCE, "// B1: first read"),
+    )
+    fpe_state_tags = ("load@E", "load@I")
+    fpe_in_failure_thread = True
+    patch_lines = (line_of(LU_SOURCE, "// A: publishes too late"),)
+    patch_function = "pivot_owner"
+    failing_args = (1,)
+    passing_args = ((0,),)
+    paper_results = {
+        "lcrlog_conf1": "4", "lcrlog_conf2": "6", "lcra": "1",
+    }
+
+
+# The real fix makes thread 1 wait for the initialization barrier
+# regardless of scheduling (Figure 5's intended order).
+FftBug.patched_source = FFT_SOURCE.replace(
+    """int compute_thread(int race) {
+    if (race == 1) {
+        while (done == 0) { yield_(); }     // A: finishes too late
+        Gend = 77;
+    } else {
+        Gend = 77;
+        ready = 1;
+    }
+    return 0;
+}""",
+    """int compute_thread(int race) {
+    Gend = 77;                              // A: patched (always first)
+    ready = 1;
+    return 0;
+}""",
+).replace(
+    """int print_timing(int race) {
+    if (race == 0) {
+        while (ready == 0) { yield_(); }
+    }""",
+    """int print_timing(int race) {
+    while (ready == 0) { yield_(); }
+""",
+)

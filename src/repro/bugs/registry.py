@@ -1,0 +1,33 @@
+"""Registry of the 31 bug benchmarks (Table 4)."""
+
+from repro.bugs.sequential import SEQUENTIAL_BUGS
+from repro.bugs.concurrency import CONCURRENCY_BUGS
+
+ALL_BUGS = tuple(SEQUENTIAL_BUGS) + tuple(CONCURRENCY_BUGS)
+
+_BY_NAME = {cls.name: cls for cls in ALL_BUGS}
+
+
+def sequential_bugs():
+    """Instantiate the 20 sequential-bug workloads."""
+    return [cls() for cls in SEQUENTIAL_BUGS]
+
+
+def concurrency_bugs():
+    """Instantiate the 11 concurrency-bug workloads."""
+    return [cls() for cls in CONCURRENCY_BUGS]
+
+
+def all_bugs():
+    """Instantiate all 31 bug workloads."""
+    return sequential_bugs() + concurrency_bugs()
+
+
+def get_bug(name):
+    """Instantiate the bug workload named *name* (KeyError if unknown)."""
+    return _BY_NAME[name]()
+
+
+def bug_names():
+    """Return all registered bug names."""
+    return tuple(_BY_NAME)

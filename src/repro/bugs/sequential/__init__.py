@@ -1,0 +1,46 @@
+"""The 20 sequential-bug failures of Table 4."""
+
+from repro.bugs.sequential.coreutils import (
+    CpBug,
+    LnBug,
+    MvBug,
+    PasteBug,
+    RmBug,
+    SortBug,
+    TacBug,
+)
+from repro.bugs.sequential.tar import Tar1Bug, Tar2Bug
+from repro.bugs.sequential.apache import Apache1Bug, Apache2Bug, Apache3Bug
+from repro.bugs.sequential.lighttpd import LighttpdBug
+from repro.bugs.sequential.squid import Squid1Bug, Squid2Bug
+from repro.bugs.sequential.cppcheck import (
+    Cppcheck1Bug,
+    Cppcheck2Bug,
+    Cppcheck3Bug,
+)
+from repro.bugs.sequential.pbzip import Pbzip1Bug, Pbzip2Bug
+
+SEQUENTIAL_BUGS = (
+    Apache1Bug,
+    Apache2Bug,
+    Apache3Bug,
+    CpBug,
+    Cppcheck1Bug,
+    Cppcheck2Bug,
+    Cppcheck3Bug,
+    LighttpdBug,
+    LnBug,
+    MvBug,
+    PasteBug,
+    Pbzip1Bug,
+    Pbzip2Bug,
+    RmBug,
+    SortBug,
+    Squid1Bug,
+    Squid2Bug,
+    TacBug,
+    Tar1Bug,
+    Tar2Bug,
+)
+
+__all__ = ["SEQUENTIAL_BUGS"] + [cls.__name__ for cls in SEQUENTIAL_BUGS]

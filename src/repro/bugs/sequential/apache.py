@@ -1,0 +1,245 @@
+"""Miniatures of the three sequential Apache httpd failures (Table 4).
+
+Apache logs through ``ap_log_error``, which is the configured
+failure-logging function for all three miniatures (Table 5).
+"""
+
+from repro.bugs.base import (
+    BugBenchmark,
+    FailureKind,
+    RootCauseKind,
+    line_of,
+)
+
+APACHE1_SOURCE = """
+// httpd miniature - Apache 2.0.43 (configuration error).  A config
+// parser branch accepts a ThreadsPerChild value of zero, which leaves
+// the worker MPM with no workers; server startup later reports the
+// error through ap_log_error in a different function.
+int threads_per_child = 0;
+int server_limit = 16;
+int workers_ready = 0;
+
+int ap_log_error(int msg) {
+    print_str(msg);
+    return 0;
+}
+
+int set_threads_per_child(int value) {
+    threads_per_child = 25;
+    if (value >= 0) {                   // A: root cause (patch: value > 0)
+        threads_per_child = value;
+    }
+}
+
+int load_config(int value, int limit) {
+    set_threads_per_child(value);
+    server_limit = limit;
+}
+
+int server_init(int dummy) {
+    workers_ready = threads_per_child;
+    int w = 0;
+    while (w < workers_ready) {         // start workers (none when 0)
+        server_limit = server_limit - 0;
+        w = w + 1;
+    }
+    if (workers_ready == 0) {
+        ap_log_error("httpd: no worker processes available");   // F
+        return 1;
+    }
+    return 0;
+}
+
+int main(int value, int limit) {
+    load_config(value, limit);
+    server_init(0);
+    return 0;
+}
+"""
+
+
+class Apache1Bug(BugBenchmark):
+    name = "apache1"
+    paper_name = "Apache1"
+    program = "Apache"
+    version = "2.0.43"
+    paper_kloc = 273
+    root_cause_kind = RootCauseKind.CONFIG
+    failure_kind = FailureKind.ERROR_MESSAGE
+    paper_log_points = 2534
+    source = APACHE1_SOURCE
+    log_functions = ("ap_log_error",)
+    failure_output = "no worker processes"
+    root_cause_lines = (line_of(APACHE1_SOURCE, "// A: root cause"),)
+    patch_lines = (line_of(APACHE1_SOURCE, "// A: root cause"),)
+    patch_function = "set_threads_per_child"
+    failing_args = (0, 8)
+    passing_args = ((8, 8), (-1, 0), (12, 4))
+    paper_results = {
+        "lbrlog_tog": "3", "lbrlog_notog": "3", "lbra": "1", "cbi": "2",
+        "dist_failure": "inf", "dist_lbr": "3",
+    }
+
+
+APACHE2_SOURCE = """
+// httpd miniature - Apache 2.2.3 (semantic).  The byte-range merge
+// arithmetic is wrong (a computation, not a branch); the related range
+// validity branch is what the LBR captures.  mod_dav then logs a
+// request failure.
+int range_start = 0;
+int range_end = 0;
+int content_length = 10;
+
+int ap_log_error(int msg) {
+    print_str(msg);
+    return 0;
+}
+
+int merge_ranges(int start, int count) {
+    range_start = start;
+    range_end = start + count + 1;      // A: root cause (off by one)
+    return range_end;
+}
+
+int validate_range(int clamp) {
+    int ok = 1;
+    if (range_end > content_length) {   // B: related branch
+        ok = 0;
+        if (clamp == 1) {
+            range_end = content_length; // legitimate over-ask: clamped
+            ok = 1;
+        }
+    }
+    return ok;
+}
+
+int header_words[6];
+
+int read_headers(int n) {
+    int h = 0;
+    while (h < n) {
+        header_words[h] = h + 13;
+        h = h + 1;
+    }
+    return h;
+}
+
+int handle_request(int start, int count, int clamp) {
+    read_headers(6);
+    merge_ranges(start, count);
+    int ok = validate_range(clamp);
+    if (ok == 0) {
+        ap_log_error("httpd: invalid byte range in request");   // F
+        return 1;
+    }
+    return 0;
+}
+
+int main(int start, int count, int clamp) {
+    handle_request(start, count, clamp);
+    return 0;
+}
+"""
+
+
+class Apache2Bug(BugBenchmark):
+    name = "apache2"
+    paper_name = "Apache2"
+    program = "Apache"
+    version = "2.2.3"
+    paper_kloc = 311
+    root_cause_kind = RootCauseKind.SEMANTIC
+    failure_kind = FailureKind.ERROR_MESSAGE
+    paper_log_points = 2511
+    source = APACHE2_SOURCE
+    log_functions = ("ap_log_error",)
+    failure_output = "invalid byte range"
+    root_cause_lines = (line_of(APACHE2_SOURCE, "// A: root cause"),)
+    related_lines = (line_of(APACHE2_SOURCE, "// B: related branch"),)
+    patch_lines = (line_of(APACHE2_SOURCE, "// A: root cause"),)
+    patch_function = "merge_ranges"
+    failing_args = (3, 7, 0)
+    passing_args = ((5, 9, 1), (6, 8, 1))
+    paper_results = {
+        "lbrlog_tog": "2*", "lbrlog_notog": "2*", "lbra": "2*", "cbi": "-",
+        "dist_failure": "inf", "dist_lbr": "475",
+    }
+
+
+APACHE3_SOURCE = """
+// httpd miniature - Apache 2.2.9 (semantic).  mod_proxy marks a balancer
+// worker in error state on a transient failure and the very next check
+// rejects the request; patch and root cause sit one line from the
+// failure site.
+int worker_status = 0;
+int retries = 0;
+
+int ap_log_error(int msg) {
+    print_str(msg);
+    return 0;
+}
+
+int request_fields[6];
+
+int parse_request(int n) {
+    int f = 0;
+    while (f < n) {
+        request_fields[f] = f * 3;
+        f = f + 1;
+    }
+    return f;
+}
+
+int proxy_handler(int transient) {
+    parse_request(6);
+    if (transient == 1) {
+        worker_status = 2;
+        retries = retries + 1;
+    }
+    if (worker_status == 2) {           // A: root cause (patch: && !retries)
+        if (retries > 0) {
+            worker_status = 2;
+        }
+        ap_log_error("httpd: proxy worker in error state");     // F
+        return 1;
+    }
+    return 0;
+}
+
+int main(int transient) {
+    proxy_handler(transient);
+    return 0;
+}
+"""
+
+
+class Apache3Bug(BugBenchmark):
+    name = "apache3"
+    paper_name = "Apache3"
+    program = "Apache"
+    version = "2.2.9"
+    paper_kloc = 333
+    root_cause_kind = RootCauseKind.SEMANTIC
+    failure_kind = FailureKind.ERROR_MESSAGE
+    paper_log_points = 2515
+    source = APACHE3_SOURCE
+    log_functions = ("ap_log_error",)
+    failure_output = "proxy worker in error state"
+    root_cause_lines = (line_of(APACHE3_SOURCE, "// A: root cause"),)
+    patch_lines = (line_of(APACHE3_SOURCE, "// A: root cause"),)
+    patch_function = "proxy_handler"
+    failing_args = (1,)
+    passing_args = ((0,), (2,))
+    paper_results = {
+        "lbrlog_tog": "2", "lbrlog_notog": "2", "lbra": "1", "cbi": "1",
+        "dist_failure": "1", "dist_lbr": "1",
+    }
+
+
+# The real patch, applied to the miniature (Section 7.1.2 / Figure 9).
+Apache3Bug.patched_source = APACHE3_SOURCE
+Apache3Bug.patched_source = Apache3Bug.patched_source.replace(
+    'if (worker_status == 2) {           // A: root cause (patch: && !retries)',
+    'if (worker_status == 2 && retries == 0) { // A: patched',
+)

@@ -1,0 +1,638 @@
+"""Miniatures of the seven GNU Coreutils failures (Table 4).
+
+Each miniature reproduces the diagnostic structure of the real bug: the
+root-cause branch, the propagation distance to the failure site, the
+failure symptom, and (for the rows where Table 6 reports "-" without
+toggling) a post-root-cause library call whose internal branches flood
+the 16-entry LBR when toggling wrappers are disabled.
+"""
+
+from repro.bugs.base import (
+    BugBenchmark,
+    FailureKind,
+    RootCauseKind,
+    line_of,
+)
+from repro.runtime.workload import RunPlan
+
+
+# ----------------------------------------------------------------------
+# sort — Coreutils 7.2 (the paper's Figure 3 case study)
+# ----------------------------------------------------------------------
+
+SORT_SOURCE = """
+// sort.c miniature - Coreutils 7.2.  Merging already-sorted files with
+// the output being one of the inputs overflows files[] in
+// avoid_trashing_input, corrupting the hash table pointer; the crash
+// happens much later inside hash_lookup.
+int files_name[6];
+int files_pid[6];
+int hash_table = 0;
+int hash_storage[4];
+int nfiles = 0;
+
+int mergefiles(int i) {
+    files_name[0] = files_name[0] + i;
+    return 1;
+}
+
+int avoid_trashing_input(int out_is_in) {
+    int i = 0;
+    int same = 0;
+    if (out_is_in == 1) {
+        same = 1;
+    }
+    int num_merged = 0;
+    while (same && i + num_merged < nfiles) {      // A: root cause
+        num_merged = num_merged + mergefiles(i + num_merged);
+        memmove(&files_pid[i + num_merged], &files_pid[i], 4);      // B
+        i = i + 1;
+    }
+    return 0;
+}
+
+int hash_lookup(int table) {
+    int bucket = table[0];                          // F: segfault
+    return bucket;
+}
+
+int open_temp(int name, int pid) {
+    return hash_lookup(hash_table) + name + pid;
+}
+
+int open_input_files(int n) {
+    int i = 0;
+    while (i < n) {
+        int bound = min_i(i, n);                    // glibc-style helper
+        if (files_pid[bound] != 0) {                // C: corrupted check
+            open_temp(files_name[bound], files_pid[bound]);
+        }
+        i = i + 1;
+    }
+    return 0;
+}
+
+int merge(int out_is_in) {
+    avoid_trashing_input(out_is_in);
+    open_input_files(nfiles);
+    return 0;
+}
+
+int main(int out_is_in) {
+    nfiles = 4;
+    files_name[0] = 11;
+    files_name[1] = 12;
+    files_name[2] = 13;
+    files_name[3] = 14;
+    files_pid[0] = 5;
+    files_pid[1] = 7;
+    files_pid[2] = 8;
+    files_pid[3] = 9;
+    hash_table = &hash_storage;
+    merge(out_is_in);
+    if (nfiles < 1) {
+        error(2, "sort: no input files");
+    }
+    if (out_is_in > 9) {
+        error(2, "sort: invalid merge request");
+    }
+    return 0;
+}
+"""
+
+
+class SortBug(BugBenchmark):
+    """Figure 3: buffer overflow in ``avoid_trashing_input``."""
+
+    name = "sort"
+    paper_name = "sort"
+    program = "sort"
+    version = "7.2"
+    paper_kloc = 3.6
+    root_cause_kind = RootCauseKind.MEMORY
+    failure_kind = FailureKind.CRASH
+    paper_log_points = 36
+    source = SORT_SOURCE
+    log_functions = ("error",)
+    root_cause_lines = (line_of(SORT_SOURCE, "// A: root cause"),)
+    patch_lines = (line_of(SORT_SOURCE, "// A: root cause"),)
+    patch_function = "avoid_trashing_input"
+    failing_args = (1,)
+    passing_args = ((0,), (2,), (3,))
+    paper_results = {
+        "lbrlog_tog": "3", "lbrlog_notog": "5", "lbra": "1", "cbi": "1",
+        "dist_failure": "inf", "dist_lbr": "4",
+    }
+
+    def is_failure(self, status):
+        return status.fault is not None
+
+
+# ----------------------------------------------------------------------
+# cp — Coreutils 4.5.8
+# ----------------------------------------------------------------------
+
+CP_SOURCE = """
+// cp.c miniature - Coreutils 4.5.8.  A wrong equality test in the
+// permission-preserving logic skips chmod for one mode class; cp later
+// reports "preserving permissions" failure.  The data copy between the
+// root cause and the check floods the LBR when toggling is off.
+int applied = 0;
+int scratch[8];
+
+int set_mode(int mode) {
+    if (mode == 2) {                               // A: root cause (== vs >=)
+        applied = mode;
+    }
+}
+
+int copy(int src, int mode, int nwords) {
+    set_mode(mode);
+    int buf = malloc(nwords);
+    memmove(buf, &scratch[0], nwords);             // library pollution
+    if (applied != mode) {
+        error(1, "cp: preserving permissions failed");   // F
+        return 1;
+    }
+    return 0;
+}
+
+int main(int mode) {
+    scratch[0] = 5;
+    scratch[1] = 6;
+    applied = 0;
+    copy(1, mode, 8);
+    return 0;
+}
+"""
+
+
+class CpBug(BugBenchmark):
+    name = "cp"
+    paper_name = "cp"
+    program = "cp"
+    version = "4.5.8"
+    paper_kloc = 1.2
+    root_cause_kind = RootCauseKind.SEMANTIC
+    failure_kind = FailureKind.ERROR_MESSAGE
+    paper_log_points = 108
+    source = CP_SOURCE
+    log_functions = ("error",)
+    failure_output = "preserving permissions failed"
+    root_cause_lines = (line_of(CP_SOURCE, "// A: root cause"),)
+    patch_lines = (line_of(CP_SOURCE, "// A: root cause"),)
+    patch_function = "set_mode"
+    failing_args = (3,)
+    passing_args = ((2,),)
+    paper_results = {
+        "lbrlog_tog": "2", "lbrlog_notog": "-", "lbra": "1", "cbi": "1",
+        "dist_failure": "17", "dist_lbr": "15",
+    }
+
+
+# ----------------------------------------------------------------------
+# ln — Coreutils 4.5.1 (the paper's Figure 9b patch example)
+# ----------------------------------------------------------------------
+
+LN_SOURCE = """
+// ln.c miniature - Coreutils 4.5.1.  main treats a single operand as a
+// simple-link request even when --target-directory was given (Figure 9b:
+// the patch adds the missing !target_directory_specified).  The root
+// cause is more than 16 branches before the failure; only the related
+// branch B survives in the LBR.
+int target_directory_specified = 0;
+int n_files = 0;
+int relative = 0;
+int conflict = 0;
+int dest_is_dir = 0;
+int names[4];
+
+int check_target(int t) {
+    int depth = 0;
+    if (names[0] > 0) {
+        depth = depth + 1;
+    }
+    if (t == 9) {
+        depth = depth + 1;
+    }
+    return depth;
+}
+
+int do_link(int i) {
+    int steps = 0;
+    if (names[0] != i) {
+        steps = steps + 1;
+    }
+    format_int(steps);                  // library call (pollutes w/o tog)
+    format_int(steps + 70);
+    return steps;
+}
+
+int main(int tds, int nf, int target) {
+    target_directory_specified = tds;
+    n_files = nf;
+    names[0] = 3;
+    names[1] = 5;
+    names[2] = 7;
+    if (n_files == 1) {                 // A: root cause (patch adds !tds &&)
+        relative = 1;
+    }
+    int opt = 0;
+    while (opt < 2) {                   // remaining option processing
+        if (names[opt] > target) {
+            names[opt] = names[opt] - 0;
+        }
+        opt = opt + 1;
+    }
+    if (target_directory_specified) {   // B: related branch
+        check_target(target);
+        conflict = relative;
+    }
+    int i = 0;
+    while (i < n_files) {
+        do_link(i);
+        i = i + 1;
+    }
+    if (conflict) {
+        error(1, "ln: target is not a directory");    // F
+        return 1;
+    }
+    return 0;
+}
+"""
+
+
+class LnBug(BugBenchmark):
+    name = "ln"
+    paper_name = "ln"
+    program = "ln"
+    version = "4.5.1"
+    paper_kloc = 0.7
+    root_cause_kind = RootCauseKind.SEMANTIC
+    failure_kind = FailureKind.ERROR_MESSAGE
+    paper_log_points = 29
+    source = LN_SOURCE
+    log_functions = ("error",)
+    failure_output = "target is not a directory"
+    root_cause_lines = (line_of(LN_SOURCE, "// A: root cause"),)
+    related_lines = (line_of(LN_SOURCE, "// B: related branch"),)
+    patch_lines = (line_of(LN_SOURCE, "// A: root cause"),)
+    patch_function = "main"
+    failing_args = (1, 1, 9)
+    passing_args = ((0, 2, 9), (0, 3, 4))
+    paper_results = {
+        "lbrlog_tog": "13*", "lbrlog_notog": "-", "lbra": "1*", "cbi": "1",
+        "dist_failure": "254", "dist_lbr": "33",
+    }
+
+
+# ----------------------------------------------------------------------
+# mv — Coreutils 6.8
+# ----------------------------------------------------------------------
+
+MV_SOURCE = """
+// mv.c miniature - Coreutils 6.8.  A cross-device move falls back to
+// copy+unlink; a wrong check of the backup mode early in main poisons
+// the fallback, which fails a dozen branches later.
+int backup_mode = 0;
+int cross_device = 0;
+int blocks[6];
+
+int copy_fallback(int i) {
+    int copied = 0;
+    int j = 0;
+    while (j < 2) {                     // per-block copy loop
+        if (blocks[j] >= 0) {
+            copied = copied + 1;
+        }
+        j = j + 1;
+    }
+    if (backup_mode == 2) {             // fallback poisoned by A
+        copied = 0;
+    }
+    return copied;
+}
+
+int movefile(int i) {
+    int done = 0;
+    if (cross_device) {
+        done = copy_fallback(i);
+    } else {
+        done = 1;
+    }
+    if (done == 0) {
+        error(1, "mv: cannot move file");          // F
+        return 1;
+    }
+    return 0;
+}
+
+int main(int backup, int xdev) {
+    blocks[0] = 1;
+    blocks[1] = 2;
+    blocks[2] = 3;
+    if (backup == 1) {                  // A: root cause (drops to mode 2)
+        backup_mode = 2;
+    }
+    cross_device = xdev;
+    movefile(0);
+    return 0;
+}
+"""
+
+
+class MvBug(BugBenchmark):
+    name = "mv"
+    paper_name = "mv"
+    program = "mv"
+    version = "6.8"
+    paper_kloc = 4.1
+    root_cause_kind = RootCauseKind.SEMANTIC
+    failure_kind = FailureKind.ERROR_MESSAGE
+    paper_log_points = 46
+    source = MV_SOURCE
+    log_functions = ("error",)
+    failure_output = "cannot move"
+    root_cause_lines = (line_of(MV_SOURCE, "// A: root cause"),)
+    patch_lines = (line_of(MV_SOURCE, "// A: root cause"),)
+    patch_function = "main"
+    failing_args = (1, 1)
+    passing_args = ((0, 1), (0, 0))
+    paper_results = {
+        "lbrlog_tog": "12", "lbrlog_notog": "14", "lbra": "1", "cbi": "2",
+        "dist_failure": "309", "dist_lbr": "0",
+    }
+
+
+# ----------------------------------------------------------------------
+# paste — Coreutils 6.10
+# ----------------------------------------------------------------------
+
+PASTE_SOURCE = """
+// paste.c miniature - Coreutils 6.10.  The delimiter-collapsing loop
+// fails to advance past a backslash delimiter and spins forever; the
+// watchdog eventually fires.  Inside the spinning loop, paste keeps
+// calling library formatting code, which floods the LBR unless toggling
+// wrappers are in place.
+int delims[4];
+int scratch[6];
+
+int collapse_escapes(int n) {
+    int i = 0;
+    int out = 0;
+    while (i < n) {                     // spin loop
+        if (delims[i] == 92) {          // A: root cause (missing i advance)
+            out = out + 1;
+            if (out > 1000) {
+                out = 1;
+            }
+            int k = 0;
+            while (k < 2) {             // retry bookkeeping
+                scratch[1] = k + out;
+                k = k + 1;
+            }
+            if (scratch[0] == out) {
+                scratch[1] = out;
+            }
+            memset(&scratch[0], out, 4);        // library pollution
+        } else {
+            i = i + 1;
+        }
+    }
+    return out;
+}
+
+int main(int use_backslash) {
+    delims[0] = 44;
+    delims[1] = 59;
+    delims[2] = 58;
+    if (use_backslash == 1) {
+        delims[1] = 92;
+    }
+    collapse_escapes(3);
+    if (use_backslash > 9) {
+        error(2, "paste: bad delimiter list");
+    }
+    return 0;
+}
+"""
+
+
+class PasteBug(BugBenchmark):
+    name = "paste"
+    paper_name = "paste"
+    program = "paste"
+    version = "6.10"
+    paper_kloc = 0.5
+    root_cause_kind = RootCauseKind.MEMORY
+    failure_kind = FailureKind.HANG
+    paper_log_points = 23
+    source = PASTE_SOURCE
+    log_functions = ("error",)
+    root_cause_lines = (line_of(PASTE_SOURCE, "// A: root cause"),)
+    patch_lines = (line_of(PASTE_SOURCE, "// A: root cause"),)
+    patch_function = "collapse_escapes"
+    failing_args = (1,)
+    passing_args = ((0,), (2,))
+    # Chosen so the watchdog interrupts inside the library-call window:
+    # with toggling the root cause sits a few entries deep; without
+    # toggling the memset branches have flooded all 16 entries.
+    run_max_steps = 30_300
+    paper_results = {
+        "lbrlog_tog": "6", "lbrlog_notog": "-", "lbra": "1", "cbi": "1",
+        "dist_failure": "35", "dist_lbr": "3",
+    }
+
+    def is_failure(self, status):
+        return status.fault is not None
+
+
+# ----------------------------------------------------------------------
+# rm — Coreutils 4.5.4
+# ----------------------------------------------------------------------
+
+RM_SOURCE = """
+// rm.c miniature - Coreutils 4.5.4.  Recursive removal mis-strips the
+// trailing slash of the starting directory, so the final rmdir of the
+// root entry fails with "cannot remove directory".
+int entries[6];
+int stripped = 0;
+
+int remove_entry(int i) {
+    if (entries[i] > 0) {
+        entries[i] = 0;
+        return 1;
+    }
+    return 0;
+}
+
+int remove_tree(int n) {
+    int i = 0;
+    int removed = 0;
+    while (i < n) {                     // depth-first removal
+        removed = removed + remove_entry(i);
+        i = i + 1;
+    }
+    if (stripped == 0) {                // A: root cause (should strip '/')
+        removed = removed - 1;
+    }
+    if (removed >= 0) {
+        entries[0] = 0;
+    }
+    if (entries[0] == 0) {
+        entries[1] = entries[1] - 0;
+    }
+    if (removed < n) {
+        error(1, "rm: cannot remove directory");       // F
+        return 1;
+    }
+    return 0;
+}
+
+int main(int has_slash) {
+    entries[0] = 2;
+    entries[1] = 3;
+    entries[2] = 4;
+    if (has_slash == 1) {
+        stripped = 0;
+    } else {
+        stripped = 1;
+    }
+    remove_tree(3);
+    return 0;
+}
+"""
+
+
+class RmBug(BugBenchmark):
+    name = "rm"
+    paper_name = "rm"
+    program = "rm"
+    version = "4.5.4"
+    paper_kloc = 1.3
+    root_cause_kind = RootCauseKind.SEMANTIC
+    failure_kind = FailureKind.ERROR_MESSAGE
+    paper_log_points = 31
+    source = RM_SOURCE
+    log_functions = ("error",)
+    failure_output = "cannot remove directory"
+    root_cause_lines = (line_of(RM_SOURCE, "// A: root cause"),)
+    patch_lines = (line_of(RM_SOURCE, "// A: root cause"),)
+    patch_function = "remove_tree"
+    failing_args = (1,)
+    passing_args = ((0,), (2,))
+    paper_results = {
+        "lbrlog_tog": "5", "lbrlog_notog": "5", "lbra": "1", "cbi": "2",
+        "dist_failure": "31", "dist_lbr": "0",
+    }
+
+
+# ----------------------------------------------------------------------
+# tac — Coreutils 6.11
+# ----------------------------------------------------------------------
+
+TAC_SOURCE = """
+// tac.c miniature - Coreutils 6.11.  The separator length computed in
+// parse_separator is off by one; tac_seq later walks one record past
+// the end of its buffer and crashes.  The root cause is a computation
+// (not a branch), so the LBR captures only the related bounds check.
+int sep_len = 0;
+int nrecords = 0;
+int __pad[2];
+
+int parse_separator(int raw_len) {
+    sep_len = raw_len + 1;              // A: root cause (off by one)
+    nrecords = 8 - sep_len;
+    return sep_len;
+}
+
+int tac_seq(int start) {
+    int i = start;
+    int sum = 0;
+    while (i >= 0) {
+        if (i < 8) {                    // B: related bounds check
+            sum = sum + buffer[i];
+        }
+        i = i - 1;
+    }
+    return sum;
+}
+
+int main(int raw_len) {
+    int i = 0;
+    while (i < 8) {
+        buffer[i] = i;
+        i = i + 1;
+    }
+    parse_separator(raw_len);
+    // past_end walks sep_len words past the logical end
+    int past_end = 6 + sep_len;
+    tac_seq(3);
+    if (sep_len > nrecords) {           // B2: related separator check
+        past_end = past_end + 0;
+    }
+    int tail = buffer[past_end];        // F: segfault when past_end > 9
+    print(tail);
+    if (raw_len < 0) {
+        error(2, "tac: separator cannot be empty");
+    }
+    return 0;
+}
+
+int buffer[8];
+"""
+
+
+class TacBug(BugBenchmark):
+    name = "tac"
+    paper_name = "tac"
+    program = "tac"
+    version = "6.11"
+    paper_kloc = 0.7
+    root_cause_kind = RootCauseKind.MEMORY
+    failure_kind = FailureKind.CRASH
+    paper_log_points = 21
+    source = TAC_SOURCE
+    log_functions = ("error",)
+    root_cause_lines = (line_of(TAC_SOURCE, "// A: root cause"),)
+    related_lines = (line_of(TAC_SOURCE, "// B2: related separator check"),)
+    patch_lines = (line_of(TAC_SOURCE, "// A: root cause"),)
+    patch_function = "parse_separator"
+    failing_args = (5,)
+    passing_args = ((0,), (1,))
+    paper_results = {
+        "lbrlog_tog": "3*", "lbrlog_notog": "3*", "lbra": "1*",
+        "cbi": "3*", "dist_failure": "inf", "dist_lbr": "inf",
+    }
+
+    def is_failure(self, status):
+        return status.fault is not None
+
+
+# The real patch, applied to the miniature (Section 7.1.2 / Figure 9).
+SortBug.patched_source = SORT_SOURCE
+SortBug.patched_source = SortBug.patched_source.replace(
+    'while (same && i + num_merged < nfiles) {      // A: root cause',
+    'while (same && i + num_merged < nfiles) {      // A: patched loop',
+)
+SortBug.patched_source = SortBug.patched_source.replace(
+    'memmove(&files_pid[i + num_merged], &files_pid[i], 4);      // B',
+    'memmove(&files_pid[i + num_merged], &files_pid[i],\n'
+    '                nfiles - i - num_merged);                   // B: patched',
+)
+
+
+# The real patch, applied to the miniature (Section 7.1.2 / Figure 9).
+LnBug.patched_source = LN_SOURCE
+LnBug.patched_source = LnBug.patched_source.replace(
+    'if (n_files == 1) {                 // A: root cause (patch adds !tds &&)',
+    'if (target_directory_specified == 0 && n_files == 1) { // A: patched',
+)
+
+
+# The real patch, applied to the miniature (Section 7.1.2 / Figure 9).
+CpBug.patched_source = CP_SOURCE
+CpBug.patched_source = CpBug.patched_source.replace(
+    'if (mode == 2) {                               // A: root cause (== vs >=)',
+    'if (mode >= 2) {                               // A: patched',
+)

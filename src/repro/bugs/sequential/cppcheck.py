@@ -1,0 +1,256 @@
+"""Miniatures of the three Cppcheck failures (Table 4).
+
+Cppcheck is a C++ application: CBI's instrumentation framework cannot
+run on it (the "N/A" column of Table 6), which the workloads express
+through ``language = "cpp"``.  Cppcheck reports through ``reportError``
+(Table 5).
+"""
+
+from repro.bugs.base import (
+    BugBenchmark,
+    FailureKind,
+    RootCauseKind,
+    line_of,
+)
+
+CPPCHECK1_SOURCE = """
+// cppcheck miniature - 1.58 (memory).  The token-simplification pass
+// computes a wrong link offset (a computation, not a branch); the
+// matching-brace walk dereferences the bad link and crashes.  The LBR
+// captures the related walk-guard branch.
+int tokens[8];
+int link_offset = 0;
+
+int simplify_tokens(int depth) {
+    link_offset = depth + 3;            // A: root cause (off by templates)
+    return link_offset;
+}
+
+int walk_to_link(int start) {
+    int i = start;
+    int guard = 0;
+    if (link_offset > 2) {              // B: related branch
+        guard = 1;
+    }
+    int hops = 0;
+    while (hops < 2) {                  // walk toward the link target
+        i = i + 1;
+        hops = hops + 1;
+    }
+    int target = tokens[link_offset];
+    int next = target[0];               // F: segfault via bad token link
+    return next + guard + i;
+}
+
+int reportError(int msg) {
+    print_str(msg);
+    return 0;
+}
+
+int main(int depth) {
+    int i = 0;
+    while (i < 8) {
+        tokens[i] = &tokens[0];
+        i = i + 1;
+    }
+    tokens[5] = 7;                      // non-pointer sentinel
+    simplify_tokens(depth);
+    walk_to_link(0);
+    if (depth < 0) {
+        reportError("cppcheck: invalid nesting depth");
+    }
+    return 0;
+}
+"""
+
+
+class Cppcheck1Bug(BugBenchmark):
+    name = "cppcheck1"
+    paper_name = "Cppcheck1"
+    program = "Cppcheck"
+    version = "1.58"
+    paper_kloc = 138
+    language = "cpp"
+    root_cause_kind = RootCauseKind.MEMORY
+    failure_kind = FailureKind.CRASH
+    paper_log_points = 304
+    source = CPPCHECK1_SOURCE
+    log_functions = ("reportError",)
+    root_cause_lines = (line_of(CPPCHECK1_SOURCE, "// A: root cause"),)
+    related_lines = (line_of(CPPCHECK1_SOURCE, "// B: related branch"),)
+    patch_lines = (line_of(CPPCHECK1_SOURCE, "// A: root cause"),)
+    patch_function = "simplify_tokens"
+    failing_args = (2,)
+    passing_args = ((0,), (1,))
+    paper_results = {
+        "lbrlog_tog": "5*", "lbrlog_notog": "5*", "lbra": "1*",
+        "cbi": "N/A", "dist_failure": "inf", "dist_lbr": "inf",
+    }
+
+    def is_failure(self, status):
+        return status.fault is not None
+
+
+CPPCHECK2_SOURCE = """
+// cppcheck miniature - 1.56 (memory).  The null-pointer check pass
+// skips the check for array-member expressions; the dereference three
+// branch records later crashes.
+int expr_kind = 0;
+int checked = 0;
+
+int check_null(int kind) {
+    expr_kind = kind;
+    if (kind == 1) {                    // A: root cause (misses kind 2)
+        checked = 1;
+    }
+}
+
+int evaluate(int pointer) {
+    if (checked == 0) {
+        if (pointer == 0) {
+            int value = pointer[0];     // F: segfault
+            return value;
+        }
+    }
+    return 1;
+}
+
+int reportError(int msg) {
+    print_str(msg);
+    return 0;
+}
+
+int main(int kind) {
+    int pointer = 0;
+    if (kind == 1) {
+        pointer = &expr_kind;
+    }
+    check_null(kind);
+    evaluate(pointer);
+    if (kind > 9) {
+        reportError("cppcheck: unknown expression kind");
+    }
+    return 0;
+}
+"""
+
+
+class Cppcheck2Bug(BugBenchmark):
+    name = "cppcheck2"
+    paper_name = "Cppcheck2"
+    program = "Cppcheck"
+    version = "1.56"
+    paper_kloc = 131
+    language = "cpp"
+    root_cause_kind = RootCauseKind.MEMORY
+    failure_kind = FailureKind.CRASH
+    paper_log_points = 284
+    source = CPPCHECK2_SOURCE
+    log_functions = ("reportError",)
+    root_cause_lines = (line_of(CPPCHECK2_SOURCE, "// A: root cause"),)
+    patch_lines = (line_of(CPPCHECK2_SOURCE, "// A: root cause"),)
+    patch_function = "check_null"
+    failing_args = (2,)
+    passing_args = ((1,),)
+    paper_results = {
+        "lbrlog_tog": "3", "lbrlog_notog": "3", "lbra": "1",
+        "cbi": "N/A", "dist_failure": "inf", "dist_lbr": "2",
+    }
+
+    def is_failure(self, status):
+        return status.fault is not None
+
+
+CPPCHECK3_SOURCE = """
+// cppcheck miniature - 1.52 (memory).  The preprocessor keeps an
+// include-guard stack; an unbalanced #endif underflows the stack index
+// and the next include lookup crashes about six branch records later.
+int stack_top = 0;
+int includes = 0;
+int pad[2];
+int guard_stack[4];
+
+int pop_guard(int dummy) {
+    stack_top = stack_top - 1;          // underflow when unbalanced
+    return stack_top;
+}
+
+int preprocess(int directives) {
+    int i = 0;
+    while (i < directives) {
+        if (i % 2 == 0) {
+            guard_stack[stack_top] = i;
+            stack_top = stack_top + 1;
+        } else {
+            pop_guard(0);
+        }
+        i = i + 1;
+    }
+    if (stack_top < 0) {                // A: root cause (patch: clamp)
+        includes = 1;
+    }
+    return stack_top;
+}
+
+int resolve_includes(int dummy) {
+    int handle = 0;
+    if (includes == 1) {
+        handle = guard_stack[0] - guard_stack[0];
+    } else {
+        handle = &guard_stack[0];
+    }
+    if (stack_top < 2) {
+        includes = includes + 0;
+    }
+    if (handle >= 0) {
+        includes = includes + 0;
+    }
+    int first = handle[0];              // F: segfault when handle nulled
+    return first;
+}
+
+int reportError(int msg) {
+    print_str(msg);
+    return 0;
+}
+
+int main(int unbalanced) {
+    int directives = 4;
+    if (unbalanced == 1) {
+        // start with a pop: i=0 pushes, but pretend one extra #endif
+        stack_top = -2;
+    }
+    preprocess(directives);
+    resolve_includes(0);
+    if (directives > 99) {
+        reportError("cppcheck: too many directives");
+    }
+    return 0;
+}
+"""
+
+
+class Cppcheck3Bug(BugBenchmark):
+    name = "cppcheck3"
+    paper_name = "Cppcheck3"
+    program = "Cppcheck"
+    version = "1.52"
+    paper_kloc = 118
+    language = "cpp"
+    root_cause_kind = RootCauseKind.MEMORY
+    failure_kind = FailureKind.CRASH
+    paper_log_points = 225
+    source = CPPCHECK3_SOURCE
+    log_functions = ("reportError",)
+    root_cause_lines = (line_of(CPPCHECK3_SOURCE, "// A: root cause"),)
+    patch_lines = (line_of(CPPCHECK3_SOURCE, "// A: root cause"),)
+    patch_function = "preprocess"
+    failing_args = (1,)
+    passing_args = ((0,),)
+    paper_results = {
+        "lbrlog_tog": "6", "lbrlog_notog": "6", "lbra": "1",
+        "cbi": "N/A", "dist_failure": "inf", "dist_lbr": "10",
+    }
+
+    def is_failure(self, status):
+        return status.fault is not None

@@ -1,0 +1,98 @@
+"""Miniature of the Lighttpd 1.4.16 configuration failure (Table 4).
+
+Lighttpd logs through ``log_error_write`` (Table 5).  CBI fails on this
+failure ("-" in Table 6): the root-cause configuration branch evaluates
+the same way in failing and passing runs — what distinguishes a failure
+is the *context* in which it executed shortly before the logging site,
+which the LBR captures and sampled predicate counts do not.
+"""
+
+from repro.bugs.base import (
+    BugBenchmark,
+    FailureKind,
+    RootCauseKind,
+    line_of,
+)
+
+LIGHTTPD_SOURCE = """
+// lighttpd miniature - 1.4.16 (configuration error).  The fastcgi
+// module accepts a config that enables the backend without a socket
+// path; the first request then fails immediately.  In passing runs
+// the server processes the request body first, pushing the config
+// branch out of the 16-entry LBR.
+int fastcgi_enabled = 0;
+int socket_bound = 0;
+int body[10];
+
+int log_error_write(int msg) {
+    print_str(msg);
+    return 0;
+}
+
+int load_config(int enable, int sock) {
+    if (enable == 1) {                  // A: root cause (patch: && sock)
+        fastcgi_enabled = 1;
+    }
+    socket_bound = sock;
+}
+
+int process_body(int n) {
+    int i = 0;
+    int sum = 0;
+    while (i < n) {
+        if (body[i] >= 0) {
+            sum = sum + body[i];
+        }
+        i = i + 1;
+    }
+    return sum;
+}
+
+int handle_request(int n) {
+    int backend_down = 0;
+    if (fastcgi_enabled == 1) {
+        backend_down = 1 - socket_bound;
+    }
+    if (backend_down == 0) {
+        process_body(n);
+    }
+    if (backend_down == 1) {
+        log_error_write("lighttpd: fastcgi backend unreachable");   // F
+        return 1;
+    }
+    return 0;
+}
+
+int main(int enable, int sock) {
+    body[0] = 1;
+    body[1] = 2;
+    load_config(enable, sock);
+    handle_request(8);
+    return 0;
+}
+"""
+
+
+class LighttpdBug(BugBenchmark):
+    name = "lighttpd"
+    paper_name = "Lighttpd"
+    program = "Lighttpd"
+    version = "1.4.16"
+    paper_kloc = 55
+    root_cause_kind = RootCauseKind.CONFIG
+    failure_kind = FailureKind.ERROR_MESSAGE
+    paper_log_points = 857
+    source = LIGHTTPD_SOURCE
+    log_functions = ("log_error_write",)
+    failure_output = "backend unreachable"
+    root_cause_lines = (line_of(LIGHTTPD_SOURCE, "// A: root cause"),)
+    patch_lines = (line_of(LIGHTTPD_SOURCE, "// A: root cause"),)
+    patch_function = "load_config"
+    failing_args = (1, 0)
+    # Passing runs also enable fastcgi (with a socket), so the root-cause
+    # branch is true in both populations and CBI's Increase prunes it.
+    passing_args = ((1, 1),)
+    paper_results = {
+        "lbrlog_tog": "4", "lbrlog_notog": "4", "lbra": "1", "cbi": "-",
+        "dist_failure": "0", "dist_lbr": "1",
+    }

@@ -1,0 +1,149 @@
+"""Miniatures of the two sequential PBZIP2 failures (Table 4).
+
+PBZIP2 is C++ (CBI "N/A") and reports errors through ``fprintf``
+(Table 5), modeled as a user-defined log function.
+"""
+
+from repro.bugs.base import (
+    BugBenchmark,
+    FailureKind,
+    RootCauseKind,
+    line_of,
+)
+
+PBZIP1_SOURCE = """
+// pbzip2 miniature - 1.1.5 (semantic).  Decompressing a file whose
+// trailing block is empty mis-sets the block count; after the blocks
+// are copied out (library memmove - LBR pollution without toggling),
+// the consumer finds a missing block and reports through fprintf.
+int blocks[8];
+int block_count = 0;
+int out[8];
+
+int fprintf(int stream, int msg) {
+    print_str(msg);
+    return stream;
+}
+
+int read_blocks(int n, int last_empty) {
+    int i = 0;
+    while (i < n) {
+        blocks[i] = 100 + i;
+        i = i + 1;
+    }
+    if (last_empty == 1) {              // A: root cause (patch: keep count)
+        block_count = n - 1;
+    } else {
+        block_count = n;
+    }
+    return block_count;
+}
+
+int consume(int n) {
+    memmove(&out[0], &blocks[0], 8);    // library pollution
+    if (block_count < n) {
+        fprintf(2, "pbzip2: *ERROR: block missing in stream");   // F
+        return 1;
+    }
+    return 0;
+}
+
+int main(int last_empty) {
+    read_blocks(4, last_empty);
+    consume(4);
+    return 0;
+}
+"""
+
+
+class Pbzip1Bug(BugBenchmark):
+    name = "pbzip1"
+    paper_name = "PBZIP1"
+    program = "PBZIP"
+    version = "1.1.5"
+    paper_kloc = 5.7
+    language = "cpp"
+    root_cause_kind = RootCauseKind.SEMANTIC
+    failure_kind = FailureKind.ERROR_MESSAGE
+    paper_log_points = 305
+    source = PBZIP1_SOURCE
+    log_functions = ("fprintf",)
+    failure_output = "block missing"
+    root_cause_lines = (line_of(PBZIP1_SOURCE, "// A: root cause"),)
+    patch_lines = (line_of(PBZIP1_SOURCE, "// A: root cause"),)
+    patch_function = "read_blocks"
+    failing_args = (1,)
+    passing_args = ((0,), (2,))
+    paper_results = {
+        "lbrlog_tog": "4", "lbrlog_notog": "-", "lbra": "1",
+        "cbi": "N/A", "dist_failure": "41", "dist_lbr": "1",
+    }
+
+
+PBZIP2_SOURCE = """
+// pbzip2 miniature - 1.1.0 (memory).  When the output queue is full the
+// producer takes the overflow branch, which leaves the queue slot
+// pointer NULL; the very next store crashes - the root-cause branch is
+// the latest LBR entry at the fault.
+int queue[4];
+int queue_len = 0;
+
+int fprintf(int stream, int msg) {
+    print_str(msg);
+    return stream;
+}
+
+int enqueue(int value) {
+    int slot = 0;
+    if (queue_len < 4) {
+        slot = &queue[queue_len];
+    }
+    // A: root cause - overflow branch leaves slot NULL (patch: wait)
+    if (queue_len >= 4) {               // A: root cause
+        slot = 0;
+    }
+    slot[0] = value;                    // F: segfault on overflow
+    queue_len = queue_len + 1;
+    return slot;
+}
+
+int main(int items) {
+    int i = 0;
+    while (i < items) {
+        enqueue(10 + i);
+        i = i + 1;
+    }
+    if (items < 0) {
+        fprintf(2, "pbzip2: *ERROR: negative item count");
+    }
+    return 0;
+}
+"""
+
+
+class Pbzip2Bug(BugBenchmark):
+    name = "pbzip2"
+    paper_name = "PBZIP2"
+    program = "PBZIP"
+    version = "1.1.0"
+    paper_kloc = 4.6
+    language = "cpp"
+    root_cause_kind = RootCauseKind.MEMORY
+    failure_kind = FailureKind.CRASH
+    paper_log_points = 269
+    source = PBZIP2_SOURCE
+    log_functions = ("fprintf",)
+    root_cause_lines = (
+        line_of(PBZIP2_SOURCE, "{               // A: root cause"),
+    )
+    patch_lines = root_cause_lines
+    patch_function = "enqueue"
+    failing_args = (5,)
+    passing_args = ((3,), (4,), (2,))
+    paper_results = {
+        "lbrlog_tog": "1", "lbrlog_notog": "1", "lbra": "1",
+        "cbi": "N/A", "dist_failure": "12", "dist_lbr": "1",
+    }
+
+    def is_failure(self, status):
+        return status.fault is not None

@@ -1,0 +1,175 @@
+"""Miniatures of the two Squid failures (Table 4).
+
+Squid logs through its ``debug`` macro (Table 5), modeled here as a
+``debug`` function.
+"""
+
+from repro.bugs.base import (
+    BugBenchmark,
+    FailureKind,
+    RootCauseKind,
+    line_of,
+)
+
+SQUID1_SOURCE = """
+// squid miniature - 2.5.STABLE5 (semantic).  An ACL refresh branch
+// leaves a stale deny entry in place; the request path later denies a
+// cacheable request and logs through debug().  The refresh branch runs
+// in passing runs too - only the short pre-failure context separates
+// the populations, so CBI's Increase test prunes the root cause.
+int acl_stale = 0;
+int acl_deny = 0;
+int cache_hits = 0;
+int objects[8];
+
+int debug(int msg) {
+    print_str(msg);
+    return 0;
+}
+
+int refresh_acls(int reload) {
+    if (reload == 1) {                  // A: root cause (patch: clear deny)
+        acl_stale = 1;
+    }
+}
+
+int lookup_cache(int key) {
+    int i = 0;
+    int found = 0;
+    while (i < 6) {
+        if (objects[i] == key) {
+            found = 1;
+        }
+        i = i + 1;
+    }
+    return found;
+}
+
+int handle_request_setup(int key) {
+    cache_hits = cache_hits + lookup_cache(key);
+    return cache_hits;
+}
+
+int handle_request(int key, int fresh_conf) {
+    int denied = acl_stale * (1 - fresh_conf);
+    if (denied == 0) {
+        cache_hits = cache_hits + lookup_cache(key);
+    }
+    if (denied == 1) {
+        debug("squid: access denied for cacheable request");    // F
+        return 1;
+    }
+    return 0;
+}
+
+int main(int reload, int fresh_conf) {
+    objects[0] = 3;
+    objects[1] = 5;
+    handle_request_setup(3);
+    refresh_acls(reload);
+    handle_request(3, fresh_conf);
+    return 0;
+}
+"""
+
+
+class Squid1Bug(BugBenchmark):
+    name = "squid1"
+    paper_name = "Squid1"
+    program = "Squid"
+    version = "2.5.S5"
+    paper_kloc = 120
+    root_cause_kind = RootCauseKind.SEMANTIC
+    failure_kind = FailureKind.ERROR_MESSAGE
+    paper_log_points = 2427
+    source = SQUID1_SOURCE
+    log_functions = ("debug",)
+    failure_output = "access denied"
+    root_cause_lines = (line_of(SQUID1_SOURCE, "// A: root cause"),)
+    patch_lines = (line_of(SQUID1_SOURCE, "// A: root cause"),)
+    patch_function = "refresh_acls"
+    failing_args = (1, 0)
+    # Most passing runs also reload ACLs, making the root-cause branch
+    # outcome non-discriminative for CBI.
+    passing_args = ((1, 1),)
+    paper_results = {
+        "lbrlog_tog": "2", "lbrlog_notog": "2", "lbra": "1", "cbi": "-",
+        "dist_failure": "123", "dist_lbr": "2",
+    }
+
+
+SQUID2_SOURCE = """
+// squid miniature - 2.3.STABLE4 (memory).  A header-parsing branch
+// accepts an over-long header count; the per-header normalization loop
+// then walks the header table out of bounds and crashes about ten
+// branch records after the root cause.
+int headers[6];
+int nheaders = 0;
+int table = 0;
+int table_storage[4];
+
+int debug(int msg) {
+    print_str(msg);
+    return 0;
+}
+
+int parse_headers(int count) {
+    nheaders = 6;
+    if (count <= 8) {                   // A: root cause (patch: count <= 6)
+        nheaders = count;
+    }
+    return nheaders;
+}
+
+int normalize_headers(int dummy) {
+    int i = 0;
+    while (i < nheaders) {
+        if (i < 6) {
+            headers[i] = headers[i] + 1;
+        }
+        i = i + 4;
+    }
+    if (nheaders > 6) {
+        table = headers[0] - headers[0];
+    }
+    int entry = table[0];               // F: segfault when table nulled
+    return entry;
+}
+
+int main(int count) {
+    table = &table_storage;
+    headers[0] = 10;
+    headers[1] = 20;
+    parse_headers(count);
+    normalize_headers(0);
+    if (count < 0) {
+        debug("squid: negative header count");
+    }
+    return 0;
+}
+"""
+
+
+class Squid2Bug(BugBenchmark):
+    name = "squid2"
+    paper_name = "Squid2"
+    program = "Squid"
+    version = "2.3.S4"
+    paper_kloc = 102
+    root_cause_kind = RootCauseKind.MEMORY
+    failure_kind = FailureKind.CRASH
+    paper_log_points = 2096
+    source = SQUID2_SOURCE
+    log_functions = ("debug",)
+    root_cause_lines = (line_of(SQUID2_SOURCE, "// A: root cause"),)
+    patch_lines = (line_of(SQUID2_SOURCE, "// A: root cause"),)
+    patch_function = "parse_headers"
+    failing_args = (8,)
+    passing_args = ((9,), (12,), (10,))
+    paper_results = {
+        "lbrlog_tog": "10", "lbrlog_notog": "10", "lbra": "1", "cbi": "1",
+        "dist_failure": "59", "dist_lbr": "1",
+    }
+
+    def is_failure(self, status):
+        return status.fault is not None

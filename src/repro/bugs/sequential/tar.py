@@ -1,0 +1,163 @@
+"""Miniatures of the two GNU tar failures (Table 4)."""
+
+from repro.bugs.base import (
+    BugBenchmark,
+    FailureKind,
+    RootCauseKind,
+    line_of,
+)
+
+TAR1_SOURCE = """
+// tar.c miniature - tar 1.22.  decode_options mishandles the combination
+// of --incremental with a compressed archive, leaving the archive format
+// field unset; open_archive later fails through open_fatal.
+int archive_format = 0;
+int incremental = 0;
+int use_compress = 0;
+int header[4];
+
+int decode_options(int inc, int compress) {
+    incremental = inc;
+    use_compress = compress;
+    if (incremental == 1) {             // A: root cause (patch: && !compress)
+        archive_format = 0;
+    } else {
+        archive_format = 2;
+    }
+    header[0] = 31 * use_compress;
+    return archive_format;
+}
+
+int read_header(int blk) {
+    return header[0];
+}
+
+int open_archive(int blk) {
+    int magic = read_header(blk);
+    if (archive_format == 0) {
+        open_fatal("tar: Cannot open archive");        // F
+        return 1;
+    }
+    return magic;
+}
+
+int open_fatal(int msg) {
+    print_str(msg);
+    exit(2);
+    return 0;
+}
+
+int blocks_scanned[6];
+
+int scan_blocks(int n) {
+    int b = 0;
+    while (b < n) {
+        blocks_scanned[b] = b;
+        b = b + 1;
+    }
+    return b;
+}
+
+int main(int inc, int compress) {
+    header[1] = 117;
+    scan_blocks(6);
+    decode_options(inc, compress);
+    open_archive(0);
+    return 0;
+}
+"""
+
+
+class Tar1Bug(BugBenchmark):
+    name = "tar1"
+    paper_name = "tar1"
+    program = "tar"
+    version = "1.22"
+    paper_kloc = 82
+    root_cause_kind = RootCauseKind.SEMANTIC
+    failure_kind = FailureKind.ERROR_MESSAGE
+    paper_log_points = 243
+    source = TAR1_SOURCE
+    log_functions = ("open_fatal",)
+    failure_output = "Cannot open archive"
+    root_cause_lines = (line_of(TAR1_SOURCE, "// A: root cause"),)
+    patch_lines = (line_of(TAR1_SOURCE, "// A: root cause"),)
+    patch_function = "decode_options"
+    failing_args = (1, 1)
+    passing_args = ((0, 0), (0, 1))
+    paper_results = {
+        "lbrlog_tog": "4", "lbrlog_notog": "4", "lbra": "1", "cbi": "1",
+        "dist_failure": "inf", "dist_lbr": "2",
+    }
+
+
+TAR2_SOURCE = """
+// tar.c miniature - tar 1.19.  Extracting with a sparse-file map whose
+// final hole check uses the wrong comparison makes extract_archive flush
+// the member through the copy buffer and then report a fatal extraction
+// error a couple of dozen lines later in the same function.
+int sparse_map[6];
+int copy_buffer[8];
+int holes = 0;
+
+int extract_archive(int nmaps) {
+    int i = 0;
+    int written = 0;
+    while (i < nmaps) {
+        if (sparse_map[i] > 0) {
+            written = written + sparse_map[i];
+        }
+        i = i + 1;
+    }
+    if (written == 0) {                 // A: root cause (patch: >= hole_size)
+        holes = 1;
+    }
+    // flush the member through the copy buffer: a library call whose
+    // internal loop floods the LBR when toggling is off
+    memmove(&copy_buffer[0], &sparse_map[0], 6);
+    written = written + copy_buffer[0];
+    written = written - copy_buffer[0];
+    if (holes == 1) {
+        open_fatal("tar: Unexpected EOF in archive");  // F
+        return 1;
+    }
+    return written;
+}
+
+int open_fatal(int msg) {
+    print_str(msg);
+    exit(2);
+    return 0;
+}
+
+int main(int sparse) {
+    sparse_map[0] = sparse;
+    sparse_map[1] = 0;
+    sparse_map[2] = 0;
+    extract_archive(3);
+    return 0;
+}
+"""
+
+
+class Tar2Bug(BugBenchmark):
+    name = "tar2"
+    paper_name = "tar2"
+    program = "tar"
+    version = "1.19"
+    paper_kloc = 76
+    root_cause_kind = RootCauseKind.SEMANTIC
+    failure_kind = FailureKind.ERROR_MESSAGE
+    paper_log_points = 188
+    source = TAR2_SOURCE
+    log_functions = ("open_fatal",)
+    failure_output = "Unexpected EOF"
+    root_cause_lines = (line_of(TAR2_SOURCE, "// A: root cause"),)
+    patch_lines = (line_of(TAR2_SOURCE, "// A: root cause"),)
+    patch_function = "extract_archive"
+    failing_args = (0,)
+    passing_args = ((3,), (5,))
+    paper_results = {
+        "lbrlog_tog": "2", "lbrlog_notog": "-", "lbra": "1", "cbi": "2",
+        "dist_failure": "24", "dist_lbr": "0",
+    }

@@ -1,0 +1,28 @@
+"""L1 data-cache and MESI cache-coherence simulation.
+
+The paper evaluates LCR on a PIN-based simulator of per-core L1 data caches
+kept coherent with the MESI protocol (Section 6: 2-way associative, 64-byte
+blocks, 64 KB per core).  This package reproduces that substrate:
+
+* :mod:`repro.cache.mesi` — the MESI state machine;
+* :mod:`repro.cache.l1cache` — a set-associative cache tracking per-line
+  coherence state (the simulated machine's data lives in main memory; the
+  cache tracks metadata only, exactly like the paper's PIN simulator);
+* :mod:`repro.cache.bus` — a snooping bus connecting the per-core caches.
+
+Every data access returns the coherence state *observed prior to the
+access* — the quantity LCR records and hardware performance counters count
+(Table 2 of the paper).
+"""
+
+from repro.cache.mesi import MesiState
+from repro.cache.l1cache import CacheConfig, CacheLine, L1Cache
+from repro.cache.bus import CoherenceBus
+
+__all__ = [
+    "CacheConfig",
+    "CacheLine",
+    "CoherenceBus",
+    "L1Cache",
+    "MesiState",
+]

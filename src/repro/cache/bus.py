@@ -1,0 +1,83 @@
+"""Snooping coherence bus connecting the per-core L1 caches.
+
+The bus implements the MESI transitions that matter for the paper's
+failure-predicting events (Table 3):
+
+* a load miss fills Exclusive when no other cache holds the line, Shared
+  otherwise (remote Modified/Exclusive copies downgrade to Shared);
+* a store invalidates every remote copy (read-for-ownership) and leaves the
+  local line Modified;
+* the coherence state *observed prior to the access* is returned to the
+  caller, which feeds it to the LCR and the performance counters.
+"""
+
+from repro.cache.mesi import MesiState
+
+
+class CoherenceBus:
+    """Connects :class:`~repro.cache.l1cache.L1Cache` instances."""
+
+    def __init__(self):
+        self._caches = []
+        self.transaction_count = 0
+
+    def attach(self, cache):
+        """Register a cache with the bus."""
+        self._caches.append(cache)
+
+    @property
+    def caches(self):
+        return tuple(self._caches)
+
+    # ------------------------------------------------------------------
+    # Access entry points
+    # ------------------------------------------------------------------
+
+    def load(self, core_id, address):
+        """Perform a load from *core_id*; return the observed MESI state."""
+        cache = self._caches[core_id]
+        observed = cache.state_of(address)
+        if observed.is_valid():
+            cache.touch(address)
+            return observed
+        # Miss: observed state is Invalid; fill from the bus.
+        self.transaction_count += 1
+        fill_state = MesiState.EXCLUSIVE
+        for other in self._caches:
+            if other.core_id == core_id:
+                continue
+            remote = other.state_of(address)
+            if remote.is_valid():
+                # Remote M writes back, remote M/E/S all downgrade to S.
+                other.set_state(address, MesiState.SHARED)
+                fill_state = MesiState.SHARED
+        cache.install(address, fill_state)
+        return MesiState.INVALID
+
+    def store(self, core_id, address):
+        """Perform a store from *core_id*; return the observed MESI state."""
+        cache = self._caches[core_id]
+        observed = cache.state_of(address)
+        if observed is MesiState.MODIFIED:
+            cache.touch(address)
+            return observed
+        self.transaction_count += 1
+        # E upgrades silently; S and I must invalidate remote copies (RFO).
+        if observed is not MesiState.EXCLUSIVE:
+            for other in self._caches:
+                if other.core_id == core_id:
+                    continue
+                other.invalidate(address)
+        cache.install(address, MesiState.MODIFIED)
+        return observed
+
+    def access(self, core_id, address, is_store):
+        """Dispatch to :meth:`store` or :meth:`load`."""
+        if is_store:
+            return self.store(core_id, address)
+        return self.load(core_id, address)
+
+    def flush_all(self):
+        """Empty every attached cache."""
+        for cache in self._caches:
+            cache.flush()

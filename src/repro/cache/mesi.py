@@ -1,0 +1,48 @@
+"""The MESI cache-coherence protocol states.
+
+The coherence state a load or store *observes* right before accessing the
+L1 data cache is the primitive event recorded by hardware performance
+counters (Table 2 of the paper) and by the proposed LCR.
+"""
+
+import enum
+
+
+class MesiState(enum.Enum):
+    """State of a cache line in one core's L1 cache.
+
+    A line that is absent from the cache is treated as
+    :attr:`INVALID` — a load or store that misses "observes the I state
+    prior to the cache access" in the hardware's event nomenclature.
+    """
+
+    MODIFIED = "M"
+    EXCLUSIVE = "E"
+    SHARED = "S"
+    INVALID = "I"
+
+    @property
+    def letter(self):
+        """Single-letter name, as used in the paper's tables."""
+        return self.value
+
+    def is_valid(self):
+        """Return True if a line in this state holds usable data."""
+        return self is not MesiState.INVALID
+
+
+#: Order used when rendering states in reports.
+STATE_ORDER = (
+    MesiState.MODIFIED,
+    MesiState.EXCLUSIVE,
+    MesiState.SHARED,
+    MesiState.INVALID,
+)
+
+
+def state_from_letter(letter):
+    """Return the :class:`MesiState` for a one-letter name (``"M"`` etc.)."""
+    for state in MesiState:
+        if state.value == letter:
+            return state
+    raise ValueError("unknown MESI state: %r" % (letter,))

@@ -1,0 +1,190 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``bugs``                       — list the 31 benchmark failures;
+* ``run <bug> [--passing]``      — execute one benchmark run;
+* ``log <bug> [--no-toggling]``  — LBRLOG/LCRLOG report at the failure;
+* ``diagnose <bug>``             — LBRA/LCRA with 10+10 runs;
+* ``experiment <name>``          — regenerate one paper table/figure;
+* ``experiments``                — list available experiment names.
+"""
+
+import argparse
+import sys
+
+from repro.bugs.registry import bug_names, get_bug
+
+
+def _experiment_registry():
+    from repro.experiments import (
+        ablations,
+        adaptive,
+        concurrency_baselines,
+        figure1,
+        figure2,
+        latency,
+        loglatency,
+        table1,
+        table2,
+        table3,
+        table4,
+        table5,
+        table6,
+        table7,
+    )
+    return {
+        "table1": table1.run,
+        "table2": table2.run,
+        "table3": table3.run,
+        "table4": table4.run,
+        "table5": table5.run,
+        "table6": lambda: table6.run(cbi_runs=200, overhead_runs=3),
+        "table7": table7.run,
+        "figure1": figure1.run,
+        "figure2": figure2.run,
+        "latency": lambda: latency.run(cbi_runs=(100, 500)),
+        "loglatency": loglatency.run,
+        "concurrency-baselines":
+            lambda: concurrency_baselines.run(n_runs=200),
+        "adaptive": adaptive.run,
+        "ablation-pollution": ablations.run_pollution,
+        "ablation-lcr-capacity": ablations.run_lcr_capacity,
+    }
+
+
+def _cmd_bugs(_args, out):
+    for name in sorted(bug_names()):
+        bug = get_bug(name)
+        out.write("%-12s %s\n" % (name, bug.describe()))
+    return 0
+
+
+def _cmd_run(args, out):
+    bug = get_bug(args.bug)
+    tool = _log_tool(bug, toggling=True)
+    if args.passing:
+        status = tool.run_passing(0)
+    else:
+        status = tool.run_failing(0)
+    out.write("outcome: %s\n" % status.describe())
+    for item in status.output:
+        out.write("output: %s\n" % (item,))
+    out.write("retired instructions: %d\n" % status.retired)
+    out.write("classified as failure: %s\n" % bug.is_failure(status))
+    return 0
+
+
+def _log_tool(bug, toggling):
+    from repro.core.lbrlog import LbrLogTool
+    from repro.core.lcrlog import LcrLogTool
+
+    if bug.category == "sequential":
+        return LbrLogTool(bug, toggling=toggling)
+    return LcrLogTool(bug, toggling=toggling)
+
+
+def _cmd_log(args, out):
+    bug = get_bug(args.bug)
+    tool = _log_tool(bug, toggling=not args.no_toggling)
+    report = tool.report(tool.run_failing(0))
+    out.write(report.describe() + "\n")
+    if bug.category == "sequential":
+        position = report.position_of_line(bug.root_cause_lines)
+    else:
+        position = report.position_of(bug.root_cause_lines,
+                                      state_tags=bug.fpe_state_tags)
+    out.write("root-cause event position: %s\n" % position)
+    return 0
+
+
+def _cmd_diagnose(args, out):
+    from repro.core.lbra import DiagnosisError, LbraTool
+    from repro.core.lcra import LcraTool
+
+    bug = get_bug(args.bug)
+    tool_class = LbraTool if bug.category == "sequential" else LcraTool
+    try:
+        diagnosis = tool_class(bug, scheme=args.scheme) \
+            .diagnose(args.runs, args.runs)
+    except DiagnosisError as exc:
+        out.write("diagnosis failed: %s\n" % exc)
+        return 1
+    out.write(diagnosis.describe(n=args.top) + "\n")
+    return 0
+
+
+def _cmd_experiments(_args, out):
+    for name in sorted(_experiment_registry()):
+        out.write(name + "\n")
+    return 0
+
+
+def _cmd_experiment(args, out):
+    registry = _experiment_registry()
+    if args.name not in registry:
+        out.write("unknown experiment %r; try: %s\n"
+                  % (args.name, ", ".join(sorted(registry))))
+        return 1
+    result = registry[args.name]()
+    out.write(result.format() + "\n")
+    return 0
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Short-term-memory failure diagnosis (ASPLOS 2014 "
+                    "reproduction)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("bugs", help="list benchmark failures")
+
+    run_parser = commands.add_parser("run", help="execute one run")
+    run_parser.add_argument("bug", choices=sorted(bug_names()))
+    run_parser.add_argument("--passing", action="store_true",
+                            help="use the passing plan")
+
+    log_parser = commands.add_parser(
+        "log", help="LBRLOG/LCRLOG report at the failure"
+    )
+    log_parser.add_argument("bug", choices=sorted(bug_names()))
+    log_parser.add_argument("--no-toggling", action="store_true")
+
+    diag_parser = commands.add_parser(
+        "diagnose", help="LBRA/LCRA statistical diagnosis"
+    )
+    diag_parser.add_argument("bug", choices=sorted(bug_names()))
+    diag_parser.add_argument("--scheme", default="reactive",
+                             choices=("reactive", "proactive"))
+    diag_parser.add_argument("--runs", type=int, default=10)
+    diag_parser.add_argument("--top", type=int, default=5)
+
+    commands.add_parser("experiments", help="list experiment names")
+    exp_parser = commands.add_parser(
+        "experiment", help="regenerate one table/figure"
+    )
+    exp_parser.add_argument("name")
+    return parser
+
+
+def main(argv=None, out=None):
+    out = out or sys.stdout
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "bugs": _cmd_bugs,
+        "run": _cmd_run,
+        "log": _cmd_log,
+        "diagnose": _cmd_diagnose,
+        "experiments": _cmd_experiments,
+        "experiment": _cmd_experiment,
+    }
+    try:
+        return handlers[args.command](args, out)
+    except BrokenPipeError:          # piped into head etc.
+        return 0
+
+
+if __name__ == "__main__":          # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,25 @@
+"""MiniC compiler: AST to machine code.
+
+* :mod:`repro.compiler.symbols` — symbol tables and frame layout;
+* :mod:`repro.compiler.codegen` — code generation, including the
+  fall-through unconditional-branch insertion that makes every source
+  conditional outcome recoverable from LBR records (Figure 2 and the
+  technique of Walcott-Justice et al. the paper reuses);
+* :mod:`repro.compiler.stdlib` — the MiniC standard library (the "glibc"
+  of the simulation, whose internal branches pollute the LBR unless
+  toggling wrappers are used);
+* :mod:`repro.compiler.frontend` — one-call ``compile_source`` pipeline.
+"""
+
+from repro.compiler.codegen import CompileError, Compiler
+from repro.compiler.frontend import compile_module, compile_source
+from repro.compiler.stdlib import STDLIB_SOURCE, stdlib_module
+
+__all__ = [
+    "CompileError",
+    "Compiler",
+    "STDLIB_SOURCE",
+    "compile_module",
+    "compile_source",
+    "stdlib_module",
+]

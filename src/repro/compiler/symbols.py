@@ -1,0 +1,82 @@
+"""Symbol tables and stack-frame layout.
+
+Locals (including spilled parameters) are memory-resident in the stack
+frame — deliberately unoptimized, "-O0"-style code.  Memory-resident
+temporaries and locals are what give the simulated programs a realistic
+stream of L1 data-cache accesses for the LCR and the coherence
+performance counters to observe.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.isa.layout import WORD_SIZE
+
+
+class SymbolError(Exception):
+    """Raised for undeclared or redeclared variables."""
+
+
+@dataclass
+class GlobalSymbol:
+    name: str
+    address: int
+    size: int = 1
+    is_array: bool = False
+
+
+@dataclass
+class LocalSymbol:
+    name: str
+    offset: int          # byte offset of the lowest word, relative to FP
+    size: int = 1
+    is_array: bool = False
+
+
+@dataclass
+class FrameLayout:
+    """Frame layout for one function.
+
+    The frame grows downward from FP: parameter spill slots first, then
+    locals (arrays occupy consecutive words, elements ascending from the
+    symbol's ``offset``).
+    """
+
+    symbols: dict = field(default_factory=dict)
+    frame_size: int = 0
+
+    def declare(self, name, size=1, is_array=None):
+        if name in self.symbols:
+            raise SymbolError("redeclaration of %r" % (name,))
+        self.frame_size += size * WORD_SIZE
+        if is_array is None:
+            is_array = size > 1
+        symbol = LocalSymbol(name=name, offset=-self.frame_size,
+                             size=size, is_array=is_array)
+        self.symbols[name] = symbol
+        return symbol
+
+    def lookup(self, name):
+        return self.symbols.get(name)
+
+
+class GlobalTable:
+    """Module-level variable table (addresses assigned by the assembler)."""
+
+    def __init__(self):
+        self._symbols = {}
+
+    def declare(self, name, address, size=1, is_array=None):
+        if name in self._symbols:
+            raise SymbolError("redeclaration of global %r" % (name,))
+        if is_array is None:
+            is_array = size > 1
+        symbol = GlobalSymbol(name=name, address=address, size=size,
+                              is_array=is_array)
+        self._symbols[name] = symbol
+        return symbol
+
+    def lookup(self, name):
+        return self._symbols.get(name)
+
+    def __contains__(self, name):
+        return name in self._symbols

@@ -1,0 +1,42 @@
+"""The paper's contribution: short-term-memory failure diagnosis tools.
+
+* :mod:`repro.core.lbrlog` / :mod:`repro.core.lcrlog` — log enhancement
+  (Section 5.1): profile the LBR/LCR ring at failure logging sites and in
+  the segmentation-fault handler, and decode the entries back to source
+  constructs.
+* :mod:`repro.core.lbra` / :mod:`repro.core.lcra` — automatic failure
+  diagnosis (Section 5.2): collect failure-run and success-run profiles
+  and rank events by the harmonic mean of expected prediction precision
+  and recall.
+* :mod:`repro.core.events`, :mod:`repro.core.profiles`,
+  :mod:`repro.core.statistics` — the shared event/profile/ranking
+  machinery.
+"""
+
+from repro.core.events import Event, branch_event, coherence_event
+from repro.core.profiles import RunProfile, extract_profile, sites_of
+from repro.core.statistics import PredictorScore, rank_predictors
+from repro.core.lbrlog import DecodedEntry, LbrLogReport, LbrLogTool
+from repro.core.lcrlog import LcrLogReport, LcrLogTool
+from repro.core.lbra import Diagnosis, DiagnosisError, LbraTool
+from repro.core.lcra import LcraTool
+
+__all__ = [
+    "DecodedEntry",
+    "Diagnosis",
+    "DiagnosisError",
+    "Event",
+    "LbraTool",
+    "LbrLogReport",
+    "LbrLogTool",
+    "LcraTool",
+    "LcrLogReport",
+    "LcrLogTool",
+    "PredictorScore",
+    "RunProfile",
+    "branch_event",
+    "coherence_event",
+    "extract_profile",
+    "rank_predictors",
+    "sites_of",
+]

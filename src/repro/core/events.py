@@ -1,0 +1,82 @@
+"""Event identities.
+
+An *event* is the unit the statistical model ranks: for LBR profiles, a
+source branch with its outcome ("merge:12=T" — the branch at line 12 of
+``merge`` evaluated true); for LCR profiles, a source location observing a
+coherence state ("InitState:4:load@I" — the load at line 4 observed the
+Invalid state).  Events never carry variable values or memory addresses,
+preserving the privacy property the paper emphasizes.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Event:
+    """One rankable event."""
+
+    event_id: str
+    kind: str             # "branch" or "coherence"
+    function: str = ""
+    line: int = 0
+    detail: str = ""
+
+    def __str__(self):
+        return self.event_id
+
+
+def branch_event(program, entry):
+    """Build the :class:`Event` for one LBR entry."""
+    branch = program.debug_info.branch_at(entry.from_address)
+    if branch is not None:
+        return Event(
+            event_id=str(branch),
+            kind="branch",
+            function=branch.location.function,
+            line=branch.location.line,
+            detail=branch.description,
+        )
+    location = program.debug_info.location_at(entry.from_address)
+    if location is not None:
+        return Event(
+            event_id="%s:%s" % (location, entry.kind.value),
+            kind="branch",
+            function=location.function,
+            line=location.line,
+            detail=entry.kind.value,
+        )
+    return Event(
+        event_id="0x%x->0x%x" % (entry.from_address, entry.to_address),
+        kind="branch",
+        detail=entry.kind.value,
+    )
+
+
+def coherence_event(program, entry):
+    """Build the :class:`Event` for one LCR entry.
+
+    The profiling ioctls' own dummy entries (Section 4.3) are folded into
+    a single ``<ioctl>`` pseudo-location: they appear identically in every
+    profiled run, so the ranking model discounts them naturally.
+    """
+    state_tag = "%s@%s" % (entry.access.value, entry.state.letter)
+    if entry.pollution:
+        return Event(
+            event_id="<ioctl>:%s" % state_tag,
+            kind="coherence",
+            detail="pollution",
+        )
+    location = program.debug_info.location_at(entry.pc)
+    if location is not None:
+        return Event(
+            event_id="%s:%s" % (location, state_tag),
+            kind="coherence",
+            function=location.function,
+            line=location.line,
+            detail=state_tag,
+        )
+    return Event(
+        event_id="0x%x:%s" % (entry.pc, state_tag),
+        kind="coherence",
+        detail=state_tag,
+    )

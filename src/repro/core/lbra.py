@@ -1,0 +1,367 @@
+"""LBRA — automatic failure diagnosis from LBR records (Section 5.2).
+
+LBRA compares LBR snapshots collected at the failure site during failure
+runs against snapshots collected at the matched *success logging site*
+during success runs, and ranks events by the harmonic mean of prediction
+precision and recall.  Both success-profiling schemes are implemented:
+
+* ``reactive`` (default) — ship the program with plain LBRLOG; after the
+  first failure, add the success logging site matching the observed
+  failure location and collect success profiles from then on.  Works for
+  segmentation faults.
+* ``proactive`` — instrument every success site before release.  Higher
+  overhead, no redeployment, but cannot cover failures at unexpected
+  locations (segfaults), exactly as the paper notes.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.compiler.frontend import compile_module
+from repro.lang.transform import ReactiveTarget, enhance_logging
+from repro.machine.cpu import MachineConfig
+from repro.runtime.process import run_program
+from repro.core.profiles import (
+    SUCCESS_SITE_KINDS,
+    dominant_failure_site,
+    extract_profile,
+    site_by_id,
+    sites_of,
+)
+from repro.core.statistics import rank_predictors
+
+
+class DiagnosisError(Exception):
+    """Raised when diagnosis cannot proceed (no profiles, bad scheme)."""
+
+
+@dataclass
+class Diagnosis:
+    """Result of one LBRA/LCRA diagnosis."""
+
+    ranked: list                    # PredictorScore, best first
+    failure_site: object            # LoggingSite
+    success_site: object            # LoggingSite or None
+    n_failure_profiles: int
+    n_success_profiles: int
+    scheme: str
+    ring: str
+    failing_statuses: list = field(default_factory=list)
+    passing_statuses: list = field(default_factory=list)
+
+    def top(self, n=5):
+        """Return the best *n* predictor scores."""
+        return self.ranked[:n]
+
+    def best(self):
+        """Return the single best predictor, or ``None``."""
+        return self.ranked[0] if self.ranked else None
+
+    def rank_of(self, predicate):
+        """Dense rank of the best event satisfying *predicate*, or None."""
+        for score in self.ranked:
+            if predicate(score.event):
+                return score.rank
+        return None
+
+    def rank_of_line(self, lines, outcome=None):
+        """Dense rank of the best branch event on one of *lines*."""
+        wanted = set(lines)
+
+        def predicate(event):
+            if event.kind != "branch" or event.line not in wanted:
+                return False
+            if outcome is None:
+                return True
+            return event.event_id.endswith("=T" if outcome else "=F")
+
+        return self.rank_of(predicate)
+
+    def rank_of_coherence(self, lines, state_tags=None):
+        """Dense rank of the best coherence event on one of *lines*."""
+        wanted = set(lines)
+        tags = set(state_tags) if state_tags is not None else None
+
+        def predicate(event):
+            if event.kind != "coherence" or event.line not in wanted:
+                return False
+            return tags is None or event.detail in tags
+
+        return self.rank_of(predicate)
+
+    def describe(self, n=5):
+        lines = ["%s diagnosis (%s scheme) @ %s" % (
+            self.ring.upper() + "A", self.scheme, self.failure_site,
+        )]
+        lines.extend("  %s" % score for score in self.top(n))
+        return "\n".join(lines)
+
+
+class DiagnosisToolBase:
+    """Shared LBRA/LCRA orchestration."""
+
+    ring = None
+
+    def __init__(self, workload, scheme="reactive", toggling=True,
+                 lcr_selector=2):
+        if scheme not in ("reactive", "proactive"):
+            raise ValueError("unknown scheme %r" % (scheme,))
+        self.workload = workload
+        self.scheme = scheme
+        self.toggling = toggling
+        self.lcr_selector = lcr_selector
+        self.machine_config = MachineConfig(num_cores=workload.num_cores)
+        self._module = workload.build_module()
+        self.failure_program = self._build_program(
+            success_scheme="proactive" if scheme == "proactive" else "none",
+        )
+
+    # ------------------------------------------------------------------
+    # Program construction
+    # ------------------------------------------------------------------
+
+    def _build_program(self, success_scheme, reactive_target=None):
+        enhanced = enhance_logging(
+            self._module,
+            log_functions=self.workload.log_functions,
+            rings=(self.ring,),
+            lcr_selector=self.lcr_selector,
+            success_scheme=success_scheme,
+            reactive_target=reactive_target,
+        )
+        return compile_module(enhanced, toggling=self.toggling)
+
+    # ------------------------------------------------------------------
+    # Campaigns
+    # ------------------------------------------------------------------
+
+    def _run(self, program, plan):
+        return run_program(
+            program,
+            args=plan.args,
+            scheduler=plan.make_scheduler(),
+            config=self.machine_config,
+            max_steps=plan.max_steps,
+            globals_setup=plan.globals_setup,
+        )
+
+    def _collect_failures(self, program, n_failures, max_attempts):
+        statuses = []
+        k = 0
+        while len(statuses) < n_failures and k < max_attempts:
+            status = self._run(program, self.workload.failing_run_plan(k))
+            if self.workload.is_failure(status):
+                statuses.append(status)
+            k += 1
+        if len(statuses) < n_failures:
+            raise DiagnosisError(
+                "only %d/%d failure runs manifested in %d attempts"
+                % (len(statuses), n_failures, k)
+            )
+        return statuses
+
+    def _collect_success_profiles(self, program, success_site_ids,
+                                  n_successes, max_attempts):
+        profiles = []
+        statuses = []
+        k = 0
+        while len(profiles) < n_successes and k < max_attempts:
+            status = self._run(program, self.workload.passing_run_plan(k))
+            k += 1
+            if self.workload.is_failure(status):
+                continue
+            profile = extract_profile(
+                program, status, self.ring,
+                site_kinds=SUCCESS_SITE_KINDS,
+                site_ids=success_site_ids,
+                outcome="success", run_index=k,
+            )
+            if profile is not None:
+                profiles.append(profile)
+                statuses.append(status)
+        return profiles, statuses
+
+    # ------------------------------------------------------------------
+    # Diagnosis
+    # ------------------------------------------------------------------
+
+    def diagnose(self, n_failures=10, n_successes=10, max_attempts=None):
+        """Run the full campaign and return a :class:`Diagnosis`."""
+        cap = max_attempts if max_attempts is not None else \
+            (n_failures + n_successes) * 20 + 50
+        failing = self._collect_failures(
+            self.failure_program, n_failures, cap
+        )
+        failure_profiles = []
+        for index, status in enumerate(failing):
+            profile = extract_profile(
+                self.failure_program, status, self.ring, run_index=index,
+            )
+            if profile is not None:
+                failure_profiles.append(profile)
+        if not failure_profiles:
+            raise DiagnosisError("no failure-site profiles collected")
+        dominant = dominant_failure_site(
+            self.failure_program, failing, self.ring
+        )
+        failure_site = site_by_id(self.failure_program, dominant)
+        failure_profiles = [p for p in failure_profiles
+                            if p.site_id == dominant]
+
+        if self.scheme == "reactive":
+            success_program, success_sites = self._reactive_success_program(
+                failure_site, failing[0]
+            )
+        else:
+            success_program = self.failure_program
+            success_sites = self._proactive_success_sites(failure_site)
+        success_profiles, passing = self._collect_success_profiles(
+            success_program, success_sites, n_successes, cap
+        )
+        ranked = rank_predictors(failure_profiles, success_profiles)
+        success_site = site_by_id(success_program, min(success_sites)) \
+            if success_sites else None
+        return Diagnosis(
+            ranked=ranked,
+            failure_site=failure_site,
+            success_site=success_site,
+            n_failure_profiles=len(failure_profiles),
+            n_success_profiles=len(success_profiles),
+            scheme=self.scheme,
+            ring=self.ring,
+            failing_statuses=failing,
+            passing_statuses=passing,
+        )
+
+    def diagnose_all(self, n_failures_per_site=8, n_successes=8,
+                     max_attempts=None):
+        """Diagnose *every* failure the workload exhibits, separately.
+
+        Section 5.3, "Multiple failures": large software fails for many
+        reasons; since each failure-run profile identifies its failure
+        site, profiles are grouped by site and each group is diagnosed
+        on its own.  Returns a dict mapping failure-site id to its
+        :class:`Diagnosis`.
+
+        Failing runs keep being drawn from ``failing_run_plan`` until
+        every observed site has *n_failures_per_site* profiles (or the
+        attempt budget runs out), so workloads whose failing plans
+        rotate through several bugs are handled naturally.
+        """
+        cap = max_attempts if max_attempts is not None else \
+            n_failures_per_site * 40 + 100
+        by_site = {}
+        statuses_by_site = {}
+        attempts = 0
+        while attempts < cap:
+            status = self._run(self.failure_program,
+                               self.workload.failing_run_plan(attempts))
+            attempts += 1
+            if not self.workload.is_failure(status):
+                continue
+            profile = extract_profile(
+                self.failure_program, status, self.ring,
+                run_index=attempts,
+            )
+            if profile is None:
+                continue
+            bucket = by_site.setdefault(profile.site_id, [])
+            statuses_by_site.setdefault(profile.site_id, []) \
+                .append(status)
+            if len(bucket) < n_failures_per_site:
+                bucket.append(profile)
+            if by_site and all(len(b) >= n_failures_per_site
+                               for b in by_site.values()) \
+                    and attempts >= 2 * n_failures_per_site:
+                break
+        diagnoses = {}
+        for site_id, profiles in by_site.items():
+            failure_site = site_by_id(self.failure_program, site_id)
+            first = statuses_by_site[site_id][0]
+            try:
+                if self.scheme == "reactive":
+                    program, success_sites = \
+                        self._reactive_success_program(failure_site,
+                                                       first)
+                else:
+                    program = self.failure_program
+                    success_sites = \
+                        self._proactive_success_sites(failure_site)
+                success_profiles, passing = \
+                    self._collect_success_profiles(
+                        program, success_sites, n_successes, cap
+                    )
+            except DiagnosisError:
+                success_profiles, passing = [], []
+            diagnoses[site_id] = Diagnosis(
+                ranked=rank_predictors(profiles, success_profiles),
+                failure_site=failure_site,
+                success_site=None,
+                n_failure_profiles=len(profiles),
+                n_success_profiles=len(success_profiles),
+                scheme=self.scheme,
+                ring=self.ring,
+                failing_statuses=statuses_by_site[site_id],
+                passing_statuses=passing,
+            )
+        return diagnoses
+
+    def _reactive_success_program(self, failure_site, first_failure):
+        if failure_site.kind == "segv-handler":
+            fault = first_failure.fault
+            location = self.failure_program.debug_info.location_at(fault.pc)
+            if location is None:
+                raise DiagnosisError(
+                    "cannot locate faulting statement at 0x%x" % fault.pc
+                )
+            target = ReactiveTarget(kind="segv", function=location.function,
+                                    line=location.line)
+        else:
+            target = ReactiveTarget(kind="log", function=failure_site.function,
+                                    line=failure_site.line)
+        program = self._build_program(
+            success_scheme="reactive", reactive_target=target
+        )
+        site_ids = {
+            site.site_id for site in sites_of(program)
+            if site.kind == "success"
+        }
+        if not site_ids:
+            raise DiagnosisError(
+                "reactive transformation produced no success site for %s"
+                % (target,)
+            )
+        return program, site_ids
+
+    def _proactive_success_sites(self, failure_site):
+        if failure_site.kind == "segv-handler":
+            raise DiagnosisError(
+                "the proactive scheme cannot cover failures at unexpected "
+                "locations (segmentation faults); use the reactive scheme"
+            )
+        site_ids = {
+            site.site_id for site in sites_of(self.failure_program)
+            if site.kind == "success"
+            and site.paired_failure_site == failure_site.site_id
+        }
+        if not site_ids:
+            # Fall back to success sites in the same function (unguarded
+            # logging calls have no Figure 8 pairing).
+            site_ids = {
+                site.site_id for site in sites_of(self.failure_program)
+                if site.kind == "success"
+                and site.function == failure_site.function
+            }
+        if not site_ids:
+            raise DiagnosisError(
+                "no proactive success site pairs with %s" % (failure_site,)
+            )
+        return site_ids
+
+
+class LbraTool(DiagnosisToolBase):
+    """LBRA: automatic diagnosis of sequential-bug failures."""
+
+    ring = "lbr"
+
+
+__all__ = ["Diagnosis", "DiagnosisError", "DiagnosisToolBase", "LbraTool"]

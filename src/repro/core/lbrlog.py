@@ -1,0 +1,79 @@
+"""LBRLOG — LBR-based failure-log enhancement (Section 5.1).
+
+The tool transforms a workload so that the LBR ring is profiled right
+before every failure-logging call and inside the segmentation-fault
+handler, then decodes collected snapshots back into source branches with
+outcomes ("the branch at ``merge:12`` evaluated true, 3 entries before
+the failure").
+"""
+
+from dataclasses import dataclass
+
+from repro.core.logtool import DecodedEntry, LogToolBase
+
+
+@dataclass
+class LbrLogReport:
+    """Decoded LBR contents at a failure site."""
+
+    status: object            # ExitStatus
+    site: object              # LoggingSite or None
+    entries: list             # DecodedEntry rows, newest first
+
+    @property
+    def captured(self):
+        return self.site is not None
+
+    def position_of_line(self, lines, outcome=None):
+        """Return the position (1 = latest) of the first entry whose
+        source branch sits on one of *lines*, or ``None``.
+
+        This is the "n after the check-mark" of Table 6: how deep in the
+        LBR the root-cause branch sits.  *outcome* optionally requires
+        the recorded outcome suffix ("=T"/"=F") to match.
+        """
+        wanted = set(lines)
+        for row in self.entries:
+            if row.event.kind != "branch" or row.line not in wanted:
+                continue
+            if outcome is None:
+                return row.position
+            suffix = "=T" if outcome else "=F"
+            if row.event.event_id.endswith(suffix):
+                return row.position
+        return None
+
+    def position_of_function(self, function_names):
+        """Position of the first entry inside one of *function_names*."""
+        wanted = set(function_names)
+        for row in self.entries:
+            if row.function in wanted:
+                return row.position
+        return None
+
+    def describe(self):
+        lines = ["LBRLOG @ %s" % (self.site,)]
+        lines.extend("  %s" % row for row in self.entries)
+        return "\n".join(lines)
+
+
+class LbrLogTool(LogToolBase):
+    """LBRLOG for one workload."""
+
+    ring = "lbr"
+
+    def report(self, status):
+        """Build the :class:`LbrLogReport` for one run's failure profile."""
+        profile, site = self.failure_snapshot(status)
+        if profile is None:
+            return LbrLogReport(status=status, site=None, entries=[])
+        return LbrLogReport(
+            status=status, site=site, entries=self.decode(profile),
+        )
+
+    def capture_failure(self, k=0):
+        """Run the k-th failing plan and report the failure-site LBR."""
+        return self.report(self.run_failing(k))
+
+
+__all__ = ["DecodedEntry", "LbrLogReport", "LbrLogTool"]

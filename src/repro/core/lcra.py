@@ -1,0 +1,27 @@
+"""LCRA — automatic diagnosis of concurrency-bug failures from LCR records.
+
+Identical orchestration to LBRA, ranking coherence events instead of
+branch events.  Following Table 7's footnote, LCRA defaults to the
+space-consuming LCR configuration (Conf2: invalid loads, invalid stores,
+exclusive loads), whose exclusive-load class is what exposes
+read-too-early order violations such as the FFT bug of Figure 5.
+"""
+
+from repro.core.lbra import DiagnosisToolBase
+from repro.core.lcrlog import CONF2_SPACE_CONSUMING
+
+
+class LcraTool(DiagnosisToolBase):
+    """LCRA: automatic diagnosis of concurrency-bug failures."""
+
+    ring = "lcr"
+
+    def __init__(self, workload, scheme="reactive", toggling=True,
+                 lcr_selector=CONF2_SPACE_CONSUMING):
+        super().__init__(
+            workload, scheme=scheme, toggling=toggling,
+            lcr_selector=lcr_selector,
+        )
+
+
+__all__ = ["LcraTool"]

@@ -1,0 +1,108 @@
+"""Run profiles: the LBR/LCR snapshot representing one run.
+
+A failure-run profile is the ring snapshot collected at the failure site
+(the failure-logging call or the segmentation-fault handler); a
+success-run profile is the snapshot collected at the matched success
+logging site (Section 5.2).  The statistical model treats a profile as a
+set of events.
+"""
+
+from dataclasses import dataclass
+
+from repro.core.events import branch_event, coherence_event
+
+#: Site kinds that represent failure profiling points.
+FAILURE_SITE_KINDS = ("failure-log", "segv-handler")
+#: Site kinds that represent success profiling points.
+SUCCESS_SITE_KINDS = ("success",)
+
+
+@dataclass
+class RunProfile:
+    """The profile of one run at one logging site."""
+
+    run_index: int
+    outcome: str          # "failure" or "success"
+    ring: str             # "lbr" or "lcr"
+    site_id: int
+    events: tuple         # newest-first
+    snapshot: object      # the raw ProfileSnapshot
+
+    @property
+    def event_set(self):
+        return frozenset(self.events)
+
+    def latest(self, n):
+        """Return the n-th latest event (1 = newest), or ``None``."""
+        if 1 <= n <= len(self.events):
+            return self.events[n - 1]
+        return None
+
+
+def sites_of(program):
+    """Return the transformer's logging-site table for *program*."""
+    return tuple(program.metadata.get("logging_sites", ()))
+
+
+def site_by_id(program, site_id):
+    """Return the :class:`LoggingSite` with *site_id*, or ``None``."""
+    for site in sites_of(program):
+        if site.site_id == site_id:
+            return site
+    return None
+
+
+def _decode(program, ring, snapshot):
+    decode = branch_event if ring == "lbr" else coherence_event
+    return tuple(decode(program, entry) for entry in snapshot.entries)
+
+
+def extract_profile(program, status, ring, site_kinds=FAILURE_SITE_KINDS,
+                    site_ids=None, outcome="failure", run_index=0):
+    """Extract the run's profile for *ring* at matching sites.
+
+    Takes the **last** matching snapshot of the run — the one closest to
+    the run's end, hence closest to the failure (or to where the failure
+    would have been).  Returns ``None`` when the run never profiled a
+    matching site.
+    """
+    sites = {site.site_id: site for site in sites_of(program)}
+    chosen = None
+    for snapshot in status.profiles:
+        if snapshot.kind != ring:
+            continue
+        site = sites.get(snapshot.site_id)
+        if site is None:
+            continue
+        if site_ids is not None and site.site_id not in site_ids:
+            continue
+        if site.kind not in site_kinds:
+            continue
+        chosen = snapshot
+    if chosen is None:
+        return None
+    return RunProfile(
+        run_index=run_index,
+        outcome=outcome,
+        ring=ring,
+        site_id=chosen.site_id,
+        events=_decode(program, ring, chosen),
+        snapshot=chosen,
+    )
+
+
+def dominant_failure_site(program, statuses, ring):
+    """Return the failure-site id profiled most often across *statuses*.
+
+    Large software fails for many reasons; profiles are grouped by their
+    failure site so different failures are diagnosed separately
+    (Section 5.3, "Multiple failures").
+    """
+    counts = {}
+    for status in statuses:
+        profile = extract_profile(program, status, ring)
+        if profile is not None:
+            counts[profile.site_id] = counts.get(profile.site_id, 0) + 1
+    if not counts:
+        return None
+    return max(sorted(counts), key=lambda site_id: counts[site_id])

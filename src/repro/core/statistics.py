@@ -1,0 +1,115 @@
+"""Statistical ranking of failure-predicting events (Section 5.2).
+
+Each success/failure run contributes one profile — a set of events
+recorded in its LBR/LCR snapshot.  For an event *e*:
+
+* prediction precision  = |F & e| / |e|   (runs that fail among those
+  predicted to fail by *e*);
+* prediction recall     = |F & e| / |F|   (failing runs predicted by *e*);
+
+and events are ranked by the harmonic mean of the two.  Ties share a
+dense rank: several events can legitimately be perfect predictors (the
+branch guarding the failure-logging call always is), and the paper's
+"top-1 predictor" claim is interpreted over that tied set.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PredictorScore:
+    """Ranking result for one event."""
+
+    event: object
+    precision: float
+    recall: float
+    f_score: float
+    failure_hits: int
+    success_hits: int
+    rank: int = 0        # dense rank, 1 = best
+
+    def __str__(self):
+        return "#%d %s (f=%.3f p=%.3f r=%.3f F=%d S=%d)" % (
+            self.rank, self.event, self.f_score,
+            self.precision, self.recall,
+            self.failure_hits, self.success_hits,
+        )
+
+
+def harmonic_mean(a, b):
+    """Harmonic mean, 0 when either input is 0."""
+    if a <= 0 or b <= 0:
+        return 0.0
+    return 2.0 * a * b / (a + b)
+
+
+def rank_predictors(failure_profiles, success_profiles):
+    """Rank all events observed across the given profiles.
+
+    Returns :class:`PredictorScore` objects sorted best-first, with dense
+    ranks assigned (equal scores share a rank).
+    """
+    total_failures = len(failure_profiles)
+    failure_hits = {}
+    success_hits = {}
+    events = {}
+    for profile in failure_profiles:
+        for event in profile.event_set:
+            events[event.event_id] = event
+            failure_hits[event.event_id] = \
+                failure_hits.get(event.event_id, 0) + 1
+    for profile in success_profiles:
+        for event in profile.event_set:
+            events[event.event_id] = event
+            success_hits[event.event_id] = \
+                success_hits.get(event.event_id, 0) + 1
+
+    scores = []
+    for event_id, event in events.items():
+        f_hits = failure_hits.get(event_id, 0)
+        s_hits = success_hits.get(event_id, 0)
+        observed = f_hits + s_hits
+        precision = f_hits / observed if observed else 0.0
+        recall = f_hits / total_failures if total_failures else 0.0
+        scores.append(PredictorScore(
+            event=event,
+            precision=precision,
+            recall=recall,
+            f_score=harmonic_mean(precision, recall),
+            failure_hits=f_hits,
+            success_hits=s_hits,
+        ))
+    scores.sort(key=lambda s: (-s.f_score, -s.precision, -s.recall,
+                               s.event.event_id))
+    return _assign_dense_ranks(scores)
+
+
+def _assign_dense_ranks(scores):
+    """Assign dense ranks: equal (f, p, r) triples share a rank."""
+    ranked = []
+    rank = 0
+    previous_key = None
+    for score in scores:
+        key = (score.f_score, score.precision, score.recall)
+        if key != previous_key:
+            rank += 1
+            previous_key = key
+        ranked.append(PredictorScore(
+            event=score.event,
+            precision=score.precision,
+            recall=score.recall,
+            f_score=score.f_score,
+            failure_hits=score.failure_hits,
+            success_hits=score.success_hits,
+            rank=rank,
+        ))
+    return ranked
+
+
+def rank_of_event(scores, predicate):
+    """Return the dense rank of the first event satisfying *predicate*,
+    or ``None`` if no ranked event matches."""
+    for score in scores:
+        if predicate(score.event):
+            return score.rank
+    return None

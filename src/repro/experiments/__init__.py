@@ -1,0 +1,12 @@
+"""Experiment drivers — one per table/figure of the paper's evaluation.
+
+Every driver exposes ``run(...)`` returning an :class:`ExperimentResult`
+whose ``rows`` hold the regenerated data and whose ``format()`` renders
+the table the way the paper prints it.  The benchmark harness
+(``benchmarks/``) executes these drivers and checks the *shape* claims
+(who wins, what is captured, orderings) rather than absolute numbers.
+"""
+
+from repro.experiments.report import ExperimentResult, format_table
+
+__all__ = ["ExperimentResult", "format_table"]

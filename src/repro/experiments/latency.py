@@ -1,0 +1,74 @@
+"""Diagnosis-latency comparison (Sections 5.3 and 7.2).
+
+LBRA deterministically profiles every failure, so it needs a failure to
+occur only ~10 times; the CBI approach samples at 1/100 and needs the
+failure to recur hundreds of times.  This experiment sweeps the number
+of failure occurrences granted to each tool and reports whether the
+root cause (or a root-cause-related branch) is still identified —
+reproducing the paper's finding that CBI loses most benchmarks when
+limited to 500 failure runs while LBRA succeeds with 10.
+"""
+
+from repro.baselines.cbi import BaselineUnsupportedError, CbiTool
+from repro.bugs.registry import sequential_bugs
+from repro.core.lbra import DiagnosisError, LbraTool
+from repro.experiments.report import ExperimentResult
+
+
+def _lbra_found(bug, n_runs):
+    try:
+        diagnosis = LbraTool(bug, scheme="reactive").diagnose(
+            n_failures=n_runs, n_successes=n_runs
+        )
+    except DiagnosisError:
+        return False
+    lines = tuple(bug.root_cause_lines) + tuple(bug.related_lines)
+    rank = diagnosis.rank_of_line(lines)
+    return rank is not None and rank <= 3
+
+
+def _cbi_found(bug, n_runs, seed=0):
+    try:
+        tool = CbiTool(bug, seed=seed)
+    except BaselineUnsupportedError:
+        return None
+    diagnosis = tool.diagnose(n_failures=n_runs, n_successes=n_runs)
+    lines = tuple(bug.root_cause_lines) + tuple(bug.related_lines)
+    rank = diagnosis.rank_of_line(lines)
+    return rank is not None and rank <= 3
+
+
+def run(lbra_runs=(10,), cbi_runs=(100, 500, 1000), bugs=None):
+    """Sweep failure-run budgets for LBRA and CBI."""
+    selected = bugs if bugs is not None else [
+        bug for bug in sequential_bugs() if bug.language != "cpp"
+    ]
+    rows = []
+    for bug in selected:
+        row = [bug.paper_name]
+        for n_runs in lbra_runs:
+            row.append("found" if _lbra_found(bug, n_runs) else "-")
+        for n_runs in cbi_runs:
+            found = _cbi_found(bug, n_runs)
+            row.append("N/A" if found is None
+                       else ("found" if found else "-"))
+        rows.append(tuple(row))
+    headers = (["app"]
+               + ["LBRA@%d" % n for n in lbra_runs]
+               + ["CBI@%d" % n for n in cbi_runs])
+    lbra_hits = sum(1 for row in rows if row[1] == "found")
+    summary = ["LBRA identifies %d/%d with %d failure runs"
+               % (lbra_hits, len(rows), lbra_runs[0])]
+    for offset, n_runs in enumerate(cbi_runs):
+        hits = sum(1 for row in rows
+                   if row[1 + len(lbra_runs) + offset] == "found")
+        summary.append("CBI identifies %d/%d with %d failure runs"
+                       % (hits, len(rows), n_runs))
+    return ExperimentResult(
+        name="latency",
+        title="Diagnosis latency: failure occurrences needed "
+              "(root cause or related branch in top 3)",
+        headers=headers,
+        rows=rows,
+        notes=summary,
+    )

@@ -1,0 +1,55 @@
+"""Result containers and plain-text table rendering."""
+
+from dataclasses import dataclass, field
+
+
+def format_table(headers, rows, title=""):
+    """Render an aligned plain-text table."""
+    columns = len(headers)
+    widths = [len(str(h)) for h in headers]
+    text_rows = []
+    for row in rows:
+        text_row = [str(cell) for cell in row]
+        text_row += [""] * (columns - len(text_row))
+        for index, cell in enumerate(text_row[:columns]):
+            widths[index] = max(widths[index], len(cell))
+        text_rows.append(text_row)
+    def line(cells):
+        return "  ".join(
+            cell.ljust(widths[index]) for index, cell in enumerate(cells)
+        ).rstrip()
+    out = []
+    if title:
+        out.append(title)
+    out.append(line([str(h) for h in headers]))
+    out.append("  ".join("-" * w for w in widths))
+    out.extend(line(row) for row in text_rows)
+    return "\n".join(out)
+
+
+@dataclass
+class ExperimentResult:
+    """Output of one experiment driver."""
+
+    name: str
+    headers: list
+    rows: list
+    title: str = ""
+    notes: list = field(default_factory=list)
+
+    def format(self):
+        text = format_table(self.headers, self.rows, title=self.title)
+        if self.notes:
+            text += "\n" + "\n".join("note: %s" % n for n in self.notes)
+        return text
+
+    def row_by_key(self, key, column=0):
+        """Return the first row whose *column* equals *key*."""
+        for row in self.rows:
+            if row[column] == key:
+                return row
+        raise KeyError(key)
+
+    def column(self, index):
+        """Return one column across all rows."""
+        return [row[index] for row in self.rows]

@@ -1,0 +1,74 @@
+"""Table 2 — L1 data-cache cache-coherence events.
+
+Regenerates the (event code, unit mask) matrix and verifies each event
+is actually countable by driving the simulated cache hierarchy through
+access patterns that produce every observed state.
+"""
+
+from repro.cache.bus import CoherenceBus
+from repro.cache.l1cache import L1Cache
+from repro.cache.mesi import MesiState
+from repro.hwpmu.counters import CoherenceCounters, UNIT_MASK
+from repro.hwpmu.lcr import AccessType
+from repro.isa.instructions import Ring
+from repro.experiments.report import ExperimentResult
+
+_DESCRIPTIONS = {
+    MesiState.INVALID: "Observe I state prior to a cache access",
+    MesiState.SHARED: "Observe S state prior to a cache access",
+    MesiState.EXCLUSIVE: "Observe E state prior to a cache access",
+    MesiState.MODIFIED: "Observe M state prior to a cache access",
+}
+
+
+def _drive_all_states():
+    """Produce at least one load and store observation of every state."""
+    bus = CoherenceBus()
+    for core_id in range(2):
+        bus.attach(L1Cache(core_id=core_id))
+    counters = CoherenceCounters()
+
+    def access(core, address, store):
+        observed = bus.access(core, address, store)
+        counters.observe(0x1000, observed,
+                         AccessType.STORE if store else AccessType.LOAD,
+                         Ring.USER)
+
+    address = 0x4000
+    access(0, address, False)   # load miss: I
+    access(0, address, False)   # load hit: E
+    access(0, address, True)    # store upgrade: E
+    access(0, address, True)    # store hit: M
+    access(0, address, False)   # load hit: M
+    access(1, address, False)   # remote load: I, both shared
+    access(0, address, False)   # load hit: S
+    access(0, address, True)    # store on shared: S
+    access(1, address, True)    # store after invalidation: I
+    return counters
+
+
+def run():
+    """Regenerate Table 2."""
+    counters = _drive_all_states()
+    rows = []
+    for state in (MesiState.INVALID, MesiState.SHARED,
+                  MesiState.EXCLUSIVE, MesiState.MODIFIED):
+        load_count = counters.read(AccessType.LOAD, state)
+        store_count = counters.read(AccessType.STORE, state)
+        rows.append((
+            "0x%02x" % UNIT_MASK[state],
+            _DESCRIPTIONS[state],
+            load_count,
+            store_count,
+        ))
+    return ExperimentResult(
+        name="table2",
+        title="Table 2: L1 data-cache cache-coherence events "
+              "(LOAD event code 0x40, STORE 0x41); counts from the "
+              "state-coverage driver",
+        headers=["unit mask", "description", "loads seen", "stores seen"],
+        rows=rows,
+        notes=["every load state observable: %s" % all(
+            counters.read(AccessType.LOAD, s) > 0 for s in MesiState
+        )],
+    )

@@ -1,0 +1,48 @@
+"""Table 4 — features of the evaluated real-world failures.
+
+Reports the paper's metadata for each benchmark next to the miniature's
+own statistics (source lines, logging points after the LBRLOG/LCRLOG
+transformation).
+"""
+
+from repro.bugs.registry import all_bugs
+from repro.core.lbrlog import LbrLogTool
+from repro.core.lcrlog import LcrLogTool
+from repro.core.profiles import sites_of
+from repro.experiments.report import ExperimentResult
+
+
+def run():
+    """Regenerate Table 4."""
+    rows = []
+    for bug in all_bugs():
+        if bug.category == "sequential":
+            tool = LbrLogTool(bug)
+        else:
+            tool = LcrLogTool(bug)
+        sites = sites_of(tool.program)
+        miniature_loc = len(bug.source.strip().splitlines())
+        rows.append((
+            bug.paper_name,
+            bug.version,
+            bug.paper_kloc,
+            bug.root_cause_kind.value,
+            bug.failure_kind.value,
+            bug.paper_log_points,
+            miniature_loc,
+            len(sites),
+            bug.category,
+        ))
+    return ExperimentResult(
+        name="table4",
+        title="Table 4: features of real-world failures evaluated "
+              "(paper columns + miniature columns)",
+        headers=["program", "version", "KLOC (paper)", "root cause",
+                 "failure symptom", "log points (paper)",
+                 "miniature LoC", "miniature log sites", "category"],
+        rows=rows,
+        notes=[
+            "20 sequential + 11 concurrency failures from 18 programs, "
+            "as in the paper",
+        ],
+    )

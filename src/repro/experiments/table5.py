@@ -1,0 +1,60 @@
+"""Table 5 — resolution of control-flow uncertainties by LBRLOG.
+
+For every application, computes the *useful branch ratio* over all of
+its logging sites: the fraction of potential LBR entries whose
+taken-ness could not have been inferred statically from reaching the
+site (Section 7.1.1; the paper measures 0.74–0.98 over 6945 sites).
+"""
+
+from repro.analysis.static_infer import useful_branch_ratio
+from repro.bugs.registry import sequential_bugs
+from repro.core.lbrlog import LbrLogTool
+from repro.experiments.report import ExperimentResult
+
+#: Paper's Table 5 ratios by application (for side-by-side printing).
+PAPER_RATIOS = {
+    "Apache": 0.86, "cp": 0.77, "Cppcheck": 0.98, "Lighttpd": 0.84,
+    "ln": 0.81, "mv": 0.74, "paste": 0.86, "PBZIP": 0.81, "rm": 0.79,
+    "sort": 0.91, "Squid": 0.88, "tac": 0.89, "tar": 0.84,
+}
+
+
+def run():
+    """Regenerate Table 5 over the miniature applications."""
+    per_program = {}
+    for bug in sequential_bugs():
+        tool = LbrLogTool(bug)
+        ratio, results = useful_branch_ratio(tool.program)
+        sites = len(results)
+        entry = per_program.setdefault(
+            bug.program, {"ratios": [], "sites": 0,
+                          "log_fn": bug.log_functions[0]}
+        )
+        if sites:
+            entry["ratios"].append(ratio)
+            entry["sites"] += sites
+    rows = []
+    for program in sorted(per_program):
+        entry = per_program[program]
+        ratios = entry["ratios"]
+        mean = sum(ratios) / len(ratios) if ratios else 0.0
+        rows.append((
+            program,
+            "%.2f" % mean,
+            "%.2f" % PAPER_RATIOS.get(program, float("nan")),
+            entry["sites"],
+            entry["log_fn"],
+        ))
+    measured = [float(row[1]) for row in rows]
+    return ExperimentResult(
+        name="table5",
+        title="Table 5: resolution of control-flow uncertainties by "
+              "LBRLOG (useful branch ratio)",
+        headers=["application", "useful br. ratio (measured)",
+                 "(paper)", "log sites analyzed", "main log fun."],
+        rows=rows,
+        notes=[
+            "measured range: %.2f - %.2f (paper: 0.74 - 0.98)"
+            % (min(measured), max(measured)),
+        ],
+    )

@@ -1,0 +1,146 @@
+"""Table 6 — results of LBRLOG and LBRA over the 20 sequential failures.
+
+Per failure: where LBRLOG finds the root-cause branch (with and without
+toggling wrappers), where LBRA and CBI rank it, the patch distances
+from the failure site and from the best LBR entry, and the modeled
+overheads.  Cell syntax follows the paper: ``X n`` (root-cause branch,
+n-th latest entry / n-th predictor), ``X n*`` (root missed but a
+root-cause-related branch found), ``-`` (nothing related found),
+``N/A`` (CBI cannot run on C++ applications), ``inf`` (patch in a
+different function).
+"""
+
+from repro.analysis.patch_distance import (
+    INFINITE_DISTANCE,
+    failure_site_patch_distance,
+    lbr_patch_distance,
+)
+from repro.baselines.cbi import BaselineUnsupportedError, CbiTool
+from repro.bugs.registry import sequential_bugs
+from repro.core.lbra import DiagnosisError, LbraTool
+from repro.core.lbrlog import LbrLogTool
+from repro.experiments.overhead import (
+    find_reactive_target,
+    measure_workload_overheads,
+)
+from repro.experiments.report import ExperimentResult
+
+
+def _cell(value, related_value=None):
+    """Render an ``X n`` / ``X n*`` / ``-`` cell."""
+    if value is not None:
+        return "X %d" % value
+    if related_value is not None:
+        return "X %d*" % related_value
+    return "-"
+
+
+def _distance_cell(distance):
+    if distance == INFINITE_DISTANCE:
+        return "inf"
+    return "%d" % distance
+
+
+def _log_positions(bug, toggling):
+    tool = LbrLogTool(bug, toggling=toggling)
+    for k in range(20):
+        status = tool.run_failing(k)
+        if bug.is_failure(status):
+            break
+    report = tool.report(status)
+    root = report.position_of_line(bug.root_cause_lines)
+    related = report.position_of_line(bug.related_lines) \
+        if bug.related_lines else None
+    return report, root, related
+
+
+def evaluate_bug(bug, cbi_runs=1000, overhead_runs=5):
+    """Produce one Table 6 row (as a dict) for *bug*."""
+    report_tog, root_tog, related_tog = _log_positions(bug, toggling=True)
+    _report_no, root_no, related_no = _log_positions(bug, toggling=False)
+
+    try:
+        diagnosis = LbraTool(bug, scheme="reactive").diagnose(10, 10)
+        lbra_root = diagnosis.rank_of_line(bug.root_cause_lines)
+        lbra_related = diagnosis.rank_of_line(bug.related_lines) \
+            if bug.related_lines else None
+    except DiagnosisError:
+        lbra_root = lbra_related = None
+
+    cbi_cell = "N/A"
+    cbi_overhead = None
+    if bug.language != "cpp":
+        cbi = CbiTool(bug)
+        cbi_diag = cbi.diagnose(n_failures=cbi_runs, n_successes=cbi_runs)
+        cbi_root = cbi_diag.rank_of_line(bug.root_cause_lines)
+        cbi_related = cbi_diag.rank_of_line(bug.related_lines) \
+            if bug.related_lines else None
+        cbi_cell = _cell(cbi_root, cbi_related)
+        cbi_overhead = cbi.estimated_overhead()
+
+    distance_failure = failure_site_patch_distance(bug, report_tog)
+    distance_lbr = lbr_patch_distance(bug, report_tog)
+
+    target = find_reactive_target(bug, ring="lbr")
+    overheads = measure_workload_overheads(
+        bug, ring="lbr", runs=overhead_runs, reactive_target=target
+    )
+
+    return {
+        "name": bug.paper_name,
+        "lbrlog_tog": _cell(root_tog, related_tog),
+        "lbrlog_notog": _cell(root_no, related_no),
+        "lbra": _cell(lbra_root, lbra_related),
+        "cbi": cbi_cell,
+        "dist_failure": _distance_cell(distance_failure),
+        "dist_lbr": _distance_cell(distance_lbr),
+        "ovh_lbrlog_tog": overheads.lbrlog_toggling,
+        "ovh_lbrlog_notog": overheads.lbrlog_no_toggling,
+        "ovh_lbra_reactive": overheads.lbra_reactive,
+        "ovh_lbra_proactive": overheads.lbra_proactive,
+        "ovh_cbi": cbi_overhead,
+        "paper": bug.paper_results,
+    }
+
+
+def run(cbi_runs=1000, overhead_runs=5, bugs=None):
+    """Regenerate Table 6."""
+    rows = []
+    raw = []
+    for bug in (bugs if bugs is not None else sequential_bugs()):
+        data = evaluate_bug(bug, cbi_runs=cbi_runs,
+                            overhead_runs=overhead_runs)
+        raw.append(data)
+        paper = data["paper"]
+        rows.append((
+            data["name"],
+            data["lbrlog_tog"],
+            "(%s)" % paper.get("lbrlog_tog", "?"),
+            data["lbrlog_notog"],
+            "(%s)" % paper.get("lbrlog_notog", "?"),
+            data["lbra"],
+            "(%s)" % paper.get("lbra", "?"),
+            data["cbi"],
+            "(%s)" % paper.get("cbi", "?"),
+            data["dist_failure"],
+            data["dist_lbr"],
+            "%.2f%%" % (100 * data["ovh_lbrlog_tog"]),
+            "%.2f%%" % (100 * data["ovh_lbrlog_notog"]),
+            "%.2f%%" % (100 * data["ovh_lbra_reactive"]),
+            "%.2f%%" % (100 * data["ovh_lbra_proactive"]),
+            "N/A" if data["ovh_cbi"] is None
+            else "%.1f%%" % (100 * data["ovh_cbi"]),
+        ))
+    result = ExperimentResult(
+        name="table6",
+        title="Table 6: results of LBRLOG and LBRA "
+              "(paper's cells in parentheses)",
+        headers=["app", "LBRLOG tog", "(p)", "LBRLOG w/o", "(p)",
+                 "LBRA", "(p)", "CBI", "(p)",
+                 "dist fail", "dist LBR",
+                 "ovh LOG tog", "ovh LOG w/o",
+                 "ovh LBRA react", "ovh LBRA proact", "ovh CBI"],
+        rows=rows,
+    )
+    result.raw = raw
+    return result

@@ -1,0 +1,63 @@
+"""Hardware performance-monitoring unit models.
+
+This package contains the two "short-term memory" facilities the paper is
+built on:
+
+* :mod:`repro.hwpmu.lbr` — the Last Branch Record, an existing Intel
+  facility: a ring of the last N taken branches, with the filter classes of
+  Table 1;
+* :mod:`repro.hwpmu.lcr` — the Last Cache-coherence Record, the paper's
+  proposed extension: a per-core ring of the last K (program counter,
+  coherence state) pairs matching a configured event set (Table 2);
+* :mod:`repro.hwpmu.counters` — conventional coherence-event performance
+  counters (the substrate PBI samples from);
+* :mod:`repro.hwpmu.msr` — the machine-specific-register interface through
+  which software programs these units.
+"""
+
+from repro.hwpmu.msr import (
+    IA32_DEBUGCTL,
+    LBR_SELECT,
+    MSR_LASTBRANCH_FROM_BASE,
+    MSR_LASTBRANCH_TO_BASE,
+    MsrFile,
+)
+from repro.hwpmu.lbr import (
+    DEBUGCTL_DISABLE_VALUE,
+    DEBUGCTL_ENABLE_VALUE,
+    LBR_SELECT_PAPER_MASK,
+    LbrEntry,
+    LbrSelectBits,
+    LastBranchRecord,
+)
+from repro.hwpmu.lcr import (
+    CONF_SPACE_CONSUMING,
+    CONF_SPACE_SAVING,
+    AccessType,
+    LcrConfig,
+    LcrEntry,
+    LastCacheCoherenceRecord,
+)
+from repro.hwpmu.counters import CoherenceCounters, CoherenceEventCode
+
+__all__ = [
+    "AccessType",
+    "CONF_SPACE_CONSUMING",
+    "CONF_SPACE_SAVING",
+    "CoherenceCounters",
+    "CoherenceEventCode",
+    "DEBUGCTL_DISABLE_VALUE",
+    "DEBUGCTL_ENABLE_VALUE",
+    "IA32_DEBUGCTL",
+    "LBR_SELECT",
+    "LBR_SELECT_PAPER_MASK",
+    "LastBranchRecord",
+    "LastCacheCoherenceRecord",
+    "LbrEntry",
+    "LbrSelectBits",
+    "LcrConfig",
+    "LcrEntry",
+    "MSR_LASTBRANCH_FROM_BASE",
+    "MSR_LASTBRANCH_TO_BASE",
+    "MsrFile",
+]

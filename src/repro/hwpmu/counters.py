@@ -1,0 +1,108 @@
+"""Coherence-event performance counters.
+
+Modern processors can *count* L1 data-cache accesses that observe a given
+coherence state (Table 2 of the paper: LOAD event code 0x40, STORE 0x41,
+unit masks selecting the I/S/E/M state observed prior to the access).
+This module models those counters; they are the substrate PBI — one of the
+baseline diagnosis systems — samples from, and LCR is positioned as the
+natural "record while counting" extension of them.
+"""
+
+from dataclasses import dataclass
+
+from repro.cache.mesi import MesiState
+from repro.hwpmu.lcr import AccessType
+from repro.isa.instructions import Ring
+
+#: Unit masks from Table 2.
+UNIT_MASK = {
+    MesiState.INVALID: 0x01,
+    MesiState.SHARED: 0x02,
+    MesiState.EXCLUSIVE: 0x04,
+    MesiState.MODIFIED: 0x08,
+}
+
+
+@dataclass(frozen=True)
+class CoherenceEventCode:
+    """An (event code, unit mask) pair selecting one countable event."""
+
+    access: AccessType
+    state: MesiState
+
+    @property
+    def event_code(self):
+        return self.access.event_code
+
+    @property
+    def unit_mask(self):
+        return UNIT_MASK[self.state]
+
+    def __str__(self):
+        return "%s@%s (0x%x/0x%02x)" % (
+            self.access.value, self.state.letter,
+            self.event_code, self.unit_mask,
+        )
+
+
+def all_event_codes():
+    """Return every countable (access, state) combination of Table 2."""
+    return tuple(
+        CoherenceEventCode(access=access, state=state)
+        for access in AccessType
+        for state in MesiState
+    )
+
+
+class CoherenceCounters:
+    """Per-core counters of coherence events.
+
+    Counting "incurs no perceivable overhead on commodity machines"
+    (Section 2.2), so the counters are always armed; privilege filtering
+    matches the configuration existing hardware provides.  An optional
+    *sample hook* fires every ``sample_period`` matching events with the
+    event's program counter — this is how the PBI baseline obtains its
+    sampled per-instruction predicates.
+    """
+
+    def __init__(self, count_user=True, count_kernel=False):
+        self.count_user = count_user
+        self.count_kernel = count_kernel
+        self.counts = {}
+        self._sample_period = 0
+        self._sample_hook = None
+        self._sample_countdown = 0
+
+    def set_sample_hook(self, period, hook):
+        """Interrupt every *period* matching events, calling
+        ``hook(pc, access, state)``.  Pass period 0 to disarm."""
+        self._sample_period = period
+        self._sample_hook = hook if period else None
+        self._sample_countdown = period
+
+    def observe(self, pc, state, access, ring):
+        """Count one retired L1-D access."""
+        if ring is Ring.USER and not self.count_user:
+            return
+        if ring is Ring.KERNEL and not self.count_kernel:
+            return
+        key = (access, state)
+        self.counts[key] = self.counts.get(key, 0) + 1
+        if self._sample_hook is not None:
+            self._sample_countdown -= 1
+            if self._sample_countdown <= 0:
+                self._sample_countdown = self._sample_period
+                self._sample_hook(pc, access, state)
+
+    def read(self, access, state):
+        """Read the counter for one (access, state) event."""
+        return self.counts.get((access, state), 0)
+
+    def total(self):
+        """Return the total number of counted events."""
+        return sum(self.counts.values())
+
+    def reset(self):
+        """Zero all counters."""
+        self.counts.clear()
+        self._sample_countdown = self._sample_period

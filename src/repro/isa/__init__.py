@@ -1,0 +1,77 @@
+"""Instruction-set architecture of the simulated machine.
+
+This package defines the minimal RISC-style instruction set executed by
+:mod:`repro.machine`.  The ISA is deliberately small but complete enough to
+compile the MiniC language (:mod:`repro.lang`) and to exhibit the two
+hardware-visible event streams the paper relies on:
+
+* retired *taken branches*, recorded by the LBR (:mod:`repro.hwpmu.lbr`);
+* retired *L1 data-cache accesses*, classified by MESI coherence state and
+  recorded by the LCR (:mod:`repro.hwpmu.lcr`).
+"""
+
+from repro.isa.instructions import (
+    BinaryOperator,
+    BranchKind,
+    HwOp,
+    Instruction,
+    Opcode,
+    Ring,
+    UnaryOperator,
+)
+from repro.isa.layout import (
+    CODE_BASE,
+    GLOBALS_BASE,
+    HEAP_BASE,
+    INSTRUCTION_SIZE,
+    NULL_PAGE_LIMIT,
+    STACK_REGION_BASE,
+    STACK_SIZE,
+    WORD_SIZE,
+    stack_base_for_thread,
+)
+from repro.isa.registers import (
+    ARG_REGISTERS,
+    FP,
+    NUM_REGISTERS,
+    RV,
+    SP,
+    register_name,
+)
+from repro.isa.program import (
+    DebugInfo,
+    FunctionInfo,
+    Program,
+    SourceBranch,
+    SourceLocation,
+)
+
+__all__ = [
+    "ARG_REGISTERS",
+    "BinaryOperator",
+    "BranchKind",
+    "CODE_BASE",
+    "DebugInfo",
+    "FP",
+    "FunctionInfo",
+    "GLOBALS_BASE",
+    "HEAP_BASE",
+    "HwOp",
+    "INSTRUCTION_SIZE",
+    "Instruction",
+    "NULL_PAGE_LIMIT",
+    "NUM_REGISTERS",
+    "Opcode",
+    "Program",
+    "RV",
+    "Ring",
+    "SP",
+    "STACK_REGION_BASE",
+    "STACK_SIZE",
+    "SourceBranch",
+    "SourceLocation",
+    "UnaryOperator",
+    "WORD_SIZE",
+    "register_name",
+    "stack_base_for_thread",
+]

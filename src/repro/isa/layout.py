@@ -1,0 +1,56 @@
+"""Address-space layout of a simulated process.
+
+The machine uses a single flat byte-addressed address space per process.
+Code, globals, heap, and per-thread stacks live in disjoint regions so that
+an out-of-bounds access lands in an unmapped page and raises a simulated
+segmentation fault — the failure mode several of the paper's benchmark bugs
+(e.g. the Coreutils ``sort`` buffer overflow of Figure 3) rely on.
+"""
+
+#: Size of one encoded instruction, in bytes.  LBR entries record the
+#: *linear address* of branch instructions, so instruction addresses must be
+#: well-defined even though the simulator never serializes machine code.
+INSTRUCTION_SIZE = 4
+
+#: Natural word size, in bytes.  All MiniC scalars are one word.
+WORD_SIZE = 8
+
+#: Addresses below this limit are never mapped; dereferencing a NULL (or
+#: NULL-plus-small-offset) pointer faults, as on a real OS.
+NULL_PAGE_LIMIT = 0x1000
+
+#: Base address of the code region.
+CODE_BASE = 0x1000
+
+#: Base address of global variables.
+GLOBALS_BASE = 0x100000
+
+#: Base address of the heap (bump allocated by the runtime).
+HEAP_BASE = 0x200000
+
+#: Base address of the stack region; each thread gets a disjoint slice.
+STACK_REGION_BASE = 0x800000
+
+#: Bytes of stack reserved per thread.
+STACK_SIZE = 0x10000
+
+#: Maximum number of threads a single process may create.
+MAX_THREADS = 64
+
+
+def stack_base_for_thread(thread_id):
+    """Return the initial stack pointer for *thread_id*.
+
+    Stacks grow downward; the returned address is one word below the top of
+    the thread's stack slice.
+    """
+    if thread_id < 0 or thread_id >= MAX_THREADS:
+        raise ValueError("thread id out of range: %r" % (thread_id,))
+    top = STACK_REGION_BASE + (thread_id + 1) * STACK_SIZE
+    return top - WORD_SIZE
+
+
+def stack_bounds_for_thread(thread_id):
+    """Return the inclusive ``(low, high)`` byte bounds of a thread's stack."""
+    low = STACK_REGION_BASE + thread_id * STACK_SIZE
+    return low, low + STACK_SIZE - 1

@@ -1,0 +1,39 @@
+"""Register file conventions.
+
+The machine has :data:`NUM_REGISTERS` general-purpose integer registers.
+A handful of them have fixed roles assigned by the calling convention used
+by the MiniC compiler:
+
+* ``r0`` (:data:`RV`) — return value;
+* ``r1``–``r6`` (:data:`ARG_REGISTERS`) — the first six call arguments;
+* ``r14`` (:data:`FP`) — frame pointer;
+* ``r15`` (:data:`SP`) — stack pointer.
+
+Scratch registers ``r7``–``r13`` are caller-saved and freely used by
+expression code generation.
+"""
+
+NUM_REGISTERS = 16
+
+RV = 0
+ARG_REGISTERS = (1, 2, 3, 4, 5, 6)
+FIRST_SCRATCH = 7
+LAST_SCRATCH = 13
+FP = 14
+SP = 15
+
+_SPECIAL_NAMES = {RV: "rv", FP: "fp", SP: "sp"}
+
+
+def register_name(index):
+    """Return a human-readable name for register *index* (e.g. ``"sp"``)."""
+    if index in _SPECIAL_NAMES:
+        return _SPECIAL_NAMES[index]
+    if 0 <= index < NUM_REGISTERS:
+        return "r%d" % index
+    raise ValueError("register index out of range: %r" % (index,))
+
+
+def scratch_registers():
+    """Return the tuple of caller-saved scratch register indices."""
+    return tuple(range(FIRST_SCRATCH, LAST_SCRATCH + 1))

@@ -1,0 +1,39 @@
+"""Operating-system layer of the simulation.
+
+* :mod:`repro.kernel.scheduler` — thread interleaving policies.  Concurrency
+  bugs manifest or stay latent depending on the schedule, so the bug suite
+  drives runs with seeded-random and scripted schedulers.
+* :mod:`repro.kernel.driver` — the ``/dev/lbrdriver`` kernel-module
+  interface of Figure 7 (open + ioctl request codes).
+* :mod:`repro.kernel.signals` — signal-name plumbing for registering the
+  custom segmentation-fault handler (Section 5.1, step 4).
+"""
+
+from repro.kernel.scheduler import (
+    RandomScheduler,
+    RoundRobinScheduler,
+    ScriptedScheduler,
+)
+from repro.kernel.driver import (
+    DRIVER_CLEAN_LBR,
+    DRIVER_CONFIG_LBR,
+    DRIVER_DISABLE_LBR,
+    DRIVER_ENABLE_LBR,
+    DRIVER_PROFILE_LBR,
+    LbrDriver,
+)
+from repro.kernel.signals import SIGNAL_NAMES, signal_name
+
+__all__ = [
+    "DRIVER_CLEAN_LBR",
+    "DRIVER_CONFIG_LBR",
+    "DRIVER_DISABLE_LBR",
+    "DRIVER_ENABLE_LBR",
+    "DRIVER_PROFILE_LBR",
+    "LbrDriver",
+    "RandomScheduler",
+    "RoundRobinScheduler",
+    "SIGNAL_NAMES",
+    "ScriptedScheduler",
+    "signal_name",
+]

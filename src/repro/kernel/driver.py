@@ -1,0 +1,162 @@
+"""The ``/dev/lbrdriver`` kernel module interface (Figure 7).
+
+The paper exposes LBR MSR access to user level through a small Linux
+kernel module driven by ``ioctl`` requests::
+
+    fd = open("/dev/lbrdriver", O_RDWR);
+    ioctl(fd, DRIVER_CLEAN_LBR);    // Reset LBR entries
+    ioctl(fd, DRIVER_CONFIG_LBR);   // Configure filtering
+    ioctl(fd, DRIVER_ENABLE_LBR);   // Enable LBR recording
+    ...
+    ioctl(fd, DRIVER_DISABLE_LBR);  // Disable LBR recording
+    ioctl(fd, DRIVER_PROFILE_LBR);  // Profile LBR
+
+:class:`LbrDriver` reproduces that interface against a simulated
+:class:`~repro.machine.cpu.Machine`: each ioctl performs the privileged
+MSR reads/writes (``rdmsr``/``wrmsr`` wrappers in the paper) on the
+machine's cores.  Inside simulated programs the same operations are
+reached through ``HWOP`` instructions, which is what the log-enhancement
+transformer emits; this host-side driver exists for interactive use,
+tests, and examples.
+"""
+
+from repro.hwpmu import msr as msrdefs
+from repro.hwpmu.lbr import (
+    DEBUGCTL_DISABLE_VALUE,
+    DEBUGCTL_ENABLE_VALUE,
+    LBR_SELECT_PAPER_MASK,
+)
+
+#: ioctl request codes (values are arbitrary but stable).
+DRIVER_CLEAN_LBR = 0x4C01
+DRIVER_CONFIG_LBR = 0x4C02
+DRIVER_ENABLE_LBR = 0x4C03
+DRIVER_DISABLE_LBR = 0x4C04
+DRIVER_PROFILE_LBR = 0x4C05
+
+#: LCR requests — the paper expects LCR "will be accessed in a similar
+#: way as we access LBR" (Section 4.3).
+DRIVER_CLEAN_LCR = 0x4D01
+DRIVER_CONFIG_LCR = 0x4D02
+DRIVER_ENABLE_LCR = 0x4D03
+DRIVER_DISABLE_LCR = 0x4D04
+DRIVER_PROFILE_LCR = 0x4D05
+
+#: The device path, for interface fidelity.
+DEVICE_PATH = "/dev/lbrdriver"
+
+
+class DriverError(Exception):
+    """Raised for bad file descriptors or unknown ioctl requests."""
+
+
+class LbrDriver:
+    """User-level handle to the LBR kernel module of one machine."""
+
+    def __init__(self, machine):
+        self._machine = machine
+        self._open_fds = set()
+        self._next_fd = 3  # 0-2 are stdio, as on a real process
+
+    # ------------------------------------------------------------------
+    # POSIX-flavoured surface
+    # ------------------------------------------------------------------
+
+    def open(self, path=DEVICE_PATH):
+        """Open the device; returns a file descriptor."""
+        if path != DEVICE_PATH:
+            raise DriverError("no such device: %r" % (path,))
+        fd = self._next_fd
+        self._next_fd += 1
+        self._open_fds.add(fd)
+        return fd
+
+    def close(self, fd):
+        """Close a file descriptor."""
+        self._check_fd(fd)
+        self._open_fds.remove(fd)
+
+    def ioctl(self, fd, request, arg=None):
+        """Dispatch one ioctl request.
+
+        ``DRIVER_PROFILE_LBR`` returns the current core's ring contents
+        (newest first) read through the ``BRANCH_n_FROM_IP`` MSRs, for the
+        core given by *arg* (default core 0).
+        """
+        self._check_fd(fd)
+        if request == DRIVER_CLEAN_LBR:
+            for core in self._machine.cores:
+                core.lbr.reset()
+            return None
+        if request == DRIVER_CONFIG_LBR:
+            mask = int(LBR_SELECT_PAPER_MASK) if arg is None else int(arg)
+            for core in self._machine.cores:
+                core.msrs.wrmsr(msrdefs.LBR_SELECT, mask)
+            return None
+        if request == DRIVER_ENABLE_LBR:
+            for core in self._machine.cores:
+                core.msrs.wrmsr(msrdefs.IA32_DEBUGCTL, DEBUGCTL_ENABLE_VALUE)
+            return None
+        if request == DRIVER_DISABLE_LBR:
+            for core in self._machine.cores:
+                core.msrs.wrmsr(msrdefs.IA32_DEBUGCTL, DEBUGCTL_DISABLE_VALUE)
+            return None
+        if request == DRIVER_PROFILE_LBR:
+            core = self._machine.cores[arg or 0]
+            return self._read_ring_via_msrs(core)
+        if request == DRIVER_CLEAN_LCR:
+            for core in self._machine.cores:
+                core.lcr.reset()
+            return None
+        if request == DRIVER_CONFIG_LCR:
+            for core in self._machine.cores:
+                core.msrs.wrmsr(msrdefs.LCR_SELECT, int(arg))
+            return None
+        if request == DRIVER_ENABLE_LCR:
+            for core in self._machine.cores:
+                core.lcr.enable(pollute=False)
+            return None
+        if request == DRIVER_DISABLE_LCR:
+            for core in self._machine.cores:
+                core.lcr.disable(pollute=False)
+            return None
+        if request == DRIVER_PROFILE_LCR:
+            core = self._machine.cores[arg or 0]
+            return self._read_lcr_via_msrs(core)
+        raise DriverError("unknown ioctl request 0x%x" % request)
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+
+    def _check_fd(self, fd):
+        if fd not in self._open_fds:
+            raise DriverError("bad file descriptor: %r" % (fd,))
+
+    @staticmethod
+    def _read_ring_via_msrs(core):
+        """Read (from_ip, to_ip) pairs newest-first through the MSR file."""
+        pairs = []
+        for slot in range(core.lbr.capacity):
+            from_ip = core.msrs.rdmsr(msrdefs.MSR_LASTBRANCH_FROM_BASE + slot)
+            to_ip = core.msrs.rdmsr(msrdefs.MSR_LASTBRANCH_TO_BASE + slot)
+            if from_ip == 0 and to_ip == 0:
+                break
+            pairs.append((from_ip, to_ip))
+        return pairs
+
+    @staticmethod
+    def _read_lcr_via_msrs(core):
+        """Read (pc, encoded state) pairs newest-first through MSRs."""
+        pairs = []
+        for slot in range(core.lcr.capacity):
+            pc = core.msrs.rdmsr(
+                msrdefs.MSR_LASTCOHERENCE_PC_BASE + slot
+            )
+            state = core.msrs.rdmsr(
+                msrdefs.MSR_LASTCOHERENCE_STATE_BASE + slot
+            )
+            if pc == 0 and state == 0:
+                break
+            pairs.append((pc, state))
+        return pairs

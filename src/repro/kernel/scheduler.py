@@ -1,0 +1,124 @@
+"""Thread schedulers.
+
+A scheduler's only obligation is a ``pick(machine)`` method returning the
+next runnable :class:`~repro.machine.thread.Thread` (or ``None`` when no
+thread is runnable).  Schedulers decide when concurrency bugs manifest:
+the bug suite pairs each concurrency benchmark with schedules known to
+trigger the failure and schedules known to avoid it.
+"""
+
+import random
+
+
+class RoundRobinScheduler:
+    """Quantum-based round robin (also the machine's built-in default)."""
+
+    def __init__(self, quantum=5):
+        if quantum < 1:
+            raise ValueError("quantum must be positive")
+        self.quantum = quantum
+        self._current_tid = None
+        self._remaining = 0
+
+    def pick(self, machine):
+        runnable = [t for t in machine.threads if t.runnable]
+        if not runnable:
+            return None
+        current = self._thread_by_tid(machine, self._current_tid)
+        if (current is not None and current.runnable
+                and self._remaining > 0 and not current.yielded):
+            self._remaining -= 1
+            return current
+        chosen = self._next_after(runnable, current)
+        self._current_tid = chosen.tid
+        self._remaining = self.quantum - 1
+        return chosen
+
+    @staticmethod
+    def _thread_by_tid(machine, tid):
+        if tid is None or tid >= len(machine.threads):
+            return None
+        return machine.threads[tid]
+
+    @staticmethod
+    def _next_after(runnable, current):
+        if current is not None:
+            current.yielded = False
+            later = [t for t in runnable if t.tid > current.tid]
+            if later:
+                return later[0]
+        return runnable[0]
+
+
+class RandomScheduler:
+    """Seeded random interleaving.
+
+    Stays on the current thread with probability ``1 - switch_probability``
+    each step, giving bursty, realistic interleavings.  The same seed always
+    produces the same schedule, which is what lets the failure-run /
+    success-run campaigns of LBRA, LCRA, and the CBI-style baselines be
+    reproducible.
+    """
+
+    def __init__(self, seed=0, switch_probability=0.1):
+        self._rng = random.Random(seed)
+        self.switch_probability = switch_probability
+        self._current_tid = None
+
+    def pick(self, machine):
+        runnable = [t for t in machine.threads if t.runnable]
+        if not runnable:
+            return None
+        current = None
+        if self._current_tid is not None:
+            for thread in runnable:
+                if thread.tid == self._current_tid:
+                    current = thread
+                    break
+        must_switch = (
+            current is None
+            or current.yielded
+            or self._rng.random() < self.switch_probability
+        )
+        if current is not None:
+            current.yielded = False
+        if not must_switch:
+            return current
+        chosen = self._rng.choice(runnable)
+        self._current_tid = chosen.tid
+        return chosen
+
+
+class ScriptedScheduler:
+    """Plays back an explicit interleaving.
+
+    ``script`` is a sequence of ``(tid, steps)`` segments.  When a
+    segment's thread is not runnable (blocked, not yet spawned, exited)
+    the segment is skipped.  After the script is exhausted, scheduling
+    falls back to round robin — convenient for driving a program
+    deterministically *through* the buggy window and letting it finish
+    naturally.
+    """
+
+    def __init__(self, script, fallback_quantum=5):
+        self._segments = [(tid, steps) for tid, steps in script]
+        self._fallback = RoundRobinScheduler(quantum=fallback_quantum)
+        self._position = 0
+        self._remaining = self._segments[0][1] if self._segments else 0
+
+    def pick(self, machine):
+        while self._position < len(self._segments):
+            tid, _steps = self._segments[self._position]
+            thread = machine.threads[tid] if tid < len(machine.threads) \
+                else None
+            if thread is None or not thread.runnable or self._remaining <= 0:
+                self._advance()
+                continue
+            self._remaining -= 1
+            return thread
+        return self._fallback.pick(machine)
+
+    def _advance(self):
+        self._position += 1
+        if self._position < len(self._segments):
+            self._remaining = self._segments[self._position][1]

@@ -1,0 +1,35 @@
+"""Signal-name plumbing.
+
+The log-enhancement transformer "registers a custom segmentation-fault
+signal handler to profile LBR/LCR" (Section 5.1).  In the simulation,
+handler registration is carried in ``Program.metadata['signal_handlers']``
+as a mapping from signal name to handler function name; the machine's
+loader wires it to the fault model.
+"""
+
+from repro.machine.faults import FaultKind
+
+#: FaultKind -> conventional POSIX signal name.
+SIGNAL_NAMES = {
+    FaultKind.SEGMENTATION_FAULT: "SIGSEGV",
+    FaultKind.ASSERTION_FAILURE: "SIGABRT",
+    FaultKind.DIVISION_BY_ZERO: "SIGFPE",
+    FaultKind.ILLEGAL_INSTRUCTION: "SIGILL",
+}
+
+
+def signal_name(kind):
+    """Return the signal name for *kind*, or its raw value."""
+    return SIGNAL_NAMES.get(kind, kind.value)
+
+
+def register_handler(program, kind, function_name):
+    """Record in *program* that *function_name* handles *kind* faults.
+
+    The function must exist in the program; the machine loader resolves it
+    at load time.
+    """
+    if function_name not in program.functions:
+        raise KeyError("no such function: %r" % (function_name,))
+    handlers = program.metadata.setdefault("signal_handlers", {})
+    handlers[kind.value] = function_name

@@ -1,0 +1,79 @@
+"""MiniC — the small C-like language the benchmark programs are written in.
+
+The paper's tools operate on C/C++ applications compiled to x86.  Here the
+applications are miniatures written in MiniC, a C subset with integers,
+global/local scalars and arrays, pointers-as-integers, functions, threads
+(``spawn``/``join``/``lock``/``unlock``), and failure-logging calls.  The
+pipeline mirrors the paper's:
+
+* :mod:`repro.lang.lexer` / :mod:`repro.lang.parser` — frontend;
+* :mod:`repro.lang.transform` — the source-to-source log-enhancement
+  transformer of Section 5.1 (wrapper redirection, LBR/LCR enabling at
+  ``main``, profiling before failure-logging calls, SIGSEGV handler,
+  Figure 8 success-site insertion);
+* :mod:`repro.compiler` — MiniC to machine code, including the
+  fall-through unconditional-branch insertion of Figure 2.
+"""
+
+from repro.lang.ast_nodes import (
+    AddressOf,
+    Assign,
+    BinOp,
+    Block,
+    Break,
+    Call,
+    Continue,
+    ExprStmt,
+    For,
+    FunctionDecl,
+    GlobalDecl,
+    HwStatement,
+    If,
+    Index,
+    LocalDecl,
+    LogicalOp,
+    Module,
+    Name,
+    Num,
+    ProfilePoint,
+    Return,
+    Spawn,
+    Str,
+    UnOp,
+    While,
+)
+from repro.lang.lexer import LexerError, Token, tokenize
+from repro.lang.parser import ParseError, parse
+
+__all__ = [
+    "AddressOf",
+    "Assign",
+    "BinOp",
+    "Block",
+    "Break",
+    "Call",
+    "Continue",
+    "ExprStmt",
+    "For",
+    "FunctionDecl",
+    "GlobalDecl",
+    "HwStatement",
+    "If",
+    "Index",
+    "LexerError",
+    "LocalDecl",
+    "LogicalOp",
+    "Module",
+    "Name",
+    "Num",
+    "ParseError",
+    "ProfilePoint",
+    "Return",
+    "Spawn",
+    "Str",
+    "Token",
+    "UnOp",
+    "While",
+    "parse",
+    "tokenize",
+]

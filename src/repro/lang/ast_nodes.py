@@ -1,0 +1,306 @@
+"""MiniC abstract syntax tree.
+
+Every node carries its source ``line``; lines are the currency of the
+debug info (LBR entries map back to "branch at line L") and of the
+patch-distance metric reported in Table 6.
+
+Two node types exist purely for the log-enhancement transformer
+(:mod:`repro.lang.transform`) rather than the surface syntax:
+
+* :class:`ProfilePoint` — "profile the LBR/LCR rings here" (compiled to
+  the disable / profile / re-enable HWOP sequence);
+* :class:`HwStatement` — a raw hardware-monitoring operation (used for
+  enabling at the entry of ``main``, Figure 7).
+"""
+
+from dataclasses import dataclass, field
+
+
+# ----------------------------------------------------------------------
+# Expressions
+# ----------------------------------------------------------------------
+
+@dataclass
+class Num:
+    value: int
+    line: int = 0
+
+
+@dataclass
+class Str:
+    """A string literal; evaluates to its string-table index."""
+
+    value: str
+    line: int = 0
+
+
+@dataclass
+class Name:
+    """A scalar variable reference (local, parameter, or global)."""
+
+    name: str
+    line: int = 0
+
+
+@dataclass
+class Index:
+    """``base[index]``.
+
+    ``base`` may name an array (global or local) or a scalar holding a
+    pointer, in which case the scalar's *value* is the base address —
+    MiniC's pointers are plain integers.
+    """
+
+    base: str
+    index: object
+    line: int = 0
+
+
+@dataclass
+class AddressOf:
+    """``&name`` or ``&name[index]`` — the address of a variable."""
+
+    name: str
+    index: object = None
+    line: int = 0
+
+
+@dataclass
+class BinOp:
+    op: str
+    left: object
+    right: object
+    line: int = 0
+
+
+@dataclass
+class UnOp:
+    op: str
+    operand: object
+    line: int = 0
+
+
+@dataclass
+class LogicalOp:
+    """Short-circuit ``&&`` / ``||`` (compiles to conditional branches)."""
+
+    op: str
+    left: object
+    right: object
+    line: int = 0
+
+
+@dataclass
+class Call:
+    """A function or builtin call expression."""
+
+    name: str
+    args: list
+    line: int = 0
+
+
+@dataclass
+class Spawn:
+    """``spawn f(args)`` — evaluates to the new thread id."""
+
+    name: str
+    args: list
+    line: int = 0
+
+
+# ----------------------------------------------------------------------
+# Statements
+# ----------------------------------------------------------------------
+
+@dataclass
+class Block:
+    statements: list
+    line: int = 0
+
+
+@dataclass
+class LocalDecl:
+    """``int x;`` / ``int x = e;`` / ``int buf[n];`` inside a function."""
+
+    name: str
+    size: int = 1
+    init: object = None
+    line: int = 0
+    #: True when declared with brackets (``int buf[1]`` is still an array)
+    array: bool = False
+
+    @property
+    def is_array(self):
+        return self.array or self.size > 1
+
+
+@dataclass
+class Assign:
+    """``target = value;`` where target is a Name or Index node."""
+
+    target: object
+    value: object
+    line: int = 0
+
+
+@dataclass
+class If:
+    cond: object
+    then: Block
+    orelse: object = None   # Block, If, or None
+    line: int = 0
+
+
+@dataclass
+class While:
+    cond: object
+    body: Block
+    line: int = 0
+
+
+@dataclass
+class For:
+    init: object            # Assign/LocalDecl/ExprStmt or None
+    cond: object            # expression or None (None = forever)
+    step: object            # Assign/ExprStmt or None
+    body: Block = None
+    line: int = 0
+
+
+@dataclass
+class Return:
+    value: object = None
+    line: int = 0
+
+
+@dataclass
+class Break:
+    line: int = 0
+
+
+@dataclass
+class Continue:
+    line: int = 0
+
+
+@dataclass
+class ExprStmt:
+    expr: object
+    line: int = 0
+
+
+@dataclass
+class ProfilePoint:
+    """Transformer-inserted ring profiling (Figure 7 call sequence).
+
+    ``site_id`` indexes the transformer's logging-site table;
+    ``site_kind`` is ``"failure"`` or ``"success"``; ``rings`` selects
+    which of LBR/LCR to profile.
+    """
+
+    site_id: int
+    site_kind: str = "failure"
+    rings: tuple = ("lbr", "lcr")
+    line: int = 0
+
+
+@dataclass
+class HwStatement:
+    """A raw hardware-monitoring operation statement."""
+
+    op: str                 # HwOp value name, e.g. "lbr_enable"
+    imm: int = None
+    broadcast: bool = False
+    line: int = 0
+
+
+# ----------------------------------------------------------------------
+# Top level
+# ----------------------------------------------------------------------
+
+@dataclass
+class GlobalDecl:
+    """``int g;`` / ``int g = 3;`` / ``int arr[8];`` at module scope."""
+
+    name: str
+    size: int = 1
+    init: list = field(default_factory=list)
+    line: int = 0
+    #: True when declared with brackets (``int arr[1]`` is still an array)
+    array: bool = False
+
+    @property
+    def is_array(self):
+        return self.array or self.size > 1
+
+
+@dataclass
+class FunctionDecl:
+    """A function definition.
+
+    ``is_library`` marks functions eligible for LBR/LCR toggling wrappers
+    (the paper wraps glibc and application error-reporting functions).
+    """
+
+    name: str
+    params: list
+    body: Block
+    is_library: bool = False
+    line: int = 0
+
+
+@dataclass
+class Module:
+    """One translation unit."""
+
+    globals: list
+    functions: list
+    source_name: str = "<minic>"
+    #: Free-form annotations propagated into ``Program.metadata`` by the
+    #: compiler (the log-enhancement transformer stores its logging-site
+    #: table and signal-handler registrations here).
+    metadata: dict = field(default_factory=dict)
+
+    def function(self, name):
+        """Return the FunctionDecl named *name* (KeyError if absent)."""
+        for function in self.functions:
+            if function.name == name:
+                return function
+        raise KeyError("no such function: %r" % (name,))
+
+    def has_function(self, name):
+        for function in self.functions:
+            if function.name == name:
+                return True
+        return False
+
+
+def walk_statements(block):
+    """Yield every statement in *block*, recursively."""
+    for statement in block.statements:
+        yield statement
+        if isinstance(statement, If):
+            yield from walk_statements(statement.then)
+            if isinstance(statement.orelse, Block):
+                yield from walk_statements(statement.orelse)
+            elif isinstance(statement.orelse, If):
+                yield from walk_statements(Block([statement.orelse]))
+        elif isinstance(statement, (While, For)):
+            yield from walk_statements(statement.body)
+
+
+def walk_expressions(node):
+    """Yield every sub-expression of an expression node, including itself."""
+    yield node
+    if isinstance(node, (BinOp, LogicalOp)):
+        yield from walk_expressions(node.left)
+        yield from walk_expressions(node.right)
+    elif isinstance(node, UnOp):
+        yield from walk_expressions(node.operand)
+    elif isinstance(node, (Call, Spawn)):
+        for arg in node.args:
+            yield from walk_expressions(arg)
+    elif isinstance(node, Index):
+        yield from walk_expressions(node.index)
+    elif isinstance(node, AddressOf) and node.index is not None:
+        yield from walk_expressions(node.index)

@@ -1,0 +1,141 @@
+"""MiniC lexer."""
+
+from dataclasses import dataclass
+
+KEYWORDS = frozenset({
+    "int", "void", "if", "else", "while", "for", "return",
+    "break", "continue", "library", "spawn",
+})
+
+#: Multi-character punctuation, longest first so maximal munch works.
+PUNCTUATION = (
+    "&&", "||", "==", "!=", "<=", ">=", "<<", ">>",
+    "{", "}", "(", ")", "[", "]", ";", ",", "=",
+    "+", "-", "*", "/", "%", "<", ">", "!", "&", "|", "^", "~",
+)
+
+
+#: Number literals are ASCII-only; Unicode digit lookalikes (e.g. the
+#: superscript "1") pass str.isdigit() but are not valid int() input.
+_ASCII_DIGITS = "0123456789"
+
+
+class LexerError(Exception):
+    """Raised on malformed input."""
+
+    def __init__(self, message, line):
+        super().__init__("line %d: %s" % (line, message))
+        self.line = line
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token."""
+
+    kind: str    # "ident", "keyword", "number", "string", "punct", "eof"
+    value: object
+    line: int
+
+    def __repr__(self):
+        return "Token(%s, %r, line=%d)" % (self.kind, self.value, self.line)
+
+
+def tokenize(source):
+    """Tokenize MiniC *source*; returns a list ending with an EOF token."""
+    tokens = []
+    position = 0
+    line = 1
+    length = len(source)
+    while position < length:
+        char = source[position]
+        if char == "\n":
+            line += 1
+            position += 1
+            continue
+        if char in " \t\r":
+            position += 1
+            continue
+        if source.startswith("//", position):
+            end = source.find("\n", position)
+            position = length if end < 0 else end
+            continue
+        if source.startswith("/*", position):
+            end = source.find("*/", position + 2)
+            if end < 0:
+                raise LexerError("unterminated block comment", line)
+            line += source.count("\n", position, end)
+            position = end + 2
+            continue
+        if char in _ASCII_DIGITS:
+            position = _lex_number(source, position, line, tokens)
+            continue
+        if char.isalpha() or char == "_":
+            position = _lex_word(source, position, line, tokens)
+            continue
+        if char == '"':
+            position, line = _lex_string(source, position, line, tokens)
+            continue
+        punct = _match_punct(source, position)
+        if punct is not None:
+            tokens.append(Token("punct", punct, line))
+            position += len(punct)
+            continue
+        raise LexerError("unexpected character %r" % char, line)
+    tokens.append(Token("eof", None, line))
+    return tokens
+
+
+def _lex_number(source, position, line, tokens):
+    start = position
+    if source.startswith(("0x", "0X"), position):
+        position += 2
+        while position < len(source) and source[position] in "0123456789abcdefABCDEF":
+            position += 1
+        if position == start + 2:
+            raise LexerError("hex literal needs digits", line)
+        value = int(source[start:position], 16)
+    else:
+        while position < len(source) and source[position] in _ASCII_DIGITS:
+            position += 1
+        value = int(source[start:position])
+    tokens.append(Token("number", value, line))
+    return position
+
+
+def _lex_word(source, position, line, tokens):
+    start = position
+    while position < len(source) and (
+            source[position].isalnum() or source[position] == "_"):
+        position += 1
+    word = source[start:position]
+    kind = "keyword" if word in KEYWORDS else "ident"
+    tokens.append(Token(kind, word, line))
+    return position
+
+
+def _lex_string(source, position, line, tokens):
+    start_line = line
+    position += 1
+    chars = []
+    while position < len(source):
+        char = source[position]
+        if char == '"':
+            tokens.append(Token("string", "".join(chars), start_line))
+            return position + 1, line
+        if char == "\n":
+            raise LexerError("unterminated string literal", start_line)
+        if char == "\\" and position + 1 < len(source):
+            escape = source[position + 1]
+            chars.append({"n": "\n", "t": "\t"}.get(escape, escape))
+            position += 2
+            continue
+        chars.append(char)
+        position += 1
+    raise LexerError("unterminated string literal", start_line)
+
+
+def _match_punct(source, position):
+    for punct in PUNCTUATION:
+        if source.startswith(punct, position):
+            return punct
+    return None

@@ -1,0 +1,371 @@
+"""MiniC recursive-descent parser."""
+
+from repro.lang import ast_nodes as ast
+from repro.lang.lexer import tokenize
+
+
+class ParseError(Exception):
+    """Raised on syntactically invalid MiniC."""
+
+    def __init__(self, message, line):
+        super().__init__("line %d: %s" % (line, message))
+        self.line = line
+
+
+def parse(source, source_name="<minic>"):
+    """Parse MiniC *source* into a :class:`~repro.lang.ast_nodes.Module`."""
+    return _Parser(tokenize(source), source_name).parse_module()
+
+
+class _Parser:
+    def __init__(self, tokens, source_name):
+        self._tokens = tokens
+        self._position = 0
+        self._source_name = source_name
+
+    # ------------------------------------------------------------------
+    # Token helpers
+    # ------------------------------------------------------------------
+
+    @property
+    def _current(self):
+        return self._tokens[self._position]
+
+    def _advance(self):
+        token = self._current
+        if token.kind != "eof":
+            self._position += 1
+        return token
+
+    def _check(self, kind, value=None):
+        token = self._current
+        if token.kind != kind:
+            return False
+        return value is None or token.value == value
+
+    def _accept(self, kind, value=None):
+        if self._check(kind, value):
+            return self._advance()
+        return None
+
+    def _expect(self, kind, value=None):
+        token = self._accept(kind, value)
+        if token is None:
+            wanted = value if value is not None else kind
+            raise ParseError(
+                "expected %r, found %r" % (wanted, self._current.value),
+                self._current.line,
+            )
+        return token
+
+    # ------------------------------------------------------------------
+    # Top level
+    # ------------------------------------------------------------------
+
+    def parse_module(self):
+        globals_ = []
+        functions = []
+        while not self._check("eof"):
+            is_library = bool(self._accept("keyword", "library"))
+            if not (self._check("keyword", "int")
+                    or self._check("keyword", "void")):
+                raise ParseError(
+                    "expected declaration, found %r" % (self._current.value,),
+                    self._current.line,
+                )
+            type_token = self._advance()
+            name = self._expect("ident")
+            if self._check("punct", "("):
+                functions.append(
+                    self._parse_function(name, is_library)
+                )
+            else:
+                if is_library:
+                    raise ParseError(
+                        "'library' applies to functions only", name.line
+                    )
+                if type_token.value == "void":
+                    raise ParseError("void variables not allowed", name.line)
+                globals_.append(self._parse_global_tail(name))
+        return ast.Module(
+            globals=globals_, functions=functions,
+            source_name=self._source_name,
+        )
+
+    def _parse_global_tail(self, name_token):
+        size = 1
+        is_array = False
+        if self._accept("punct", "["):
+            is_array = True
+            size = self._expect("number").value
+            self._expect("punct", "]")
+            if size < 1:
+                raise ParseError("array size must be positive",
+                                 name_token.line)
+        init = []
+        if self._accept("punct", "="):
+            if self._accept("punct", "{"):
+                while not self._check("punct", "}"):
+                    init.append(self._parse_constant())
+                    if not self._accept("punct", ","):
+                        break
+                self._expect("punct", "}")
+            else:
+                init.append(self._parse_constant())
+        self._expect("punct", ";")
+        return ast.GlobalDecl(
+            name=name_token.value, size=size, init=init,
+            line=name_token.line, array=is_array,
+        )
+
+    def _parse_constant(self):
+        negative = bool(self._accept("punct", "-"))
+        value = self._expect("number").value
+        return -value if negative else value
+
+    def _parse_function(self, name_token, is_library):
+        self._expect("punct", "(")
+        params = []
+        if not self._check("punct", ")"):
+            while True:
+                self._expect("keyword", "int")
+                params.append(self._expect("ident").value)
+                if not self._accept("punct", ","):
+                    break
+        self._expect("punct", ")")
+        body = self._parse_block()
+        return ast.FunctionDecl(
+            name=name_token.value, params=params, body=body,
+            is_library=is_library, line=name_token.line,
+        )
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+
+    def _parse_block(self):
+        open_brace = self._expect("punct", "{")
+        statements = []
+        while not self._check("punct", "}"):
+            statements.append(self._parse_statement())
+        self._expect("punct", "}")
+        return ast.Block(statements=statements, line=open_brace.line)
+
+    def _parse_statement(self):
+        token = self._current
+        if token.kind == "keyword":
+            if token.value == "int":
+                return self._parse_local_decl()
+            if token.value == "if":
+                return self._parse_if()
+            if token.value == "while":
+                return self._parse_while()
+            if token.value == "for":
+                return self._parse_for()
+            if token.value == "return":
+                self._advance()
+                value = None
+                if not self._check("punct", ";"):
+                    value = self._parse_expression()
+                self._expect("punct", ";")
+                return ast.Return(value=value, line=token.line)
+            if token.value == "break":
+                self._advance()
+                self._expect("punct", ";")
+                return ast.Break(line=token.line)
+            if token.value == "continue":
+                self._advance()
+                self._expect("punct", ";")
+                return ast.Continue(line=token.line)
+        statement = self._parse_assignment_or_expression()
+        self._expect("punct", ";")
+        return statement
+
+    def _parse_local_decl(self):
+        keyword = self._expect("keyword", "int")
+        name = self._expect("ident").value
+        size = 1
+        is_array = False
+        if self._accept("punct", "["):
+            is_array = True
+            size = self._expect("number").value
+            self._expect("punct", "]")
+        init = None
+        if self._accept("punct", "="):
+            init = self._parse_expression()
+        self._expect("punct", ";")
+        return ast.LocalDecl(name=name, size=size, init=init,
+                             line=keyword.line, array=is_array)
+
+    def _parse_if(self):
+        keyword = self._expect("keyword", "if")
+        self._expect("punct", "(")
+        cond = self._parse_expression()
+        self._expect("punct", ")")
+        then = self._parse_block()
+        orelse = None
+        if self._accept("keyword", "else"):
+            if self._check("keyword", "if"):
+                orelse = self._parse_if()
+            else:
+                orelse = self._parse_block()
+        return ast.If(cond=cond, then=then, orelse=orelse, line=keyword.line)
+
+    def _parse_while(self):
+        keyword = self._expect("keyword", "while")
+        self._expect("punct", "(")
+        cond = self._parse_expression()
+        self._expect("punct", ")")
+        body = self._parse_block()
+        return ast.While(cond=cond, body=body, line=keyword.line)
+
+    def _parse_for(self):
+        keyword = self._expect("keyword", "for")
+        self._expect("punct", "(")
+        init = None
+        if not self._check("punct", ";"):
+            if self._check("keyword", "int"):
+                init = self._parse_local_decl()
+            else:
+                init = self._parse_assignment_or_expression()
+                self._expect("punct", ";")
+        else:
+            self._expect("punct", ";")
+        cond = None
+        if not self._check("punct", ";"):
+            cond = self._parse_expression()
+        self._expect("punct", ";")
+        step = None
+        if not self._check("punct", ")"):
+            step = self._parse_assignment_or_expression()
+        self._expect("punct", ")")
+        body = self._parse_block()
+        return ast.For(init=init, cond=cond, step=step, body=body,
+                       line=keyword.line)
+
+    def _parse_assignment_or_expression(self):
+        line = self._current.line
+        expr = self._parse_expression()
+        if self._accept("punct", "="):
+            if not isinstance(expr, (ast.Name, ast.Index)):
+                raise ParseError("invalid assignment target", line)
+            value = self._parse_expression()
+            return ast.Assign(target=expr, value=value, line=line)
+        return ast.ExprStmt(expr=expr, line=line)
+
+    # ------------------------------------------------------------------
+    # Expressions (precedence climbing)
+    # ------------------------------------------------------------------
+
+    def _parse_expression(self):
+        return self._parse_or()
+
+    def _parse_or(self):
+        left = self._parse_and()
+        while self._check("punct", "||"):
+            line = self._advance().line
+            right = self._parse_and()
+            left = ast.LogicalOp(op="||", left=left, right=right, line=line)
+        return left
+
+    def _parse_and(self):
+        left = self._parse_bitor()
+        while self._check("punct", "&&"):
+            line = self._advance().line
+            right = self._parse_bitor()
+            left = ast.LogicalOp(op="&&", left=left, right=right, line=line)
+        return left
+
+    def _parse_bitor(self):
+        return self._parse_binary(("|",), self._parse_bitxor)
+
+    def _parse_bitxor(self):
+        return self._parse_binary(("^",), self._parse_bitand)
+
+    def _parse_bitand(self):
+        return self._parse_binary(("&",), self._parse_equality)
+
+    def _parse_equality(self):
+        return self._parse_binary(("==", "!="), self._parse_relational)
+
+    def _parse_relational(self):
+        return self._parse_binary(("<", "<=", ">", ">="), self._parse_shift)
+
+    def _parse_shift(self):
+        return self._parse_binary(("<<", ">>"), self._parse_additive)
+
+    def _parse_additive(self):
+        return self._parse_binary(("+", "-"), self._parse_multiplicative)
+
+    def _parse_multiplicative(self):
+        return self._parse_binary(("*", "/", "%"), self._parse_unary)
+
+    def _parse_binary(self, operators, next_level):
+        left = next_level()
+        while self._current.kind == "punct" \
+                and self._current.value in operators:
+            token = self._advance()
+            right = next_level()
+            left = ast.BinOp(op=token.value, left=left, right=right,
+                             line=token.line)
+        return left
+
+    def _parse_unary(self):
+        token = self._current
+        if token.kind == "punct" and token.value in ("-", "!", "~"):
+            self._advance()
+            operand = self._parse_unary()
+            return ast.UnOp(op=token.value, operand=operand, line=token.line)
+        if token.kind == "punct" and token.value == "&":
+            self._advance()
+            name = self._expect("ident")
+            index = None
+            if self._accept("punct", "["):
+                index = self._parse_expression()
+                self._expect("punct", "]")
+            return ast.AddressOf(name=name.value, index=index,
+                                 line=token.line)
+        return self._parse_postfix()
+
+    def _parse_postfix(self):
+        token = self._current
+        if token.kind == "number":
+            self._advance()
+            return ast.Num(value=token.value, line=token.line)
+        if token.kind == "string":
+            self._advance()
+            return ast.Str(value=token.value, line=token.line)
+        if token.kind == "keyword" and token.value == "spawn":
+            self._advance()
+            name = self._expect("ident")
+            args = self._parse_arguments()
+            return ast.Spawn(name=name.value, args=args, line=token.line)
+        if self._accept("punct", "("):
+            expr = self._parse_expression()
+            self._expect("punct", ")")
+            return expr
+        if token.kind == "ident":
+            self._advance()
+            if self._check("punct", "("):
+                args = self._parse_arguments()
+                return ast.Call(name=token.value, args=args, line=token.line)
+            if self._accept("punct", "["):
+                index = self._parse_expression()
+                self._expect("punct", "]")
+                return ast.Index(base=token.value, index=index,
+                                 line=token.line)
+            return ast.Name(name=token.value, line=token.line)
+        raise ParseError(
+            "unexpected token %r" % (token.value,), token.line
+        )
+
+    def _parse_arguments(self):
+        self._expect("punct", "(")
+        args = []
+        if not self._check("punct", ")"):
+            while True:
+                args.append(self._parse_expression())
+                if not self._accept("punct", ","):
+                    break
+        self._expect("punct", ")")
+        return args

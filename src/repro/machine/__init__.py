@@ -1,0 +1,32 @@
+"""The simulated multi-core machine.
+
+Executes :class:`repro.isa.program.Program` objects on a configurable
+number of cores, each equipped with an L1 data cache (MESI-coherent over a
+snooping bus), a Last Branch Record, a Last Cache-coherence Record, and
+coherence performance counters.  Failure modes — segmentation faults,
+assertion failures, division by zero, deadlocks, and hangs — are modeled
+as machine faults that can be delivered to a registered signal handler,
+which is how LBRLOG/LCRLOG profile the rings "inside the segmentation
+fault handler" (Section 5.1).
+"""
+
+from repro.machine.faults import FaultInfo, FaultKind, MachineFault
+from repro.machine.memory import Memory, SegmentationViolation
+from repro.machine.thread import Thread, ThreadState
+from repro.machine.core import Core
+from repro.machine.cpu import ExitStatus, Machine, MachineConfig, ProfileSnapshot
+
+__all__ = [
+    "Core",
+    "ExitStatus",
+    "FaultInfo",
+    "FaultKind",
+    "Machine",
+    "MachineConfig",
+    "MachineFault",
+    "Memory",
+    "ProfileSnapshot",
+    "SegmentationViolation",
+    "Thread",
+    "ThreadState",
+]

@@ -1,0 +1,30 @@
+"""One simulated core and its attached hardware monitoring units."""
+
+from repro.cache.l1cache import L1Cache
+from repro.hwpmu.counters import CoherenceCounters
+from repro.hwpmu.lbr import LastBranchRecord
+from repro.hwpmu.lcr import LastCacheCoherenceRecord
+from repro.hwpmu.msr import MsrFile
+
+
+class Core:
+    """A core: L1-D cache + LBR + LCR + coherence counters + MSR file."""
+
+    def __init__(self, core_id, cache_config=None, lbr_capacity=16,
+                 lcr_capacity=16, lcr_config=None):
+        self.core_id = core_id
+        self.cache = L1Cache(config=cache_config, core_id=core_id)
+        self.lbr = LastBranchRecord(capacity=lbr_capacity)
+        self.lcr = LastCacheCoherenceRecord(
+            capacity=lcr_capacity, config=lcr_config
+        )
+        self.counters = CoherenceCounters()
+        self.msrs = MsrFile()
+        self.lbr.attach_msrs(self.msrs)
+        self.lcr.attach_msrs(self.msrs)
+
+    def reset_monitoring(self):
+        """Clear LBR/LCR rings and counters (between simulated runs)."""
+        self.lbr.reset()
+        self.lcr.reset()
+        self.counters.reset()

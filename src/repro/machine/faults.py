@@ -1,0 +1,50 @@
+"""Machine fault model.
+
+A fault interrupts the faulting thread.  Segmentation violations can be
+delivered to a registered handler — the mechanism LBRLOG/LCRLOG use to
+profile the hardware rings when software "fails at unexpected locations"
+(Section 5.1, step 4 of the transformation).  All other faults, and a
+fault with no handler registered, terminate the process.
+"""
+
+import enum
+from dataclasses import dataclass
+
+
+class FaultKind(enum.Enum):
+    """Classes of machine fault."""
+
+    SEGMENTATION_FAULT = "SIGSEGV"
+    ASSERTION_FAILURE = "SIGABRT"
+    DIVISION_BY_ZERO = "SIGFPE"
+    ILLEGAL_INSTRUCTION = "SIGILL"
+    DEADLOCK = "DEADLOCK"
+    HANG = "HANG"
+    STACK_OVERFLOW = "STACKOVERFLOW"
+
+
+@dataclass(frozen=True)
+class FaultInfo:
+    """Description of one fault occurrence."""
+
+    kind: FaultKind
+    pc: int
+    thread_id: int
+    address: int = None
+    message: str = ""
+
+    def __str__(self):
+        where = "pc=0x%x tid=%d" % (self.pc, self.thread_id)
+        if self.address is not None:
+            where += " addr=0x%x" % self.address
+        if self.message:
+            where += " (%s)" % self.message
+        return "%s %s" % (self.kind.value, where)
+
+
+class MachineFault(Exception):
+    """Internal control-flow exception carrying a :class:`FaultInfo`."""
+
+    def __init__(self, info):
+        super().__init__(str(info))
+        self.info = info

@@ -1,0 +1,217 @@
+"""Instruction semantics.
+
+:func:`execute_instruction` retires exactly one instruction on behalf of a
+thread, updating machine state and emitting the hardware events (taken
+branches, coherence-classified cache accesses) that feed the LBR, the LCR,
+the performance counters, and any registered software observers.
+"""
+
+from repro.isa.instructions import BinaryOperator, Opcode, UnaryOperator
+from repro.isa.layout import INSTRUCTION_SIZE, WORD_SIZE
+from repro.isa.registers import ARG_REGISTERS, SP
+from repro.machine.faults import FaultInfo, FaultKind, MachineFault
+
+#: Return-address sentinels (never valid instruction addresses).
+PROCESS_EXIT_ADDR = 0xFFFF0000
+THREAD_EXIT_ADDR = 0xFFFF0100
+SIGNAL_RETURN_ADDR = 0xFFFF0200
+
+
+def _signed_div(a, b):
+    """C-style truncating division."""
+    q = abs(a) // abs(b)
+    return q if (a >= 0) == (b >= 0) else -q
+
+
+def _signed_mod(a, b):
+    """C-style remainder (sign follows the dividend)."""
+    return a - _signed_div(a, b) * b
+
+
+def _binop(machine, thread, instr):
+    a = thread.regs[instr.rs]
+    b = thread.regs[instr.rs2]
+    op = instr.operator
+    if op is BinaryOperator.ADD:
+        result = a + b
+    elif op is BinaryOperator.SUB:
+        result = a - b
+    elif op is BinaryOperator.MUL:
+        result = a * b
+    elif op in (BinaryOperator.DIV, BinaryOperator.MOD):
+        if b == 0:
+            raise MachineFault(FaultInfo(
+                kind=FaultKind.DIVISION_BY_ZERO, pc=instr.address,
+                thread_id=thread.tid, message="division by zero",
+            ))
+        result = _signed_div(a, b) if op is BinaryOperator.DIV \
+            else _signed_mod(a, b)
+    elif op is BinaryOperator.AND:
+        result = a & b
+    elif op is BinaryOperator.OR:
+        result = a | b
+    elif op is BinaryOperator.XOR:
+        result = a ^ b
+    elif op is BinaryOperator.SHL:
+        result = a << (b & 63)
+    elif op is BinaryOperator.SHR:
+        result = a >> (b & 63)
+    elif op is BinaryOperator.LT:
+        result = 1 if a < b else 0
+    elif op is BinaryOperator.LE:
+        result = 1 if a <= b else 0
+    elif op is BinaryOperator.GT:
+        result = 1 if a > b else 0
+    elif op is BinaryOperator.GE:
+        result = 1 if a >= b else 0
+    elif op is BinaryOperator.EQ:
+        result = 1 if a == b else 0
+    elif op is BinaryOperator.NE:
+        result = 1 if a != b else 0
+    else:  # pragma: no cover - exhaustive over BinaryOperator
+        raise AssertionError(op)
+    thread.regs[instr.rd] = result
+    thread.pc += INSTRUCTION_SIZE
+
+
+def _unop(machine, thread, instr):
+    a = thread.regs[instr.rs]
+    op = instr.operator
+    if op is UnaryOperator.NEG:
+        result = -a
+    elif op is UnaryOperator.NOT:
+        result = 0 if a else 1
+    else:
+        result = ~a
+    thread.regs[instr.rd] = result
+    thread.pc += INSTRUCTION_SIZE
+
+
+def execute_instruction(machine, thread, instr):
+    """Retire *instr* on *thread*.  May raise :class:`MachineFault`."""
+    opcode = instr.opcode
+
+    if opcode is Opcode.BINOP:
+        _binop(machine, thread, instr)
+    elif opcode is Opcode.LI:
+        thread.regs[instr.rd] = instr.imm
+        thread.pc += INSTRUCTION_SIZE
+    elif opcode is Opcode.MOV:
+        thread.regs[instr.rd] = thread.regs[instr.rs]
+        thread.pc += INSTRUCTION_SIZE
+    elif opcode is Opcode.LOAD:
+        address = thread.regs[instr.rs] + instr.offset
+        thread.regs[instr.rd] = machine.data_access(
+            thread, instr, address, is_store=False
+        )
+        thread.pc += INSTRUCTION_SIZE
+    elif opcode is Opcode.STORE:
+        address = thread.regs[instr.rd] + instr.offset
+        machine.data_access(
+            thread, instr, address, is_store=True,
+            value=thread.regs[instr.rs],
+        )
+        thread.pc += INSTRUCTION_SIZE
+    elif opcode is Opcode.JZ or opcode is Opcode.JNZ:
+        value = thread.regs[instr.rs]
+        taken = (value == 0) if opcode is Opcode.JZ else (value != 0)
+        machine.retire_branch(thread, instr, taken, instr.target)
+    elif opcode is Opcode.JMP:
+        machine.retire_branch(thread, instr, True, instr.target)
+    elif opcode is Opcode.CALL or opcode is Opcode.CALLR:
+        target = instr.target if opcode is Opcode.CALL \
+            else thread.regs[instr.rs]
+        if not machine.program.has_instruction(target):
+            raise MachineFault(FaultInfo(
+                kind=FaultKind.SEGMENTATION_FAULT, pc=instr.address,
+                thread_id=thread.tid, address=target,
+                message="call through bad pointer",
+            ))
+        return_address = instr.address + INSTRUCTION_SIZE
+        sp = thread.regs[SP] - WORD_SIZE
+        machine.data_access(
+            thread, instr, sp, is_store=True, value=return_address
+        )
+        thread.regs[SP] = sp
+        machine.retire_branch(thread, instr, True, target)
+    elif opcode is Opcode.RET:
+        sp = thread.regs[SP]
+        return_address = machine.data_access(
+            thread, instr, sp, is_store=False
+        )
+        thread.regs[SP] = sp + WORD_SIZE
+        if return_address == PROCESS_EXIT_ADDR:
+            machine.process_exit(thread.regs[0])
+        elif return_address == THREAD_EXIT_ADDR:
+            machine.thread_exit(thread)
+        elif return_address == SIGNAL_RETURN_ADDR:
+            machine.signal_handler_returned(thread)
+        else:
+            if not machine.program.has_instruction(return_address):
+                raise MachineFault(FaultInfo(
+                    kind=FaultKind.SEGMENTATION_FAULT, pc=instr.address,
+                    thread_id=thread.tid, address=return_address,
+                    message="return to bad address",
+                ))
+            machine.retire_branch(thread, instr, True, return_address)
+    elif opcode is Opcode.PUSH:
+        sp = thread.regs[SP] - WORD_SIZE
+        machine.data_access(
+            thread, instr, sp, is_store=True, value=thread.regs[instr.rs]
+        )
+        thread.regs[SP] = sp
+        thread.pc += INSTRUCTION_SIZE
+    elif opcode is Opcode.POP:
+        sp = thread.regs[SP]
+        thread.regs[instr.rd] = machine.data_access(
+            thread, instr, sp, is_store=False
+        )
+        thread.regs[SP] = sp + WORD_SIZE
+        thread.pc += INSTRUCTION_SIZE
+    elif opcode is Opcode.UNOP:
+        _unop(machine, thread, instr)
+    elif opcode is Opcode.OUT:
+        machine.output.append(thread.regs[instr.rs])
+        thread.pc += INSTRUCTION_SIZE
+    elif opcode is Opcode.OUTS:
+        index = thread.regs[instr.rs] if instr.rs is not None else instr.imm
+        machine.output.append(machine.program.string(index))
+        thread.pc += INSTRUCTION_SIZE
+    elif opcode is Opcode.ASSERT:
+        if thread.regs[instr.rs] == 0:
+            raise MachineFault(FaultInfo(
+                kind=FaultKind.ASSERTION_FAILURE, pc=instr.address,
+                thread_id=thread.tid, message="assertion failed",
+            ))
+        thread.pc += INSTRUCTION_SIZE
+    elif opcode is Opcode.SPAWN:
+        tid = machine.spawn_thread(thread, instr.target)
+        thread.regs[instr.rd] = tid
+        thread.pc += INSTRUCTION_SIZE
+    elif opcode is Opcode.JOIN:
+        machine.join_thread(thread, instr, thread.regs[instr.rs])
+    elif opcode is Opcode.LOCK:
+        machine.mutex_lock(thread, instr, thread.regs[instr.rs])
+    elif opcode is Opcode.UNLOCK:
+        machine.mutex_unlock(thread, instr, thread.regs[instr.rs])
+    elif opcode is Opcode.YIELD:
+        thread.yielded = True
+        thread.pc += INSTRUCTION_SIZE
+    elif opcode is Opcode.HWOP:
+        machine.hw_dispatch(thread, instr)
+        thread.pc += INSTRUCTION_SIZE
+    elif opcode is Opcode.HALT:
+        # Without an immediate, the exit code comes from the RV register
+        # (how the compiler implements ``exit(expr)``).
+        code = instr.imm if instr.imm is not None else thread.regs[0]
+        machine.process_exit(code)
+    elif opcode is Opcode.NOP:
+        thread.pc += INSTRUCTION_SIZE
+    else:  # pragma: no cover - exhaustive over Opcode
+        raise AssertionError(opcode)
+
+
+def copy_spawn_arguments(parent, child):
+    """Copy the argument registers from *parent* to a spawned *child*."""
+    for reg in ARG_REGISTERS:
+        child.regs[reg] = parent.regs[reg]

@@ -1,0 +1,72 @@
+"""Flat sparse data memory with region mapping.
+
+Accesses outside a mapped region raise :class:`SegmentationViolation`,
+which the machine converts into a ``SIGSEGV`` fault.  Mapped-but-unwritten
+words read as zero (zero-filled pages), which is how "read-too-early"
+order violations such as the FFT bug of Figure 5 observe an uninitialized
+value.
+"""
+
+from repro.isa.layout import NULL_PAGE_LIMIT
+
+
+class SegmentationViolation(Exception):
+    """An access touched an unmapped address."""
+
+    def __init__(self, address, is_store):
+        kind = "write" if is_store else "read"
+        super().__init__("invalid %s at 0x%x" % (kind, address))
+        self.address = address
+        self.is_store = is_store
+
+
+class Memory:
+    """Sparse word-granular memory with explicit mapped regions."""
+
+    def __init__(self):
+        self._words = {}
+        self._regions = []
+
+    def map_region(self, base, size, name=""):
+        """Map ``[base, base + size)`` as accessible."""
+        if base < NULL_PAGE_LIMIT:
+            raise ValueError("cannot map the null page")
+        self._regions.append((base, base + size, name))
+
+    def is_mapped(self, address):
+        """Return True if *address* lies in a mapped region."""
+        for low, high, _name in self._regions:
+            if low <= address < high:
+                return True
+        return False
+
+    def region_name(self, address):
+        """Return the name of the region containing *address*, or ``None``."""
+        for low, high, name in self._regions:
+            if low <= address < high:
+                return name
+        return None
+
+    def load(self, address):
+        """Load the word at *address* (0 when never written)."""
+        if not self.is_mapped(address):
+            raise SegmentationViolation(address, is_store=False)
+        return self._words.get(address, 0)
+
+    def store(self, address, value):
+        """Store *value* at *address*."""
+        if not self.is_mapped(address):
+            raise SegmentationViolation(address, is_store=True)
+        self._words[address] = value
+
+    def peek(self, address):
+        """Read a word without mapping checks (debugger/test use only)."""
+        return self._words.get(address, 0)
+
+    def poke(self, address, value):
+        """Write a word without mapping checks (debugger/test use only)."""
+        self._words[address] = value
+
+    def regions(self):
+        """Return the mapped regions as ``(low, high, name)`` tuples."""
+        return tuple(self._regions)

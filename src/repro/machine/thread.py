@@ -1,0 +1,62 @@
+"""Simulated threads."""
+
+import enum
+
+from repro.isa.layout import stack_base_for_thread, stack_bounds_for_thread
+from repro.isa.registers import NUM_REGISTERS, SP
+
+
+class ThreadState(enum.Enum):
+    """Lifecycle state of a thread."""
+
+    READY = "ready"
+    BLOCKED = "blocked"
+    EXITED = "exited"
+
+
+class Thread:
+    """One thread of the simulated process.
+
+    Threads are pinned to core ``tid % num_cores``; with the default
+    4-core machine and the paper's 2–4-thread benchmarks, every thread
+    effectively owns its core's LBR/LCR — matching the paper's per-thread
+    circular-buffer simulation.
+    """
+
+    def __init__(self, tid, entry_pc, core_id):
+        self.tid = tid
+        self.core_id = core_id
+        self.pc = entry_pc
+        self.regs = [0] * NUM_REGISTERS
+        self.regs[SP] = stack_base_for_thread(tid)
+        self.state = ThreadState.READY
+        #: what a BLOCKED thread waits for: ("mutex", addr) or ("join", tid)
+        self.waiting_on = None
+        self.yielded = False
+        self.in_signal_handler = False
+        self.retired = 0
+
+    def stack_bounds(self):
+        """Return this thread's (low, high) stack byte bounds."""
+        return stack_bounds_for_thread(self.tid)
+
+    @property
+    def runnable(self):
+        return self.state is ThreadState.READY
+
+    def block(self, reason):
+        self.state = ThreadState.BLOCKED
+        self.waiting_on = reason
+
+    def wake(self):
+        self.state = ThreadState.READY
+        self.waiting_on = None
+
+    def exit(self):
+        self.state = ThreadState.EXITED
+        self.waiting_on = None
+
+    def __repr__(self):
+        return "Thread(tid=%d, pc=0x%x, %s)" % (
+            self.tid, self.pc, self.state.value,
+        )

@@ -1,0 +1,149 @@
+"""Execution tracing utilities.
+
+The paper's whole-execution comparators (BTS, THeME, Intel's GDB branch
+tracer) and its own debugging all rest on being able to watch what the
+machine does.  :class:`ExecutionTracer` taps the machine's observer
+hooks and records three synchronized streams:
+
+* retired taken branches (decoded to source branches where possible);
+* coherence-classified data accesses;
+* a per-thread retirement summary.
+
+Intended for debugging workloads and for tests that assert on exact
+event sequences; production diagnosis uses the rings, not the tracer.
+"""
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class BranchTraceRecord:
+    """One retired branch (taken or not)."""
+
+    sequence: int
+    thread_id: int
+    from_address: int
+    to_address: int
+    taken: bool
+    source: str          # decoded source branch, or ""
+
+
+@dataclass(frozen=True)
+class AccessTraceRecord:
+    """One retired data access with its observed coherence state."""
+
+    sequence: int
+    thread_id: int
+    pc: int
+    access: str          # "load" / "store"
+    state: str           # MESI letter
+    location: str        # decoded source location, or ""
+
+
+@dataclass
+class TraceSummary:
+    """Aggregate view of one traced run."""
+
+    branches_taken: int = 0
+    branches_not_taken: int = 0
+    accesses: dict = field(default_factory=dict)   # state letter -> count
+    per_thread_retired: dict = field(default_factory=dict)
+
+    def taken_ratio(self):
+        total = self.branches_taken + self.branches_not_taken
+        return self.branches_taken / total if total else 0.0
+
+
+class ExecutionTracer:
+    """Attach to a machine and record its event streams."""
+
+    def __init__(self, machine, trace_branches=True,
+                 trace_accesses=True, max_records=200_000):
+        self.machine = machine
+        self.program = machine.program
+        self.max_records = max_records
+        self.branches = []
+        self.accesses = []
+        self.summary = TraceSummary()
+        self._sequence = 0
+        if trace_branches:
+            machine.branch_observers.append(self._on_branch)
+        if trace_accesses:
+            machine.coherence_observers.append(self._on_access)
+
+    # ------------------------------------------------------------------
+    # Hooks
+    # ------------------------------------------------------------------
+
+    def _next_sequence(self):
+        self._sequence += 1
+        return self._sequence
+
+    def _on_branch(self, thread, instr, taken, target):
+        if taken:
+            self.summary.branches_taken += 1
+        else:
+            self.summary.branches_not_taken += 1
+        if len(self.branches) >= self.max_records:
+            return
+        branch = self.program.debug_info.branch_at(instr.address)
+        self.branches.append(BranchTraceRecord(
+            sequence=self._next_sequence(),
+            thread_id=thread.tid,
+            from_address=instr.address,
+            to_address=target if taken else instr.address + 4,
+            taken=taken,
+            source=str(branch) if branch is not None else "",
+        ))
+
+    def _on_access(self, thread, pc, access, state, address):
+        counts = self.summary.accesses
+        counts[state.letter] = counts.get(state.letter, 0) + 1
+        if len(self.accesses) >= self.max_records:
+            return
+        location = self.program.debug_info.location_at(pc)
+        self.accesses.append(AccessTraceRecord(
+            sequence=self._next_sequence(),
+            thread_id=thread.tid,
+            pc=pc,
+            access=access.value,
+            state=state.letter,
+            location=str(location) if location is not None else "",
+        ))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def finish(self):
+        """Snapshot per-thread retirement counts after the run."""
+        for thread in self.machine.threads:
+            self.summary.per_thread_retired[thread.tid] = thread.retired
+        return self.summary
+
+    def branch_history(self, thread_id=None, taken_only=False):
+        """Branch records, optionally filtered."""
+        records = self.branches
+        if thread_id is not None:
+            records = [r for r in records if r.thread_id == thread_id]
+        if taken_only:
+            records = [r for r in records if r.taken]
+        return records
+
+    def accesses_at_line(self, function, line):
+        """Access records decoded to ``function:line``."""
+        wanted = "%s:%d" % (function, line)
+        return [r for r in self.accesses if r.location == wanted]
+
+    def interleaving(self):
+        """The run's thread-switch pattern, as a condensed tid string.
+
+        Consecutive events from the same thread collapse to one symbol:
+        useful for asserting that two runs took different interleavings.
+        """
+        merged = []
+        for record in sorted(self.branches + self.accesses,
+                             key=lambda r: r.sequence):
+            if not merged or merged[-1] != record.thread_id:
+                merged.append(record.thread_id)
+        return "".join(str(t) for t in merged)

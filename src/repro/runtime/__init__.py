@@ -1,0 +1,22 @@
+"""Process running and experiment harness utilities.
+
+* :mod:`repro.runtime.process` — build a fresh machine and run one program;
+* :mod:`repro.runtime.workload` — the protocol connecting applications
+  (the bug suite) to the diagnosis tools: how to build the program, how to
+  drive failing and passing runs, and how to recognize a failure;
+* :mod:`repro.runtime.harness` — run campaigns (N failing + M passing
+  runs) and collect statuses/profiles.
+"""
+
+from repro.runtime.process import run_program
+from repro.runtime.workload import RunPlan, Workload
+from repro.runtime.harness import CampaignResult, RunRecord, run_campaign
+
+__all__ = [
+    "CampaignResult",
+    "RunPlan",
+    "RunRecord",
+    "Workload",
+    "run_campaign",
+    "run_program",
+]

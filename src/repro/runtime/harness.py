@@ -1,0 +1,93 @@
+"""Run campaigns: repeated executions with outcome classification.
+
+The statistical tools need "N failure runs and M success runs" (the paper
+uses 10+10 for LBRA/LCRA and 1000+1000 for CBI).  :func:`run_campaign`
+drives a workload's run plans until the requested number of runs with the
+right outcome have been observed, which mirrors production reality: a
+failing input occasionally fails to manifest (concurrency bugs!) and is
+then just another success run.
+"""
+
+from dataclasses import dataclass
+
+from repro.runtime.process import run_program
+from repro.machine.cpu import MachineConfig
+
+
+@dataclass
+class RunRecord:
+    """One executed run."""
+
+    index: int
+    status: object        # ExitStatus
+    failed: bool
+    plan: object          # RunPlan
+
+
+@dataclass
+class CampaignResult:
+    """Outcome of a run campaign."""
+
+    failures: list
+    successes: list
+    attempts: int
+
+    @property
+    def all_runs(self):
+        return self.failures + self.successes
+
+
+def run_campaign(program, workload, want_failures, want_successes,
+                 config=None, max_attempts=None):
+    """Execute *program* until the requested outcome counts are reached.
+
+    Failing runs use ``workload.failing_run_plan``; once enough failures
+    are collected, passing runs use ``workload.passing_run_plan``.  Runs
+    whose outcome does not match their plan's intent are still recorded
+    under their actual outcome (a "failing" plan that survives is a
+    success run, exactly as in production).
+    """
+    config = config or MachineConfig(num_cores=workload.num_cores)
+    failures = []
+    successes = []
+    attempts = 0
+    limit = max_attempts if max_attempts is not None else \
+        (want_failures + want_successes) * 20 + 50
+
+    k_fail = 0
+    while len(failures) < want_failures and attempts < limit:
+        plan = workload.failing_run_plan(k_fail)
+        record = _run_one(program, workload, plan, attempts, config)
+        (failures if record.failed else successes).append(record)
+        k_fail += 1
+        attempts += 1
+
+    k_pass = 0
+    while len(successes) < want_successes and attempts < limit:
+        plan = workload.passing_run_plan(k_pass)
+        record = _run_one(program, workload, plan, attempts, config)
+        (failures if record.failed else successes).append(record)
+        k_pass += 1
+        attempts += 1
+
+    return CampaignResult(
+        failures=failures[:want_failures] if want_failures else failures,
+        successes=successes[:want_successes] if want_successes
+        else successes,
+        attempts=attempts,
+    )
+
+
+def _run_one(program, workload, plan, index, config):
+    status = run_program(
+        program,
+        args=plan.args,
+        scheduler=plan.make_scheduler(),
+        config=config,
+        max_steps=plan.max_steps,
+        globals_setup=plan.globals_setup,
+    )
+    return RunRecord(
+        index=index, status=status,
+        failed=workload.is_failure(status), plan=plan,
+    )

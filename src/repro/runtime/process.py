@@ -1,0 +1,24 @@
+"""Run one program on a fresh machine."""
+
+from repro.machine.cpu import Machine, MachineConfig
+
+
+def run_program(program, args=(), scheduler=None, config=None,
+                max_steps=None, globals_setup=None):
+    """Execute *program* once and return its :class:`ExitStatus`.
+
+    ``globals_setup`` maps global-variable names to initial word values
+    (or lists of values for arrays), poked after load — how benchmark
+    inputs beyond the six argument registers are injected.
+    """
+    machine = Machine(program, config=config or MachineConfig(),
+                      scheduler=scheduler)
+    machine.load(args=args)
+    if globals_setup:
+        for name, value in globals_setup.items():
+            if isinstance(value, (list, tuple)):
+                for index, word in enumerate(value):
+                    machine.set_global(name, word, index=index)
+            else:
+                machine.set_global(name, value)
+    return machine.run(max_steps=max_steps)

@@ -1,0 +1,78 @@
+"""Tests for the machine-level CFG."""
+
+from repro.analysis.cfg import ControlFlowGraph, EdgeKind
+from repro.compiler import compile_source
+from repro.isa.instructions import Opcode
+from repro.isa.layout import INSTRUCTION_SIZE
+
+SOURCE = """
+int f(int x) {
+    if (x > 0) {
+        return 1;
+    }
+    return 0;
+}
+int main(int x) {
+    f(x);
+    f(x + 1);
+    return 0;
+}
+"""
+
+
+def build():
+    program = compile_source(SOURCE, include_stdlib=False)
+    return program, ControlFlowGraph(program)
+
+
+def test_conditional_has_two_successors():
+    program, cfg = build()
+    for instr in program.instructions:
+        if instr.opcode in (Opcode.JZ, Opcode.JNZ):
+            kinds = {e.kind for e in cfg.successors(instr.address)}
+            assert kinds == {EdgeKind.TAKEN_CONDITIONAL,
+                             EdgeKind.FALLTHROUGH}
+            return
+    raise AssertionError("no conditional branch found")
+
+
+def test_jump_has_single_taken_successor():
+    program, cfg = build()
+    for instr in program.instructions:
+        if instr.opcode is Opcode.JMP:
+            edges = cfg.successors(instr.address)
+            assert len(edges) == 1
+            assert edges[0].kind is EdgeKind.TAKEN_JUMP
+            assert edges[0].target == instr.target
+            return
+    raise AssertionError("no jump found")
+
+
+def test_call_and_return_edges():
+    program, cfg = build()
+    entry = program.function_named("f").entry
+    callers = cfg.callers_of("f")
+    assert len(callers) == 2
+    incoming = cfg.predecessors(entry)
+    assert {e.kind for e in incoming} == {EdgeKind.CALL}
+    # Each RET of f flows back to both return sites.
+    return_site = callers[0] + INSTRUCTION_SIZE
+    kinds = {e.kind for e in cfg.predecessors(return_site)}
+    assert EdgeKind.RETURN in kinds
+
+
+def test_record_production_flags():
+    assert EdgeKind.TAKEN_CONDITIONAL.produces_record
+    assert EdgeKind.TAKEN_JUMP.produces_record
+    assert not EdgeKind.FALLTHROUGH.produces_record
+    assert not EdgeKind.CALL.produces_record
+    assert not EdgeKind.RETURN.produces_record
+
+
+def test_halt_has_no_fallthrough():
+    program = compile_source("int main() { return 0; }",
+                             include_stdlib=False)
+    cfg = ControlFlowGraph(program)
+    for instr in program.instructions:
+        if instr.opcode is Opcode.HALT:
+            assert cfg.successors(instr.address) == ()

@@ -1,0 +1,36 @@
+"""Tests for the patch-distance metric (Table 6)."""
+
+from repro.analysis.patch_distance import (
+    INFINITE_DISTANCE,
+    failure_site_patch_distance,
+    lbr_patch_distance,
+    line_distance,
+)
+from repro.bugs.registry import get_bug
+from repro.core.lbrlog import LbrLogTool
+
+
+def test_line_distance_basic():
+    assert line_distance([10], [13]) == 3
+    assert line_distance([10, 20], [19]) == 1
+    assert line_distance([], [1]) == INFINITE_DISTANCE
+
+
+def test_sort_distances():
+    bug = get_bug("sort")
+    tool = LbrLogTool(bug)
+    report = tool.report(tool.run_failing())
+    fail_distance = failure_site_patch_distance(bug, report)
+    lbr_distance = lbr_patch_distance(bug, report)
+    # The LBR gets the developer much closer to the patch than the
+    # failure site does (Section 7.1.2).
+    assert lbr_distance < fail_distance
+    assert lbr_distance <= 5
+
+
+def test_uncaptured_report_is_infinite():
+    bug = get_bug("sort")
+    tool = LbrLogTool(bug)
+    report = tool.report(tool.run_passing())     # no failure profile
+    assert failure_site_patch_distance(bug, report) == INFINITE_DISTANCE
+    assert lbr_patch_distance(bug, report) == INFINITE_DISTANCE

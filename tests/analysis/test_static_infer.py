@@ -1,0 +1,110 @@
+"""Tests for the useful-branch-ratio analyzer (Table 5)."""
+
+from repro.analysis.static_infer import (
+    UsefulBranchAnalyzer,
+    useful_branch_ratio,
+)
+from repro.compiler.frontend import compile_module
+from repro.lang.parser import parse
+from repro.lang.transform import enhance_logging
+
+
+def build(source):
+    module = enhance_logging(parse(source), log_functions=("error",))
+    return compile_module(module)
+
+
+def test_sites_discovered_excluding_handler():
+    program = build("""
+    int main(int x) {
+        if (x > 0) {
+            error(1, "a");
+        }
+        if (x > 5) {
+            error(1, "b");
+        }
+        return 0;
+    }
+    """)
+    analyzer = UsefulBranchAnalyzer(program)
+    sites = analyzer.profile_site_addresses()
+    assert len(sites) == 2
+    with_handler = analyzer.profile_site_addresses(
+        include_handler_sites=True
+    )
+    assert len(with_handler) == 3
+
+
+def test_guard_record_is_inferable():
+    """The branch guarding the logging call itself conveys nothing: its
+    false edge cannot reach the site."""
+    program = build("""
+    int main(int x) {
+        if (x > 0) {
+            error(1, "boom");
+        }
+        return 0;
+    }
+    """)
+    ratio, results = useful_branch_ratio(program)
+    # The only record on most backward paths is the guard: low ratio.
+    assert results
+    assert ratio < 0.6
+
+
+def test_upstream_branches_are_useful():
+    """Branches whose both outcomes can reach the site are useful."""
+    program = build("""
+    int work(int x) {
+        int acc = 0;
+        int i = 0;
+        while (i < 4) {
+            if (x % 2) {
+                acc = acc + i;
+            } else {
+                acc = acc - i;
+            }
+            i = i + 1;
+        }
+        return acc;
+    }
+    int main(int x) {
+        int value = work(x);
+        if (value == 3) {
+            error(1, "boom");
+        }
+        return 0;
+    }
+    """)
+    ratio, results = useful_branch_ratio(program)
+    assert results
+    # Loop and if-else records dominate the window; most are useful.
+    assert ratio > 0.6
+
+
+def test_program_without_sites():
+    program = build("int main() { return 0; }")
+    ratio, results = useful_branch_ratio(program)
+    assert ratio == 0.0
+    assert results == []
+
+
+def test_path_budget_respected():
+    program = build("""
+    int main(int x) {
+        int i = 0;
+        while (i < 10) {
+            if (x > i) {
+                x = x - 1;
+            }
+            i = i + 1;
+        }
+        if (x == 0) {
+            error(1, "boom");
+        }
+        return 0;
+    }
+    """)
+    analyzer = UsefulBranchAnalyzer(program, max_paths_per_site=8)
+    results = analyzer.analyze_program()
+    assert all(r.paths_explored <= 8 for r in results)

@@ -1,0 +1,107 @@
+"""Behavioral tests over the whole bug suite.
+
+Every miniature must (a) compile, (b) fail under its failing plan with
+the declared symptom, (c) pass under all passing plans, and (d) be
+diagnosable in the way the paper's tables report.
+"""
+
+import pytest
+
+from repro.bugs.base import FailureKind
+from repro.bugs.registry import all_bugs, concurrency_bugs, \
+    sequential_bugs
+from repro.core.lbrlog import LbrLogTool
+from repro.core.lcrlog import LcrLogTool
+from repro.machine.faults import FaultKind
+
+
+def _tool_for(bug, **kwargs):
+    if bug.category == "sequential":
+        return LbrLogTool(bug, **kwargs)
+    return LcrLogTool(bug, **kwargs)
+
+
+@pytest.mark.parametrize("bug", all_bugs(), ids=lambda b: b.name)
+def test_failing_plan_fails(bug):
+    tool = _tool_for(bug)
+    status = tool.run_failing(0)
+    assert bug.is_failure(status), status.describe()
+
+
+@pytest.mark.parametrize("bug", all_bugs(), ids=lambda b: b.name)
+def test_passing_plans_pass(bug):
+    tool = _tool_for(bug)
+    for k in range(4):
+        status = tool.run_passing(k)
+        assert not bug.is_failure(status), \
+            "%s passing plan %d failed: %s" % (bug.name, k,
+                                               status.describe())
+
+
+@pytest.mark.parametrize("bug", all_bugs(), ids=lambda b: b.name)
+def test_symptom_matches_table4(bug):
+    tool = _tool_for(bug)
+    status = tool.run_failing(0)
+    kind = bug.failure_kind
+    if kind is FailureKind.CRASH:
+        assert status.fault is not None
+        assert status.fault.kind is FaultKind.SEGMENTATION_FAULT
+    elif kind is FailureKind.HANG:
+        assert status.fault is not None
+        assert status.fault.kind is FaultKind.HANG
+    else:
+        # error message / wrong output / corrupted log: text emitted
+        assert status.output_contains(bug.failure_output)
+
+
+@pytest.mark.parametrize("bug", sequential_bugs(), ids=lambda b: b.name)
+def test_lbrlog_matches_paper_capability(bug):
+    """Root captured (X) or related captured (X*) exactly as Table 6."""
+    tool = LbrLogTool(bug, toggling=True)
+    report = tool.report(tool.run_failing(0))
+    assert report.captured
+    root = report.position_of_line(bug.root_cause_lines)
+    related = report.position_of_line(bug.related_lines) \
+        if bug.related_lines else None
+    expect_star = bug.paper_results["lbrlog_tog"].endswith("*")
+    if expect_star:
+        assert root is None and related is not None, \
+            (bug.name, root, related)
+    else:
+        assert root is not None, bug.name
+
+
+@pytest.mark.parametrize("bug", sequential_bugs(), ids=lambda b: b.name)
+def test_lbrlog_without_toggling_matches_paper(bug):
+    tool = LbrLogTool(bug, toggling=False)
+    report = tool.report(tool.run_failing(0))
+    lines = tuple(bug.root_cause_lines) + tuple(bug.related_lines)
+    found = report.position_of_line(lines)
+    if bug.paper_results["lbrlog_notog"] == "-":
+        assert found is None, (bug.name, found)
+    else:
+        assert found is not None, bug.name
+
+
+@pytest.mark.parametrize("bug", concurrency_bugs(), ids=lambda b: b.name)
+def test_lcrlog_matches_paper_capability(bug):
+    for selector, key in ((1, "lcrlog_conf1"), (2, "lcrlog_conf2")):
+        tool = LcrLogTool(bug, selector=selector)
+        report = tool.report(tool.run_failing(0))
+        position = report.position_of(bug.root_cause_lines,
+                                      state_tags=bug.fpe_state_tags)
+        if bug.paper_results[key] == "-":
+            assert position is None, (bug.name, key, position)
+        else:
+            assert position is not None, (bug.name, key)
+
+
+@pytest.mark.parametrize("bug", concurrency_bugs(), ids=lambda b: b.name)
+def test_concurrency_failure_is_schedule_dependent(bug):
+    """The same binary fails or passes purely by interleaving: the
+    failing plan and passing plan differ only in their race gates."""
+    tool = LcrLogTool(bug)
+    failing = tool.run_failing(0)
+    passing = tool.run_passing(0)
+    assert bug.is_failure(failing)
+    assert not bug.is_failure(passing)

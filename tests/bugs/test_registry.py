@@ -1,0 +1,83 @@
+"""Tests for the bug registry and Table 4 metadata completeness."""
+
+import pytest
+
+from repro.bugs.base import FailureKind, RootCauseKind, line_of
+from repro.bugs.registry import (
+    all_bugs,
+    bug_names,
+    concurrency_bugs,
+    get_bug,
+    sequential_bugs,
+)
+
+
+def test_counts_match_table4():
+    assert len(sequential_bugs()) == 20
+    assert len(concurrency_bugs()) == 11
+    assert len(all_bugs()) == 31
+
+
+def test_names_unique():
+    names = [bug.name for bug in all_bugs()]
+    assert len(names) == len(set(names))
+
+
+def test_get_bug_round_trip():
+    for name in bug_names():
+        bug = get_bug(name)
+        assert bug.name == name
+    with pytest.raises(KeyError):
+        get_bug("nonexistent")
+
+
+def test_eighteen_programs():
+    programs = {bug.program for bug in all_bugs()}
+    # Table 4: 18 representative open-source programs.  PBZIP and Apache
+    # appear in both categories, and LU/FFT are separate programs.
+    assert len(programs) == 18
+
+
+def test_metadata_completeness():
+    for bug in all_bugs():
+        assert bug.paper_name, bug.name
+        assert bug.version, bug.name
+        assert bug.paper_kloc > 0, bug.name
+        assert isinstance(bug.root_cause_kind, RootCauseKind)
+        assert isinstance(bug.failure_kind, FailureKind)
+        assert bug.paper_log_points > 0
+        assert bug.root_cause_lines, bug.name
+        assert bug.patch_lines, bug.name
+        assert bug.paper_results, bug.name
+        assert bug.source.strip(), bug.name
+
+
+def test_concurrency_metadata():
+    for bug in concurrency_bugs():
+        assert bug.category == "concurrency"
+        assert bug.interleaving_type, bug.name
+        assert bug.fpe_state_tags, bug.name
+        assert bug.root_cause_kind in (
+            RootCauseKind.ATOMICITY_VIOLATION,
+            RootCauseKind.ORDER_VIOLATION,
+        )
+
+
+def test_cpp_bugs_marked():
+    cpp = {bug.name for bug in sequential_bugs()
+           if bug.language == "cpp"}
+    assert cpp == {"cppcheck1", "cppcheck2", "cppcheck3",
+                   "pbzip1", "pbzip2"}
+
+
+def test_line_of_helper():
+    assert line_of("a\nb // marker\nc", "marker") == 2
+    with pytest.raises(ValueError):
+        line_of("nothing", "marker")
+
+
+def test_root_cause_lines_point_at_annotations():
+    for bug in all_bugs():
+        lines = bug.source.splitlines()
+        for line_number in bug.root_cause_lines:
+            assert 1 <= line_number <= len(lines), bug.name

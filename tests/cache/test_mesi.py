@@ -1,0 +1,33 @@
+"""Tests for MESI states."""
+
+import pytest
+
+from repro.cache.mesi import MesiState, STATE_ORDER, state_from_letter
+
+
+def test_letters():
+    assert MesiState.MODIFIED.letter == "M"
+    assert MesiState.EXCLUSIVE.letter == "E"
+    assert MesiState.SHARED.letter == "S"
+    assert MesiState.INVALID.letter == "I"
+
+
+def test_validity():
+    assert MesiState.MODIFIED.is_valid()
+    assert MesiState.EXCLUSIVE.is_valid()
+    assert MesiState.SHARED.is_valid()
+    assert not MesiState.INVALID.is_valid()
+
+
+def test_state_from_letter_round_trip():
+    for state in MesiState:
+        assert state_from_letter(state.letter) is state
+
+
+def test_state_from_letter_rejects_unknown():
+    with pytest.raises(ValueError):
+        state_from_letter("X")
+
+
+def test_state_order_covers_all_states():
+    assert set(STATE_ORDER) == set(MesiState)

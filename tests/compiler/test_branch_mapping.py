@@ -1,0 +1,112 @@
+"""Tests for the Figure 2 branch mapping: every source conditional
+outcome is recoverable from LBR records via debug info."""
+
+from repro.compiler import compile_source
+from repro.isa.instructions import HwOp, Opcode
+from repro.machine.cpu import Machine
+
+
+SOURCE = """
+int taken;
+int main(int x) {
+    __lbr_config_all(0x179);
+    __lbr_enable_all();
+    if (x > 5) {                 // line 6
+        taken = 1;
+    } else {
+        taken = 2;
+    }
+    __lbr_profile(0);
+    return 0;
+}
+"""
+
+
+def decoded_outcomes(args):
+    program = compile_source(SOURCE)
+    machine = Machine(program)
+    machine.load(args=args)
+    status = machine.run()
+    outcomes = []
+    for entry in status.profiles[0].entries:
+        branch = program.debug_info.branch_at(entry.from_address)
+        if branch is not None and branch.location.line == 6:
+            outcomes.append(branch.outcome)
+    return outcomes
+
+
+def test_true_edge_recorded_via_fallthrough_jump():
+    assert decoded_outcomes(args=(9,)) == [True]
+
+
+def test_false_edge_recorded_via_conditional_jump():
+    assert decoded_outcomes(args=(1,)) == [False]
+
+
+def test_both_machine_branches_tagged_same_source_branch():
+    program = compile_source(SOURCE)
+    tags = [
+        branch for branch in program.debug_info.branches.values()
+        if branch.location.function == "main"
+        and branch.location.line == 6 and branch.outcome is not None
+    ]
+    assert {t.outcome for t in tags} == {True, False}
+    assert len({t.branch_id for t in tags}) == 1
+
+
+def test_loop_branches_tagged():
+    program = compile_source("""
+    int main() {
+        int i = 0;
+        while (i < 3) {          // line 4
+            i = i + 1;
+        }
+        return 0;
+    }
+    """)
+    outcomes = {
+        branch.outcome
+        for branch in program.debug_info.branches.values()
+        if branch.location.line == 4
+    }
+    # loop-exit (False), loop-enter (True), back edge (None)
+    assert outcomes == {True, False, None}
+
+
+def test_every_instruction_has_a_location():
+    program = compile_source(SOURCE)
+    for instr in program.instructions:
+        assert program.debug_info.location_at(instr.address) is not None
+
+
+def test_toggling_wraps_library_calls():
+    source = """
+    int main() {
+        memset(0x200000, 0, 4);
+        return 0;
+    }
+    """
+    plain = compile_source(source, toggling=False)
+    toggled = compile_source(source, toggling=True)
+    def hwop_count(program, op):
+        return sum(1 for i in program.instructions
+                   if i.opcode is Opcode.HWOP and i.hwop is op)
+    assert hwop_count(plain, HwOp.LBR_DISABLE) == 0
+    assert hwop_count(toggled, HwOp.LBR_DISABLE) == 1
+    assert hwop_count(toggled, HwOp.LBR_ENABLE) == 1
+    assert hwop_count(toggled, HwOp.LCR_DISABLE) == 1
+
+
+def test_library_to_library_calls_not_toggled():
+    """printf_d calls format_int inside the stdlib; wrappers only guard
+    the application -> library boundary."""
+    source = """
+    int main() {
+        printf_d("v", 42);
+        return 0;
+    }
+    """
+    toggled = compile_source(source, toggling=True)
+    disables = [i for i in toggled.instructions
+                if i.opcode is Opcode.HWOP and i.hwop is HwOp.LBR_DISABLE]
+    assert len(disables) == 1  # only around the printf_d call site

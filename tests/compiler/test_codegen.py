@@ -1,0 +1,248 @@
+"""Tests for MiniC code generation, executed on the machine."""
+
+import pytest
+
+from repro.compiler import CompileError, compile_source
+from repro.machine.cpu import Machine
+from repro.machine.faults import FaultKind
+
+
+def run(source, args=(), **kwargs):
+    program = compile_source(source, **kwargs)
+    machine = Machine(program)
+    machine.load(args=args)
+    return machine, machine.run()
+
+
+def test_arithmetic_and_locals():
+    _machine, status = run("""
+    int main() {
+        int a = 6;
+        int b = 7;
+        print(a * b + 1 - 3 / 2);
+        print(17 % 5);
+        print(-a);
+        return 0;
+    }
+    """)
+    assert status.output == (42, 2, -6)
+
+
+def test_comparisons_and_logic():
+    _machine, status = run("""
+    int main() {
+        print(3 < 4);
+        print(4 <= 3);
+        print(1 && 2);
+        print(0 || 0);
+        print(!0);
+        print(5 == 5 && 6 != 7);
+        return 0;
+    }
+    """)
+    assert status.output == (1, 0, 1, 0, 1, 1)
+
+
+def test_short_circuit_skips_side_effects():
+    _machine, status = run("""
+    int hits = 0;
+    int bump() { hits = hits + 1; return 1; }
+    int main() {
+        int a = 0 && bump();
+        int b = 1 || bump();
+        print(hits);
+        print(a);
+        print(b);
+        return 0;
+    }
+    """)
+    assert status.output == (0, 0, 1)
+
+
+def test_globals_and_arrays():
+    machine, status = run("""
+    int grid[6];
+    int total = 0;
+    int main() {
+        int i;
+        for (i = 0; i < 6; i = i + 1) { grid[i] = i * 2; }
+        for (i = 0; i < 6; i = i + 1) { total = total + grid[i]; }
+        return 0;
+    }
+    """)
+    assert machine.get_global("total") == 30
+    assert machine.get_global("grid", index=3) == 6
+
+
+def test_local_arrays():
+    _machine, status = run("""
+    int main() {
+        int buf[4];
+        int i;
+        for (i = 0; i < 4; i = i + 1) { buf[i] = i + 10; }
+        print(buf[0] + buf[3]);
+        return 0;
+    }
+    """)
+    assert status.output == (23,)
+
+
+def test_pointers_via_address_of():
+    _machine, status = run("""
+    int value = 5;
+    int main() {
+        int p = &value;
+        p[0] = 9;
+        print(value);
+        print(p[0]);
+        return 0;
+    }
+    """)
+    assert status.output == (9, 9)
+
+
+def test_while_break_continue():
+    _machine, status = run("""
+    int main() {
+        int i = 0;
+        int s = 0;
+        while (1) {
+            i = i + 1;
+            if (i > 10) { break; }
+            if (i % 2) { continue; }
+            s = s + i;
+        }
+        print(s);
+        return 0;
+    }
+    """)
+    assert status.output == (2 + 4 + 6 + 8 + 10,)
+
+
+def test_nested_calls_and_recursion():
+    _machine, status = run("""
+    int fib(int n) {
+        if (n < 2) { return n; }
+        return fib(n - 1) + fib(n - 2);
+    }
+    int main() {
+        print(fib(10));
+        return 0;
+    }
+    """)
+    assert status.output == (55,)
+
+
+def test_argument_passing_order():
+    _machine, status = run("""
+    int f(int a, int b, int c) { return a * 100 + b * 10 + c; }
+    int main() { print(f(1, 2, 3)); return 0; }
+    """)
+    assert status.output == (123,)
+
+
+def test_exit_builtin():
+    _machine, status = run("int main() { exit(4); return 0; }")
+    assert status.exit_code == 4
+
+
+def test_assert_builtin_faults():
+    _machine, status = run("int main() { assert_true(0); return 0; }")
+    assert status.fault.kind is FaultKind.ASSERTION_FAILURE
+
+
+def test_null_pointer_write_faults():
+    _machine, status = run("""
+    int main() {
+        int p = 0;
+        p[0] = 1;
+        return 0;
+    }
+    """)
+    assert status.fault.kind is FaultKind.SEGMENTATION_FAULT
+
+
+def test_out_of_bounds_global_silently_corrupts_neighbor():
+    """Intra-globals overflow corrupts without faulting — the sort bug's
+    mechanism (Figure 3)."""
+    machine, status = run("""
+    int a[2];
+    int victim = 77;
+    int main() {
+        a[2] = 5;       // writes past a into victim
+        return 0;
+    }
+    """)
+    assert status.fault is None
+    assert machine.get_global("victim") == 5
+
+
+def test_string_literals_and_print_str():
+    _machine, status = run("""
+    int main() {
+        print_str("alpha");
+        int s = "beta";
+        print_str(s);
+        return 0;
+    }
+    """)
+    assert status.output == ("alpha", "beta")
+
+
+def test_spawn_join_lock_unlock():
+    machine, status = run("""
+    int counter = 0;
+    int m;
+    int worker(int n) {
+        int i;
+        for (i = 0; i < n; i = i + 1) {
+            lock(&m);
+            counter = counter + 1;
+            unlock(&m);
+        }
+        return 0;
+    }
+    int main() {
+        int t = spawn worker(25);
+        int i;
+        for (i = 0; i < 25; i = i + 1) {
+            lock(&m);
+            counter = counter + 1;
+            unlock(&m);
+        }
+        join(t);
+        print(counter);
+        return 0;
+    }
+    """)
+    assert status.output == (50,)
+
+
+def test_undeclared_variable_rejected():
+    with pytest.raises(CompileError):
+        compile_source("int main() { x = 1; return 0; }")
+
+
+def test_undefined_function_rejected():
+    with pytest.raises(CompileError):
+        compile_source("int main() { nope(); return 0; }")
+
+
+def test_redeclaration_rejected():
+    with pytest.raises(CompileError):
+        compile_source("int main() { int a; int a; return 0; }")
+
+
+def test_break_outside_loop_rejected():
+    with pytest.raises(CompileError):
+        compile_source("int main() { break; return 0; }")
+
+
+def test_division_by_zero_faults():
+    _machine, status = run("""
+    int main(int n) {
+        print(10 / n);
+        return 0;
+    }
+    """, args=(0,))
+    assert status.fault.kind is FaultKind.DIVISION_BY_ZERO

@@ -1,0 +1,99 @@
+"""Tests for the compilation frontend pipeline."""
+
+import pytest
+
+from repro.compiler import CompileError, compile_module, compile_source
+from repro.compiler.frontend import link_with_stdlib
+from repro.lang.parser import parse
+from repro.machine.cpu import Machine
+
+
+def test_compile_without_stdlib_rejects_library_calls():
+    with pytest.raises(CompileError):
+        compile_source("int main() { memset(0, 0, 1); return 0; }",
+                       include_stdlib=False)
+
+
+def test_compile_without_stdlib_allows_builtins():
+    program = compile_source("int main() { print(1); return 0; }",
+                             include_stdlib=False)
+    machine = Machine(program)
+    machine.load()
+    assert machine.run().output == (1,)
+
+
+def test_missing_entry_rejected():
+    with pytest.raises(CompileError):
+        compile_source("int helper() { return 0; }")
+
+
+def test_custom_entry():
+    program = compile_source(
+        "int alt() { print(8); return 0; } int main() { return 0; }",
+        entry="alt",
+    )
+    machine = Machine(program)
+    machine.load()
+    assert machine.run().output == (8,)
+
+
+def test_link_with_stdlib_shadows_user_definitions():
+    module = parse("""
+    int memset(int a, int b, int c) { return 99; }
+    int main() { return memset(0, 0, 0); }
+    """)
+    merged = link_with_stdlib(module)
+    names = [f.name for f in merged.functions]
+    assert names.count("memset") == 1
+    # User version wins: not a library function.
+    memset = merged.function("memset")
+    assert not memset.is_library
+
+
+def test_link_preserves_metadata():
+    module = parse("int main() { return 0; }")
+    module.metadata["marker"] = 7
+    merged = link_with_stdlib(module)
+    assert merged.metadata["marker"] == 7
+
+
+def test_metadata_reaches_program():
+    module = parse("int main() { return 0; }")
+    module.metadata["marker"] = "hello"
+    program = compile_module(module)
+    assert program.metadata["marker"] == "hello"
+
+
+def test_stdlib_globals_not_duplicated_by_user_shadow():
+    program = compile_source("""
+    int __brk = 5;
+    int main() { return __brk; }
+    """)
+    machine = Machine(program)
+    machine.load()
+    assert machine.run().exit_code == 5
+
+
+def test_too_many_arguments_rejected():
+    with pytest.raises(CompileError):
+        compile_source("""
+        int f(int a, int b, int c, int d, int e, int g, int h) {
+            return 0;
+        }
+        int main() { return f(1, 2, 3, 4, 5, 6, 7); }
+        """)
+
+
+def test_assign_to_array_rejected():
+    with pytest.raises(CompileError):
+        compile_source("""
+        int buf[4];
+        int main() { buf = 3; return 0; }
+        """)
+
+
+def test_hw_builtin_requires_literal():
+    with pytest.raises(CompileError):
+        compile_source("""
+        int main(int x) { __lbr_config(x); return 0; }
+        """)

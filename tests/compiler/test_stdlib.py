@@ -1,0 +1,133 @@
+"""Tests for the MiniC standard library."""
+
+from repro.compiler import compile_source
+from repro.compiler.stdlib import stdlib_function_names, stdlib_module
+from repro.machine.cpu import Machine
+
+
+def run(source, args=()):
+    program = compile_source(source)
+    machine = Machine(program)
+    machine.load(args=args)
+    return machine, machine.run()
+
+
+def test_all_stdlib_functions_are_library():
+    assert all(f.is_library for f in stdlib_module().functions)
+
+
+def test_expected_functions_present():
+    names = set(stdlib_function_names())
+    assert {"malloc", "free", "memmove", "memset", "memcmp", "error",
+            "warn", "printf_d", "format_int", "abs_i", "min_i",
+            "max_i"} <= names
+
+
+def test_malloc_returns_disjoint_blocks():
+    _machine, status = run("""
+    int main() {
+        int a = malloc(4);
+        int b = malloc(4);
+        a[0] = 1;
+        b[0] = 2;
+        print(b - a);
+        print(a[0]);
+        return 0;
+    }
+    """)
+    assert status.output == (32, 1)
+
+
+def test_memset_and_memcmp():
+    _machine, status = run("""
+    int x[4];
+    int y[4];
+    int main() {
+        memset(x, 7, 4);
+        memset(y, 7, 4);
+        print(memcmp(x, y, 4));
+        y[2] = 9;
+        print(memcmp(x, y, 4));
+        print(memcmp(y, x, 4));
+        return 0;
+    }
+    """)
+    assert status.output == (0, -1, 1)
+
+
+def test_memmove_forward_and_backward():
+    machine, status = run("""
+    int buf[8];
+    int main() {
+        int i;
+        for (i = 0; i < 8; i = i + 1) { buf[i] = i; }
+        memmove(&buf[2], &buf[0], 4);   // overlapping, dst > src
+        return 0;
+    }
+    """)
+    assert [machine.get_global("buf", i) for i in range(8)] \
+        == [0, 1, 0, 1, 2, 3, 6, 7]
+
+
+def test_error_with_zero_status_continues():
+    _machine, status = run("""
+    int main() {
+        error(0, "warning only");
+        print(1);
+        return 0;
+    }
+    """)
+    assert status.output == ("warning only", 1)
+    assert status.exit_code == 0
+
+
+def test_error_with_nonzero_status_exits():
+    _machine, status = run("""
+    int main() {
+        error(3, "fatal");
+        print(1);
+        return 0;
+    }
+    """)
+    assert status.output == ("fatal",)
+    assert status.exit_code == 3
+
+
+def test_format_int_digit_count():
+    _machine, status = run("""
+    int main() {
+        print(format_int(0));
+        print(format_int(7));
+        print(format_int(1234));
+        print(format_int(-25));
+        return 0;
+    }
+    """)
+    assert status.output == (1, 1, 4, 3)
+
+
+def test_min_max_abs():
+    _machine, status = run("""
+    int main() {
+        print(min_i(3, 4));
+        print(max_i(3, 4));
+        print(abs_i(-9));
+        return 0;
+    }
+    """)
+    assert status.output == (3, 4, 9)
+
+
+def test_user_function_shadows_stdlib():
+    _machine, status = run("""
+    int error(int status, int msg) {
+        print_str("custom");
+        return 0;
+    }
+    int main() {
+        error(1, "ignored");
+        return 0;
+    }
+    """)
+    assert status.output == ("custom",)
+    assert status.exit_code == 0

@@ -1,0 +1,117 @@
+"""Tests for event decoding and profile extraction."""
+
+from repro.compiler import compile_source
+from repro.core.events import branch_event, coherence_event
+from repro.core.profiles import (
+    dominant_failure_site,
+    extract_profile,
+    site_by_id,
+    sites_of,
+)
+from repro.hwpmu.lbr import LbrEntry
+from repro.hwpmu.lcr import AccessType, LcrEntry
+from repro.cache.mesi import MesiState
+from repro.isa.instructions import BranchKind, Ring
+from repro.lang.parser import parse
+from repro.lang.transform import enhance_logging
+from repro.compiler.frontend import compile_module
+from repro.machine.cpu import Machine
+
+SOURCE = """
+int main(int x) {
+    if (x > 0) {
+        error(1, "positive");
+    }
+    return 0;
+}
+"""
+
+
+def build_enhanced():
+    module = enhance_logging(parse(SOURCE), log_functions=("error",))
+    return compile_module(module)
+
+
+def test_branch_event_decodes_source_branch():
+    program = build_enhanced()
+    address = next(a for a, b in program.debug_info.branches.items()
+                   if b.location.function == "main"
+                   and b.outcome is True)
+    entry = LbrEntry(from_address=address, to_address=address + 4,
+                     kind=BranchKind.UNCOND_DIRECT, ring=Ring.USER)
+    event = branch_event(program, entry)
+    assert event.kind == "branch"
+    assert event.event_id.endswith("=T")
+    assert event.function == "main"
+
+
+def test_branch_event_unknown_address():
+    program = build_enhanced()
+    entry = LbrEntry(from_address=0xDEAD0, to_address=0xDEAD4,
+                     kind=BranchKind.CONDITIONAL, ring=Ring.USER)
+    event = branch_event(program, entry)
+    assert "0x" in event.event_id
+
+
+def test_coherence_event_pollution_folds_into_ioctl():
+    program = build_enhanced()
+    entry = LcrEntry(pc=0x1000, state=MesiState.EXCLUSIVE,
+                     access=AccessType.LOAD, ring=Ring.USER,
+                     pollution=True)
+    event = coherence_event(program, entry)
+    assert event.event_id == "<ioctl>:load@E"
+    assert event.detail == "pollution"
+
+
+def test_coherence_event_location():
+    program = build_enhanced()
+    address = program.instructions[10].address
+    entry = LcrEntry(pc=address, state=MesiState.INVALID,
+                     access=AccessType.STORE, ring=Ring.USER)
+    event = coherence_event(program, entry)
+    assert event.kind == "coherence"
+    assert event.detail == "store@I"
+
+
+def run_failing():
+    program = build_enhanced()
+    machine = Machine(program)
+    machine.load(args=(5,))
+    return program, machine.run()
+
+
+def test_sites_and_extraction():
+    program, status = run_failing()
+    sites = sites_of(program)
+    assert any(s.kind == "failure-log" for s in sites)
+    profile = extract_profile(program, status, "lbr")
+    assert profile is not None
+    assert profile.outcome == "failure"
+    site = site_by_id(program, profile.site_id)
+    assert site.kind == "failure-log"
+    assert site_by_id(program, 999) is None
+
+
+def test_extract_profile_takes_last_snapshot():
+    program, status = run_failing()
+    profile = extract_profile(program, status, "lcr")
+    # The last LCR snapshot of the run, not the first.
+    matching = [s for s in status.profiles if s.kind == "lcr"]
+    assert profile.snapshot is matching[-1]
+
+
+def test_profile_latest_accessor():
+    program, status = run_failing()
+    profile = extract_profile(program, status, "lbr")
+    if profile.events:
+        assert profile.latest(1) is profile.events[0]
+    assert profile.latest(0) is None
+    assert profile.latest(len(profile.events) + 1) is None
+
+
+def test_dominant_failure_site():
+    program, status = run_failing()
+    dominant = dominant_failure_site(program, [status, status], "lbr")
+    profile = extract_profile(program, status, "lbr")
+    assert dominant == profile.site_id
+    assert dominant_failure_site(program, [], "lbr") is None

@@ -1,0 +1,161 @@
+"""End-to-end tests for LBRLOG and LBRA on a controlled workload."""
+
+import pytest
+
+from repro.bugs.base import line_of
+from repro.core.lbra import DiagnosisError, LbraTool
+from repro.core.lbrlog import LbrLogTool
+from repro.runtime.workload import RunPlan, Workload
+
+
+class GuardedFailure(Workload):
+    """Failure logged behind a guard, root-cause branch a few back."""
+
+    name = "guarded"
+    log_functions = ("error",)
+    failure_output = "bad state"
+    source = """
+int state = 0;
+
+int configure(int mode) {
+    if (mode == 3) {                    // line 4: root cause
+        state = 1;
+    }
+    return 0;
+}
+
+int act(int steps) {
+    int i = 0;
+    while (i < steps) {
+        i = i + 1;
+    }
+    if (state == 1) {
+        error(1, "tool: bad state");    // line 16
+        return 1;
+    }
+    return 0;
+}
+
+int main(int mode) {
+    configure(mode);
+    act(2);
+    return 0;
+}
+"""
+
+    @property
+    def root_line(self):
+        return line_of(self.source, "root cause")
+
+    def failing_run_plan(self, k):
+        return RunPlan(args=(3,))
+
+    def passing_run_plan(self, k):
+        return RunPlan(args=((0,), (1,), (5,))[k % 3])
+
+
+class CrashingFailure(GuardedFailure):
+    """Segfaults instead of logging (exercises the SIGSEGV handler)."""
+
+    name = "crashing"
+    failure_output = None
+    source = """
+int state = 0;
+
+int configure(int mode) {
+    if (mode == 3) {                    // line 4: root cause
+        state = 1;
+    }
+    return 0;
+}
+
+int main(int mode) {
+    configure(mode);
+    int p = &state;
+    if (state == 1) {
+        p = 0;
+    }
+    p[0] = 7;                           // line 15: faults when state set
+    return 0;
+}
+"""
+
+    def is_failure(self, status):
+        return status.fault is not None
+
+
+def test_lbrlog_captures_root_cause():
+    tool = LbrLogTool(GuardedFailure())
+    report = tool.capture_failure()
+    assert report.captured
+    assert report.site.log_function == "error"
+    position = report.position_of_line([GuardedFailure().root_line])
+    assert position is not None
+    assert position <= 8
+
+
+def test_lbrlog_outcome_filter():
+    tool = LbrLogTool(GuardedFailure())
+    report = tool.capture_failure()
+    assert report.position_of_line([GuardedFailure().root_line], outcome=True) is not None
+    assert report.position_of_line([GuardedFailure().root_line], outcome=False) is None
+
+
+def test_lbrlog_report_on_passing_run():
+    tool = LbrLogTool(GuardedFailure())
+    status = tool.run_passing(0)
+    report = tool.report(status)
+    assert not report.captured
+    assert report.entries == []
+
+
+def test_lbrlog_position_of_function():
+    tool = LbrLogTool(GuardedFailure())
+    report = tool.capture_failure()
+    assert report.position_of_function(["configure"]) is not None
+    assert report.position_of_function(["nonexistent"]) is None
+
+
+def test_lbra_reactive_ranks_root_first():
+    workload = GuardedFailure()
+    diagnosis = LbraTool(workload, scheme="reactive") \
+        .diagnose(n_failures=8, n_successes=8)
+    assert diagnosis.rank_of_line([workload.root_line], outcome=True) == 1
+    assert diagnosis.n_failure_profiles == 8
+    assert diagnosis.n_success_profiles == 8
+    assert diagnosis.scheme == "reactive"
+
+
+def test_lbra_proactive_ranks_root_first():
+    workload = GuardedFailure()
+    diagnosis = LbraTool(workload, scheme="proactive") \
+        .diagnose(n_failures=8, n_successes=8)
+    assert diagnosis.rank_of_line([workload.root_line], outcome=True) == 1
+
+
+def test_lbra_segfault_reactive():
+    workload = CrashingFailure()
+    diagnosis = LbraTool(workload, scheme="reactive") \
+        .diagnose(n_failures=6, n_successes=6)
+    assert diagnosis.failure_site.kind == "segv-handler"
+    assert diagnosis.rank_of_line([workload.root_line], outcome=True) == 1
+
+
+def test_lbra_proactive_cannot_cover_segfaults():
+    """Section 5.2: the proactive scheme 'cannot help diagnose failures
+    that manifest at unexpected locations'."""
+    with pytest.raises(DiagnosisError):
+        LbraTool(CrashingFailure(), scheme="proactive") \
+            .diagnose(n_failures=4, n_successes=4)
+
+
+def test_lbra_rejects_unknown_scheme():
+    with pytest.raises(ValueError):
+        LbraTool(GuardedFailure(), scheme="magic")
+
+
+def test_diagnosis_describe_mentions_scheme():
+    diagnosis = LbraTool(GuardedFailure()).diagnose(4, 4)
+    text = diagnosis.describe()
+    assert "reactive" in text
+    assert "LBRA" in text

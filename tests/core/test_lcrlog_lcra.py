@@ -1,0 +1,136 @@
+"""End-to-end tests for LCRLOG and LCRA on a controlled race."""
+
+from repro.bugs.base import line_of
+from repro.core.lcra import LcraTool
+from repro.core.lcrlog import (
+    CONF1_SPACE_SAVING,
+    CONF2_SPACE_CONSUMING,
+    LcrLogTool,
+)
+from repro.runtime.workload import RunPlan, Workload
+
+
+class TinyRace(Workload):
+    """An RWR atomicity violation driven by data gates."""
+
+    name = "tinyrace"
+    log_functions = ("report",)
+    failure_output = "stale pointer"
+    source = """
+int ptr = 0;
+int __pad[8];
+int gate = 0;
+int ack = 0;
+int done = 0;
+
+int report(int msg) {
+    print_str(msg);
+    return 0;
+}
+
+int killer(int race) {
+    if (race == 1) {
+        while (gate == 0) { yield_(); }
+        ptr = 0;                        // remote write
+        ack = 1;
+    } else {
+        while (done == 0) { yield_(); }
+        ptr = 0;
+    }
+    return 0;
+}
+
+int use(int race) {
+    if (ptr != 0) {
+        if (race == 1) {
+            gate = 1;
+            while (ack == 0) { yield_(); }
+        }
+        if (ptr == 0) {                 // line 28: FPE (invalid read)
+            report("stale pointer detected");
+            return 1;
+        }
+    }
+    return 0;
+}
+
+int main(int race) {
+    ptr = malloc(2);
+    int t = spawn killer(race);
+    use(race);
+    done = 1;
+    join(t);
+    return 0;
+}
+"""
+    @property
+    def fpe_line(self):
+        return line_of(self.source, "FPE (invalid read)")
+
+    def failing_run_plan(self, k):
+        return RunPlan(args=(1,))
+
+    def passing_run_plan(self, k):
+        return RunPlan(args=(0,))
+
+
+def test_lcrlog_conf2_captures_invalid_read():
+    workload = TinyRace()
+    tool = LcrLogTool(workload, selector=CONF2_SPACE_CONSUMING)
+    status = tool.run_failing()
+    assert workload.is_failure(status)
+    report = tool.report(status)
+    assert report.captured
+    position = report.position_of([workload.fpe_line],
+                                  state_tags=("load@I",))
+    assert position is not None
+    assert position <= 8
+
+
+def test_lcrlog_conf1_also_captures():
+    workload = TinyRace()
+    tool = LcrLogTool(workload, selector=CONF1_SPACE_SAVING)
+    report = tool.report(tool.run_failing())
+    assert report.position_of([workload.fpe_line],
+                              state_tags=("load@I",)) is not None
+
+
+def test_passing_run_does_not_fail():
+    workload = TinyRace()
+    tool = LcrLogTool(workload)
+    status = tool.run_passing()
+    assert not workload.is_failure(status)
+
+
+def test_pollution_entries_are_marked_and_skipped():
+    workload = TinyRace()
+    tool = LcrLogTool(workload, selector=CONF2_SPACE_CONSUMING)
+    report = tool.report(tool.run_failing())
+    pollution_rows = [r for r in report.entries
+                      if r.event.detail == "pollution"]
+    # The disabling ioctl leaves its dummy reads at the top (Section 4.3).
+    assert pollution_rows
+    assert pollution_rows[0].position <= 3
+    # position_of never matches pollution rows.
+    assert all(
+        report.position_of([workload.fpe_line]) != r.position
+        for r in pollution_rows
+    )
+
+
+def test_lcra_ranks_fpe_first():
+    workload = TinyRace()
+    diagnosis = LcraTool(workload, scheme="reactive") \
+        .diagnose(n_failures=8, n_successes=8)
+    assert diagnosis.ring == "lcr"
+    assert diagnosis.rank_of_coherence([workload.fpe_line],
+                                       ("load@I",)) == 1
+
+
+def test_lcr_profile_contains_no_addresses():
+    """Privacy: decoded events expose locations and states only."""
+    workload = TinyRace()
+    tool = LcrLogTool(workload)
+    report = tool.report(tool.run_failing())
+    for row in report.entries:
+        assert "0x8" not in row.event.event_id  # no stack addresses

@@ -1,0 +1,86 @@
+"""Tests for the precision/recall ranking model (Section 5.2)."""
+
+from repro.core.events import Event
+from repro.core.profiles import RunProfile
+from repro.core.statistics import (
+    harmonic_mean,
+    rank_of_event,
+    rank_predictors,
+)
+
+
+def make_profile(outcome, event_ids, index=0):
+    events = tuple(Event(event_id=e, kind="branch") for e in event_ids)
+    return RunProfile(run_index=index, outcome=outcome, ring="lbr",
+                      site_id=0, events=events, snapshot=None)
+
+
+def test_harmonic_mean():
+    assert harmonic_mean(1.0, 1.0) == 1.0
+    assert abs(harmonic_mean(0.5, 1.0) - 2 / 3) < 1e-9
+    assert harmonic_mean(0.0, 1.0) == 0.0
+
+
+def test_perfect_predictor_ranks_first():
+    failures = [make_profile("failure", ["bug", "noise"], i)
+                for i in range(5)]
+    successes = [make_profile("success", ["noise"], i) for i in range(5)]
+    ranked = rank_predictors(failures, successes)
+    best = ranked[0]
+    assert best.event.event_id == "bug"
+    assert best.precision == 1.0
+    assert best.recall == 1.0
+    assert best.rank == 1
+
+
+def test_noise_scores_below_predictor():
+    failures = [make_profile("failure", ["bug", "noise"], i)
+                for i in range(5)]
+    successes = [make_profile("success", ["noise"], i) for i in range(5)]
+    ranked = {s.event.event_id: s for s in
+              rank_predictors(failures, successes)}
+    assert ranked["noise"].precision == 0.5
+    assert ranked["noise"].rank > ranked["bug"].rank
+
+
+def test_dense_ranking_shares_ties():
+    failures = [make_profile("failure", ["a", "b"], i) for i in range(4)]
+    successes = [make_profile("success", [], i) for i in range(4)]
+    ranked = rank_predictors(failures, successes)
+    assert [s.rank for s in ranked] == [1, 1]
+
+
+def test_partial_recall():
+    failures = [make_profile("failure", ["bug"], 0),
+                make_profile("failure", [], 1)]
+    ranked = rank_predictors(failures, [])
+    bug = next(s for s in ranked if s.event.event_id == "bug")
+    assert bug.recall == 0.5
+    assert bug.precision == 1.0
+
+
+def test_success_only_event_scores_zero():
+    failures = [make_profile("failure", ["bug"], 0)]
+    successes = [make_profile("success", ["benign"], 0)]
+    ranked = {s.event.event_id: s for s in
+              rank_predictors(failures, successes)}
+    assert ranked["benign"].f_score == 0.0
+
+
+def test_rank_of_event_predicate():
+    failures = [make_profile("failure", ["bug"], i) for i in range(3)]
+    ranked = rank_predictors(failures, [])
+    assert rank_of_event(ranked, lambda e: e.event_id == "bug") == 1
+    assert rank_of_event(ranked, lambda e: e.event_id == "nope") is None
+
+
+def test_event_multiplicity_in_one_profile_counts_once():
+    """A profile is a set: the same event twice in one ring counts as
+    one observation for that run."""
+    failures = [make_profile("failure", ["bug", "bug"], 0)]
+    ranked = rank_predictors(failures, [])
+    assert ranked[0].failure_hits == 1
+
+
+def test_empty_inputs():
+    assert rank_predictors([], []) == []

@@ -1,0 +1,104 @@
+"""Tests for the experiment drivers (fast subsets)."""
+
+from repro.bugs.registry import get_bug
+from repro.experiments import (
+    figure1,
+    figure2,
+    latency,
+    loglatency,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+    table7,
+)
+from repro.experiments.report import ExperimentResult, format_table
+
+
+def test_format_table_alignment():
+    text = format_table(["a", "bb"], [("1", "2"), ("333", "4")],
+                        title="t")
+    lines = text.splitlines()
+    assert lines[0] == "t"
+    assert "a" in lines[1] and "bb" in lines[1]
+    assert len(lines) == 5
+
+
+def test_experiment_result_helpers():
+    result = ExperimentResult(
+        name="x", headers=["k", "v"], rows=[("a", 1), ("b", 2)]
+    )
+    assert result.row_by_key("b") == ("b", 2)
+    assert result.column(1) == [1, 2]
+    assert "k" in result.format()
+
+
+def test_table1_runs():
+    result = table1.run()
+    assert len(result.rows) == 13
+
+
+def test_table2_runs():
+    result = table2.run()
+    assert len(result.rows) == 4
+
+
+def test_table3_covers_six_classes():
+    result = table3.run()
+    assert [row[0] for row in result.rows] == [
+        "RWR", "RWW", "WWR", "WRW", "Read-too-early", "Read-too-late",
+    ]
+
+
+def test_table4_runs():
+    result = table4.run()
+    assert len(result.rows) == 31
+
+
+def test_table5_runs():
+    result = table5.run()
+    assert len(result.rows) == 13
+    assert all(0.0 <= float(row[1]) <= 1.0 for row in result.rows)
+
+
+def test_table6_on_subset():
+    result = table6.run(cbi_runs=60, overhead_runs=2,
+                        bugs=[get_bug("apache3"), get_bug("pbzip2")])
+    assert len(result.rows) == 2
+    data = result.raw
+    assert data[0]["name"] == "Apache3"
+    assert data[0]["lbrlog_tog"].startswith("X")
+    assert data[1]["cbi"] == "N/A"
+
+
+def test_table7_on_subset():
+    result = table7.run(bugs=[get_bug("fft"), get_bug("mysql1")])
+    raw = result.raw
+    assert raw[0]["conf2"] is not None
+    assert raw[0]["lcra"] == 1
+    assert raw[1]["conf2"] is None      # MySQL1: FPE not in failure thread
+    assert raw[1]["lcra"] is None
+
+
+def test_latency_on_subset():
+    result = latency.run(lbra_runs=(6,), cbi_runs=(40,),
+                         bugs=[get_bug("sort")])
+    assert result.rows[0][1] == "found"     # LBRA with 6 runs
+
+
+def test_figure1_shape():
+    result = figure1.run(capacities=(4, 16))
+    assert len(result.rows) == 4            # site + 2 capacities + BTS
+
+
+def test_figure2_runs():
+    result = figure2.run()
+    assert len(result.rows) == 2
+
+
+def test_loglatency_ordering():
+    result = loglatency.run()
+    assert "LBR < stack < core" in result.notes[0].replace("  ", " ") \
+        or "<" in result.notes[0]

@@ -1,0 +1,67 @@
+"""The example scripts must run end to end.
+
+Examples are documentation that executes; each fast example is run
+in-process and its output is checked for the landmark lines a reader
+is promised.
+"""
+
+import contextlib
+import io
+import pathlib
+import runpy
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent.parent / "examples"
+
+
+def run_example(name):
+    out = io.StringIO()
+    with contextlib.redirect_stdout(out):
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return out.getvalue()
+
+
+def test_quickstart():
+    text = run_example("quickstart.py")
+    assert "LBRLOG" in text
+    assert "rank of the root-cause branch: 1" in text
+
+
+def test_sort_case_study():
+    text = run_example("sequential_sort_bug.py")
+    assert "LBRLOG with toggling" in text
+    assert "SIGSEGV" in text
+    assert "rank of branch A: 1" in text
+
+
+def test_mozilla_case_study():
+    text = run_example("concurrency_mozilla.py")
+    assert "out of memory" in text
+    assert "Conf1" in text and "Conf2" in text
+    assert "rank of the a2 invalid read: 1" in text
+
+
+def test_order_violations():
+    text = run_example("order_violations.py")
+    assert "read-too-early" in text
+    assert "read-too-late" in text
+    assert text.count("LCRA rank of the FPE: 1") == 2
+
+
+def test_multiple_failures():
+    text = run_example("multiple_failures.py")
+    assert "observed 2 distinct failure sites" in text
+
+
+def test_hardware_tour():
+    text = run_example("hardware_tour.py")
+    assert "LBR enabled: True" in text
+    assert "coherence counters" in text
+    assert "LCR (pc, observed state)" in text
+
+
+@pytest.mark.slow
+def test_baseline_comparison():
+    text = run_example("baseline_comparison.py")
+    assert "LBRA with just 10 failure occurrences" in text

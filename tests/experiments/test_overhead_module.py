@@ -1,0 +1,48 @@
+"""Tests for the overhead measurement machinery."""
+
+from repro.bugs.registry import get_bug
+from repro.compiler.frontend import compile_module
+from repro.experiments.overhead import (
+    find_reactive_target,
+    measure_cost,
+    measure_workload_overheads,
+)
+
+
+def test_baseline_cost_positive_and_stable():
+    bug = get_bug("apache3")
+    program = compile_module(bug.build_module(), toggling=False)
+    first = measure_cost(program, bug, runs=3)
+    second = measure_cost(program, bug, runs=3)
+    assert first > 0
+    assert first == second        # deterministic runs
+
+
+def test_overhead_report_orderings():
+    bug = get_bug("sort")
+    target = find_reactive_target(bug, ring="lbr")
+    report = measure_workload_overheads(bug, runs=3,
+                                        reactive_target=target)
+    assert report.baseline_cost > 0
+    # Without toggling there is nothing left to pay for on passing runs.
+    assert report.lbrlog_no_toggling <= 0.005
+    assert report.lbrlog_no_toggling <= report.lbrlog_toggling
+    assert report.lbrlog_toggling <= report.lbra_reactive + 1e-9
+    percentages = report.as_percentages()
+    assert len(percentages) == 4
+
+
+def test_find_reactive_target_log_site():
+    bug = get_bug("apache3")
+    target = find_reactive_target(bug, ring="lbr")
+    assert target is not None
+    assert target.kind == "log"
+    assert target.function == "proxy_handler"
+
+
+def test_find_reactive_target_segv_site():
+    bug = get_bug("pbzip2")
+    target = find_reactive_target(bug, ring="lbr")
+    assert target is not None
+    assert target.kind == "segv"
+    assert target.function == "enqueue"

@@ -1,0 +1,63 @@
+"""Tests for the Branch Trace Store (whole-execution comparator)."""
+
+from repro.compiler import compile_source
+from repro.hwpmu.bts import BranchTraceStore, attach_bts
+from repro.isa.instructions import BranchKind, Ring
+from repro.machine.cpu import Machine
+
+
+def test_bts_records_everything_unfiltered():
+    bts = BranchTraceStore()
+    bts.enable()
+    for kind in BranchKind:
+        assert bts.record(0x1000, 0x1010, kind, Ring.USER)
+        assert bts.record(0x1000, 0x1010, kind, Ring.KERNEL)
+    assert len(bts) == 2 * len(BranchKind)
+
+
+def test_bts_disabled_records_nothing():
+    bts = BranchTraceStore()
+    assert not bts.record(0x1000, 0x1010, BranchKind.CONDITIONAL,
+                          Ring.USER)
+
+
+def test_bts_buffer_bound():
+    bts = BranchTraceStore(buffer_size=5)
+    bts.enable()
+    for index in range(9):
+        bts.record(index, index, BranchKind.CONDITIONAL, Ring.USER)
+    assert len(bts) == 5
+    assert bts.recorded_count == 9
+    assert bts.entries()[0].from_address == 4
+
+
+def test_attach_bts_traces_whole_execution():
+    program = compile_source("""
+    int main() {
+        int i = 0;
+        int total = 0;
+        while (i < 6) {
+            total = total + i;
+            i = i + 1;
+        }
+        print(total);
+        return 0;
+    }
+    """)
+    machine = Machine(program)
+    machine.load()
+    bts = attach_bts(machine)
+    status = machine.run()
+    assert status.output == (15,)
+    # Each of the 6 iterations takes at least the loop-enter and the
+    # back-edge jump: far more records than an LBR would retain.
+    assert len(bts) >= 12
+    # Whole-execution tracing is expensive: overhead well above the
+    # paper's LBR budget.
+    assert bts.modeled_overhead(status.retired) > 0.05
+
+
+def test_bts_overhead_zero_for_empty_trace():
+    bts = BranchTraceStore()
+    assert bts.modeled_overhead(1000) == 0.0
+    assert bts.modeled_overhead(0) == 0.0

@@ -1,0 +1,59 @@
+"""Tests for coherence-event performance counters."""
+
+from repro.cache.mesi import MesiState
+from repro.hwpmu.counters import (
+    CoherenceCounters,
+    CoherenceEventCode,
+    all_event_codes,
+)
+from repro.hwpmu.lcr import AccessType
+from repro.isa.instructions import Ring
+
+
+def test_unit_masks_match_table2():
+    code = CoherenceEventCode(AccessType.LOAD, MesiState.INVALID)
+    assert code.event_code == 0x40
+    assert code.unit_mask == 0x01
+    code = CoherenceEventCode(AccessType.STORE, MesiState.MODIFIED)
+    assert code.event_code == 0x41
+    assert code.unit_mask == 0x08
+
+
+def test_all_event_codes_enumerates_eight():
+    assert len(all_event_codes()) == 8
+
+
+def test_counting():
+    counters = CoherenceCounters()
+    counters.observe(0x1000, MesiState.INVALID, AccessType.LOAD, Ring.USER)
+    counters.observe(0x1004, MesiState.INVALID, AccessType.LOAD, Ring.USER)
+    counters.observe(0x1008, MesiState.SHARED, AccessType.STORE, Ring.USER)
+    assert counters.read(AccessType.LOAD, MesiState.INVALID) == 2
+    assert counters.read(AccessType.STORE, MesiState.SHARED) == 1
+    assert counters.read(AccessType.STORE, MesiState.INVALID) == 0
+    assert counters.total() == 3
+
+
+def test_kernel_filtering_default():
+    counters = CoherenceCounters()
+    counters.observe(0x1000, MesiState.INVALID, AccessType.LOAD,
+                     Ring.KERNEL)
+    assert counters.total() == 0
+
+
+def test_sampling_hook_period():
+    counters = CoherenceCounters()
+    samples = []
+    counters.set_sample_hook(3, lambda pc, access, state:
+                             samples.append(pc))
+    for index in range(10):
+        counters.observe(index, MesiState.INVALID, AccessType.LOAD,
+                         Ring.USER)
+    assert samples == [2, 5, 8]
+
+
+def test_reset():
+    counters = CoherenceCounters()
+    counters.observe(0x1000, MesiState.INVALID, AccessType.LOAD, Ring.USER)
+    counters.reset()
+    assert counters.total() == 0

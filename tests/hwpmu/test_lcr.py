@@ -1,0 +1,112 @@
+"""Tests for the Last Cache-coherence Record model."""
+
+from repro.cache.mesi import MesiState
+from repro.hwpmu.lcr import (
+    AccessType,
+    CONF_SPACE_CONSUMING,
+    CONF_SPACE_SAVING,
+    LastCacheCoherenceRecord,
+    LcrConfig,
+)
+from repro.isa.instructions import Ring
+
+
+def test_event_codes_match_table2():
+    assert AccessType.LOAD.event_code == 0x40
+    assert AccessType.STORE.event_code == 0x41
+
+
+def test_disabled_lcr_records_nothing():
+    lcr = LastCacheCoherenceRecord()
+    assert not lcr.record(0x1000, MesiState.INVALID, AccessType.LOAD,
+                          Ring.USER)
+
+
+def test_config_filters_events():
+    lcr = LastCacheCoherenceRecord(config=CONF_SPACE_CONSUMING)
+    lcr.enabled = True  # bypass enable() to avoid pollution
+    assert lcr.record(0x1000, MesiState.INVALID, AccessType.LOAD, Ring.USER)
+    assert lcr.record(0x1000, MesiState.INVALID, AccessType.STORE,
+                      Ring.USER)
+    assert lcr.record(0x1000, MesiState.EXCLUSIVE, AccessType.LOAD,
+                      Ring.USER)
+    assert not lcr.record(0x1000, MesiState.SHARED, AccessType.LOAD,
+                          Ring.USER)
+    assert not lcr.record(0x1000, MesiState.MODIFIED, AccessType.LOAD,
+                          Ring.USER)
+
+
+def test_space_saving_config_swaps_exclusive_for_shared():
+    lcr = LastCacheCoherenceRecord(config=CONF_SPACE_SAVING)
+    lcr.enabled = True
+    assert lcr.record(0x1000, MesiState.SHARED, AccessType.LOAD, Ring.USER)
+    assert not lcr.record(0x1000, MesiState.EXCLUSIVE, AccessType.LOAD,
+                          Ring.USER)
+
+
+def test_kernel_filtering():
+    lcr = LastCacheCoherenceRecord()
+    lcr.enabled = True
+    assert not lcr.record(0x1000, MesiState.INVALID, AccessType.LOAD,
+                          Ring.KERNEL)
+    permissive = LcrConfig(
+        events=frozenset({(AccessType.LOAD, MesiState.INVALID)}),
+        record_kernel=True,
+    )
+    lcr.configure(permissive)
+    assert lcr.record(0x1000, MesiState.INVALID, AccessType.LOAD,
+                      Ring.KERNEL)
+
+
+def test_enable_pollution_two_exclusive_reads():
+    """Section 4.3: the enabling ioctl introduces 2 user-level exclusive
+    reads into the calling core's ring (visible under Conf2)."""
+    lcr = LastCacheCoherenceRecord(config=CONF_SPACE_CONSUMING)
+    lcr.enable(pollution_pc=0x42)
+    entries = lcr.entries_latest_first()
+    assert len(entries) == 2
+    assert all(e.pollution for e in entries)
+    assert all(e.state is MesiState.EXCLUSIVE for e in entries)
+
+
+def test_disable_pollution_two_exclusive_one_shared():
+    lcr = LastCacheCoherenceRecord(config=CONF_SPACE_SAVING)
+    lcr.enable(pollution_pc=0x42)       # E loads filtered by Conf1
+    assert len(lcr) == 0
+    lcr.disable(pollution_pc=0x43)
+    # Conf1 records only the shared read of the disable pollution.
+    assert len(lcr) == 1
+    assert lcr.entry_latest(1).state is MesiState.SHARED
+
+
+def test_remote_enable_has_no_pollution():
+    lcr = LastCacheCoherenceRecord(config=CONF_SPACE_CONSUMING)
+    lcr.enable(pollute=False)
+    assert len(lcr) == 0
+    assert lcr.enabled
+
+
+def test_ring_capacity_is_16_by_default():
+    lcr = LastCacheCoherenceRecord()
+    lcr.enabled = True
+    for index in range(40):
+        lcr.record(0x1000 + index, MesiState.INVALID, AccessType.LOAD,
+                   Ring.USER)
+    assert len(lcr) == 16
+    assert lcr.entry_latest(1).pc == 0x1000 + 39
+
+
+def test_no_memory_addresses_recorded():
+    """Privacy property: LCR entries carry PCs and states only."""
+    lcr = LastCacheCoherenceRecord()
+    lcr.enabled = True
+    lcr.record(0x1000, MesiState.INVALID, AccessType.LOAD, Ring.USER)
+    entry = lcr.entry_latest(1)
+    assert not hasattr(entry, "address")
+
+
+def test_config_describe():
+    text = CONF_SPACE_CONSUMING.describe()
+    assert "load@E" in text
+    assert "load@I" in text
+    assert "store@I" in text

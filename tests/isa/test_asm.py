@@ -1,0 +1,97 @@
+"""Tests for the assembler and Program container."""
+
+import pytest
+
+from repro.isa.asm import Assembler, halting_program
+from repro.isa.instructions import Instruction, Opcode
+from repro.isa.layout import CODE_BASE, GLOBALS_BASE, INSTRUCTION_SIZE
+
+
+def test_halting_program_runs_shape():
+    program = halting_program(exit_code=3)
+    assert len(program) == 1
+    assert program.entry_address() == CODE_BASE
+
+
+def test_labels_resolve_to_addresses():
+    assembler = Assembler()
+    assembler.function("main")
+    assembler.op(Opcode.JMP, target="end")
+    assembler.label("end")
+    assembler.op(Opcode.HALT, imm=0)
+    program = assembler.link()
+    assert program.instructions[0].target == CODE_BASE + INSTRUCTION_SIZE
+
+
+def test_undefined_label_raises():
+    assembler = Assembler()
+    assembler.function("main")
+    assembler.op(Opcode.JMP, target="nowhere")
+    with pytest.raises(KeyError):
+        assembler.link()
+
+
+def test_duplicate_label_raises():
+    assembler = Assembler()
+    assembler.function("main")
+    assembler.label("x")
+    with pytest.raises(ValueError):
+        assembler.label("x")
+
+
+def test_globals_are_laid_out_consecutively():
+    assembler = Assembler()
+    a = assembler.global_word("a")
+    b = assembler.global_word("b", count=4)
+    c = assembler.global_word("c")
+    assert a == GLOBALS_BASE
+    assert b == GLOBALS_BASE + 8
+    assert c == GLOBALS_BASE + 40
+    assembler.function("main")
+    assembler.op(Opcode.HALT, imm=0)
+    program = assembler.link()
+    assert program.globals_size == 48
+    assert program.global_address("b") == b
+
+
+def test_global_init_recorded():
+    assembler = Assembler()
+    base = assembler.global_word("arr", count=3, init=(5, 6))
+    assembler.function("main")
+    assembler.op(Opcode.HALT, imm=0)
+    program = assembler.link()
+    assert program.global_init[base] == 5
+    assert program.global_init[base + 8] == 6
+
+
+def test_string_interning():
+    assembler = Assembler()
+    first = assembler.string("hello")
+    second = assembler.string("hello")
+    third = assembler.string("world")
+    assert first == second
+    assert third != first
+
+
+def test_function_boundaries():
+    assembler = Assembler()
+    assembler.function("main")
+    assembler.op(Opcode.NOP)
+    assembler.op(Opcode.HALT, imm=0)
+    assembler.function("helper", is_library=True)
+    assembler.op(Opcode.RET)
+    program = assembler.link()
+    main = program.function_named("main")
+    helper = program.function_named("helper")
+    assert main.entry == CODE_BASE
+    assert main.end == helper.entry
+    assert helper.is_library
+    assert program.function_at(main.entry) is main
+
+
+def test_instruction_at_bad_address():
+    program = halting_program()
+    with pytest.raises(KeyError):
+        program.instruction_at(0xDEAD)
+    assert not program.has_instruction(0xDEAD)
+    assert program.has_instruction(CODE_BASE)

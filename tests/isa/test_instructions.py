@@ -1,0 +1,56 @@
+"""Tests for instruction definitions."""
+
+import pytest
+
+from repro.isa.instructions import (
+    BRANCH_OPCODES,
+    BranchKind,
+    Instruction,
+    MEMORY_OPCODES,
+    Opcode,
+    Ring,
+)
+
+
+def test_branch_classification():
+    cases = {
+        Opcode.JZ: BranchKind.CONDITIONAL,
+        Opcode.JNZ: BranchKind.CONDITIONAL,
+        Opcode.JMP: BranchKind.UNCOND_DIRECT,
+        Opcode.CALL: BranchKind.NEAR_CALL,
+        Opcode.CALLR: BranchKind.NEAR_IND_CALL,
+        Opcode.RET: BranchKind.NEAR_RET,
+    }
+    for opcode, kind in cases.items():
+        instr = Instruction(opcode)
+        assert instr.is_branch()
+        assert instr.branch_kind() is kind
+
+
+def test_non_branch_rejects_branch_kind():
+    instr = Instruction(Opcode.LI, rd=0, imm=1)
+    assert not instr.is_branch()
+    with pytest.raises(ValueError):
+        instr.branch_kind()
+
+
+def test_memory_opcodes():
+    for opcode in (Opcode.LOAD, Opcode.STORE, Opcode.PUSH, Opcode.POP):
+        assert Instruction(opcode).is_memory_access()
+    assert not Instruction(Opcode.MOV).is_memory_access()
+
+
+def test_branch_and_memory_sets_disjoint():
+    assert not (BRANCH_OPCODES & MEMORY_OPCODES)
+
+
+def test_default_ring_is_user():
+    assert Instruction(Opcode.NOP).ring is Ring.USER
+
+
+def test_describe_is_readable():
+    instr = Instruction(Opcode.JZ, rs=3, target="loop")
+    text = instr.describe()
+    assert "jz" in text
+    assert "r3" in text
+    assert "loop" in text

@@ -1,0 +1,39 @@
+"""Tests for the address-space layout."""
+
+import pytest
+
+from repro.isa import layout
+
+
+def test_regions_are_disjoint_and_ordered():
+    assert layout.NULL_PAGE_LIMIT <= layout.CODE_BASE
+    assert layout.CODE_BASE < layout.GLOBALS_BASE
+    assert layout.GLOBALS_BASE < layout.HEAP_BASE
+    assert layout.HEAP_BASE < layout.STACK_REGION_BASE
+
+
+def test_stack_base_is_word_below_top():
+    base = layout.stack_base_for_thread(0)
+    assert base == layout.STACK_REGION_BASE + layout.STACK_SIZE \
+        - layout.WORD_SIZE
+
+
+def test_stack_slices_do_not_overlap():
+    low0, high0 = layout.stack_bounds_for_thread(0)
+    low1, high1 = layout.stack_bounds_for_thread(1)
+    assert high0 < low1
+    assert high0 - low0 + 1 == layout.STACK_SIZE
+
+
+def test_stack_base_rejects_bad_thread_ids():
+    with pytest.raises(ValueError):
+        layout.stack_base_for_thread(-1)
+    with pytest.raises(ValueError):
+        layout.stack_base_for_thread(layout.MAX_THREADS)
+
+
+def test_stack_base_within_bounds():
+    for tid in (0, 1, 7, layout.MAX_THREADS - 1):
+        low, high = layout.stack_bounds_for_thread(tid)
+        base = layout.stack_base_for_thread(tid)
+        assert low <= base <= high

@@ -1,0 +1,96 @@
+"""Tests for Program containers and debug info plumbing."""
+
+from repro.compiler import compile_source
+from repro.isa.layout import CODE_BASE, INSTRUCTION_SIZE
+from repro.isa.program import (
+    DebugInfo,
+    FunctionInfo,
+    SourceBranch,
+    SourceLocation,
+)
+
+SOURCE = """
+int g = 3;
+int helper(int x) {
+    if (x > 0) {
+        return x;
+    }
+    return 0;
+}
+int main(int x) {
+    return helper(x);
+}
+"""
+
+
+def test_addresses_are_dense_and_aligned():
+    program = compile_source(SOURCE, include_stdlib=False)
+    addresses = [i.address for i in program.instructions]
+    assert addresses[0] == CODE_BASE
+    assert all(b - a == INSTRUCTION_SIZE
+               for a, b in zip(addresses, addresses[1:]))
+    assert program.code_end == CODE_BASE \
+        + len(program.instructions) * INSTRUCTION_SIZE
+
+
+def test_function_lookup_by_address():
+    program = compile_source(SOURCE, include_stdlib=False)
+    helper = program.function_named("helper")
+    main = program.function_named("main")
+    assert program.function_at(helper.entry) is helper
+    assert program.function_at(main.end - INSTRUCTION_SIZE) is main
+    assert program.function_at(0xFFFFFF) is None
+
+
+def test_disassemble_yields_every_instruction():
+    program = compile_source(SOURCE, include_stdlib=False)
+    listing = list(program.disassemble())
+    assert len(listing) == len(program.instructions)
+    address, text = listing[0]
+    assert address == CODE_BASE
+    assert isinstance(text, str) and text
+
+
+def test_source_location_and_branch_str():
+    location = SourceLocation(function="f", line=9)
+    assert str(location) == "f:9"
+    branch = SourceBranch(branch_id="f:9", location=location,
+                          outcome=True)
+    assert str(branch) == "f:9=T"
+    anonymous = SourceBranch(branch_id="f:9", location=location)
+    assert str(anonymous) == "f:9"
+
+
+def test_debug_info_misses_return_none():
+    info = DebugInfo()
+    assert info.branch_at(0x1234) is None
+    assert info.location_at(0x1234) is None
+
+
+def test_function_info_contains():
+    info = FunctionInfo(name="f", entry=0x1000, end=0x1010)
+    assert info.contains(0x1000)
+    assert info.contains(0x100C)
+    assert not info.contains(0x1010)
+    unset = FunctionInfo(name="g")
+    assert not unset.contains(0x1000)
+
+
+def test_every_compiled_branch_is_tagged_or_structural():
+    program = compile_source(SOURCE, include_stdlib=False)
+    for instr in program.instructions:
+        if not instr.is_branch():
+            continue
+        # Either tagged with a source branch or a call/return.
+        branch = program.debug_info.branch_at(instr.address)
+        if branch is None:
+            assert instr.opcode.value in ("call", "callr", "ret", "jmp")
+
+
+def test_string_table_access():
+    program = compile_source(
+        'int main() { print_str("hello"); return 0; }'
+    )
+    assert "hello" in program.string_table
+    index = program.string_table.index("hello")
+    assert program.string(index) == "hello"

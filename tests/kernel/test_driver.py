@@ -1,0 +1,75 @@
+"""Tests for the /dev/lbrdriver ioctl interface (Figure 7)."""
+
+import pytest
+
+from repro.isa.asm import halting_program
+from repro.kernel.driver import (
+    DEVICE_PATH,
+    DRIVER_CLEAN_LBR,
+    DRIVER_CONFIG_LBR,
+    DRIVER_DISABLE_LBR,
+    DRIVER_ENABLE_LBR,
+    DRIVER_PROFILE_LBR,
+    DriverError,
+    LbrDriver,
+)
+from repro.hwpmu.lbr import LBR_SELECT_PAPER_MASK
+from repro.isa.instructions import BranchKind, Ring
+from repro.machine.cpu import Machine
+
+
+@pytest.fixture
+def machine():
+    return Machine(halting_program())
+
+
+def test_figure7_sequence(machine):
+    driver = LbrDriver(machine)
+    fd = driver.open(DEVICE_PATH)
+    driver.ioctl(fd, DRIVER_CLEAN_LBR)
+    driver.ioctl(fd, DRIVER_CONFIG_LBR)
+    driver.ioctl(fd, DRIVER_ENABLE_LBR)
+    core = machine.cores[0]
+    assert core.lbr.enabled
+    assert core.lbr.select_mask == int(LBR_SELECT_PAPER_MASK)
+    core.lbr.record(0x1000, 0x1010, BranchKind.CONDITIONAL, Ring.USER)
+    core.lbr.record(0x1004, 0x1020, BranchKind.CONDITIONAL, Ring.USER)
+    driver.ioctl(fd, DRIVER_DISABLE_LBR)
+    assert not core.lbr.enabled
+    pairs = driver.ioctl(fd, DRIVER_PROFILE_LBR)
+    assert pairs == [(0x1004, 0x1020), (0x1000, 0x1010)]
+    driver.close(fd)
+
+
+def test_enable_reaches_all_cores(machine):
+    driver = LbrDriver(machine)
+    fd = driver.open()
+    driver.ioctl(fd, DRIVER_ENABLE_LBR)
+    assert all(core.lbr.enabled for core in machine.cores)
+
+
+def test_bad_device_path(machine):
+    driver = LbrDriver(machine)
+    with pytest.raises(DriverError):
+        driver.open("/dev/null")
+
+
+def test_bad_fd(machine):
+    driver = LbrDriver(machine)
+    with pytest.raises(DriverError):
+        driver.ioctl(99, DRIVER_CLEAN_LBR)
+
+
+def test_unknown_request(machine):
+    driver = LbrDriver(machine)
+    fd = driver.open()
+    with pytest.raises(DriverError):
+        driver.ioctl(fd, 0xBEEF)
+
+
+def test_close_invalidates_fd(machine):
+    driver = LbrDriver(machine)
+    fd = driver.open()
+    driver.close(fd)
+    with pytest.raises(DriverError):
+        driver.ioctl(fd, DRIVER_CLEAN_LBR)

@@ -1,0 +1,60 @@
+"""Tests for signal registration plumbing."""
+
+import pytest
+
+from repro.compiler import compile_source
+from repro.kernel.signals import SIGNAL_NAMES, register_handler, \
+    signal_name
+from repro.machine.cpu import Machine
+from repro.machine.faults import FaultKind
+
+
+def test_signal_names_cover_deliverable_faults():
+    assert SIGNAL_NAMES[FaultKind.SEGMENTATION_FAULT] == "SIGSEGV"
+    assert signal_name(FaultKind.DIVISION_BY_ZERO) == "SIGFPE"
+    assert signal_name(FaultKind.HANG) == "HANG"
+
+
+def test_register_handler_wires_to_machine():
+    program = compile_source("""
+    int handler() {
+        print_str("caught");
+        return 0;
+    }
+    int main() {
+        int p = 0;
+        p[0] = 1;
+        return 0;
+    }
+    """)
+    register_handler(program, FaultKind.SEGMENTATION_FAULT, "handler")
+    machine = Machine(program)
+    machine.load()
+    status = machine.run()
+    assert status.fault is not None
+    assert status.output == ("caught",)
+
+
+def test_register_handler_rejects_unknown_function():
+    program = compile_source("int main() { return 0; }")
+    with pytest.raises(KeyError):
+        register_handler(program, FaultKind.SEGMENTATION_FAULT, "ghost")
+
+
+def test_sigfpe_deliverable_too():
+    program = compile_source("""
+    int handler() {
+        print_str("fpe");
+        return 0;
+    }
+    int main(int d) {
+        print(10 / d);
+        return 0;
+    }
+    """)
+    register_handler(program, FaultKind.DIVISION_BY_ZERO, "handler")
+    machine = Machine(program)
+    machine.load(args=(0,))
+    status = machine.run()
+    assert status.fault.kind is FaultKind.DIVISION_BY_ZERO
+    assert status.output == ("fpe",)

@@ -1,0 +1,74 @@
+"""Tests for the MiniC lexer."""
+
+import pytest
+
+from repro.lang.lexer import LexerError, tokenize
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)]
+
+
+def values(source):
+    return [t.value for t in tokenize(source)[:-1]]
+
+
+def test_empty_source():
+    tokens = tokenize("")
+    assert len(tokens) == 1
+    assert tokens[0].kind == "eof"
+
+
+def test_keywords_vs_identifiers():
+    tokens = tokenize("int foo while whilex")
+    assert [t.kind for t in tokens[:-1]] == \
+        ["keyword", "ident", "keyword", "ident"]
+
+
+def test_numbers_decimal_and_hex():
+    assert values("42 0x2A 0") == [42, 42, 0]
+
+
+def test_string_literal_with_escapes():
+    tokens = tokenize('"hello\\nworld"')
+    assert tokens[0].kind == "string"
+    assert tokens[0].value == "hello\nworld"
+
+
+def test_unterminated_string_raises():
+    with pytest.raises(LexerError):
+        tokenize('"oops')
+    with pytest.raises(LexerError):
+        tokenize('"oops\n"')
+
+
+def test_maximal_munch_punctuation():
+    assert values("a<=b == c && d") == ["a", "<=", "b", "==", "c", "&&", "d"]
+    assert values("a<b=c") == ["a", "<", "b", "=", "c"]
+
+
+def test_line_comments():
+    tokens = tokenize("a // comment with * tokens\nb")
+    assert [t.value for t in tokens[:-1]] == ["a", "b"]
+    assert tokens[1].line == 2
+
+
+def test_block_comments_track_lines():
+    tokens = tokenize("a /* 1\n2\n3 */ b")
+    assert tokens[1].value == "b"
+    assert tokens[1].line == 3
+
+
+def test_unterminated_block_comment():
+    with pytest.raises(LexerError):
+        tokenize("/* never ends")
+
+
+def test_line_numbers():
+    tokens = tokenize("a\nb\n\nc")
+    assert [t.line for t in tokens[:-1]] == [1, 2, 4]
+
+
+def test_unexpected_character():
+    with pytest.raises(LexerError):
+        tokenize("a $ b")

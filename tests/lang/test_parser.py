@@ -1,0 +1,161 @@
+"""Tests for the MiniC parser."""
+
+import pytest
+
+from repro.lang import ast_nodes as ast
+from repro.lang.parser import ParseError, parse
+
+
+def test_globals_scalars_arrays_inits():
+    module = parse("int a; int b = 5; int c[4]; int d[3] = {1, 2, 3};")
+    names = [g.name for g in module.globals]
+    assert names == ["a", "b", "c", "d"]
+    assert module.globals[1].init == [5]
+    assert module.globals[2].size == 4
+    assert module.globals[3].init == [1, 2, 3]
+
+
+def test_negative_initializer():
+    module = parse("int a = -7;")
+    assert module.globals[0].init == [-7]
+
+
+def test_function_with_params():
+    module = parse("int f(int x, int y) { return x + y; }")
+    function = module.function("f")
+    assert function.params == ["x", "y"]
+    ret = function.body.statements[0]
+    assert isinstance(ret, ast.Return)
+    assert isinstance(ret.value, ast.BinOp)
+
+
+def test_library_marker():
+    module = parse("library int f() { return 0; } int g() { return 0; }")
+    assert module.function("f").is_library
+    assert not module.function("g").is_library
+
+
+def test_if_else_chain():
+    module = parse("""
+    int f(int x) {
+        if (x > 2) { return 1; }
+        else if (x > 1) { return 2; }
+        else { return 3; }
+    }
+    """)
+    statement = module.function("f").body.statements[0]
+    assert isinstance(statement, ast.If)
+    assert isinstance(statement.orelse, ast.If)
+    assert isinstance(statement.orelse.orelse, ast.Block)
+
+
+def test_while_and_for():
+    module = parse("""
+    int f() {
+        int s = 0;
+        for (int i = 0; i < 4; i = i + 1) { s = s + i; }
+        while (s > 0) { s = s - 1; break; }
+        return s;
+    }
+    """)
+    statements = module.function("f").body.statements
+    assert isinstance(statements[1], ast.For)
+    assert isinstance(statements[1].init, ast.LocalDecl)
+    assert isinstance(statements[2], ast.While)
+    assert isinstance(statements[2].body.statements[1], ast.Break)
+
+
+def test_for_with_empty_clauses():
+    module = parse("int f() { for (;;) { break; } return 0; }")
+    loop = module.function("f").body.statements[0]
+    assert loop.init is None and loop.cond is None and loop.step is None
+
+
+def test_assignment_targets():
+    module = parse("""
+    int a[4];
+    int f(int x) {
+        x = 1;
+        a[x] = 2;
+        return a[x];
+    }
+    """)
+    statements = module.function("f").body.statements
+    assert isinstance(statements[0].target, ast.Name)
+    assert isinstance(statements[1].target, ast.Index)
+
+
+def test_invalid_assignment_target():
+    with pytest.raises(ParseError):
+        parse("int f() { 1 = 2; return 0; }")
+
+
+def test_precedence():
+    module = parse("int f() { return 1 + 2 * 3 == 7 && 1; }")
+    expr = module.function("f").body.statements[0].value
+    assert isinstance(expr, ast.LogicalOp)
+    comparison = expr.left
+    assert isinstance(comparison, ast.BinOp) and comparison.op == "=="
+    addition = comparison.left
+    assert addition.op == "+"
+    assert addition.right.op == "*"
+
+
+def test_unary_operators():
+    module = parse("int f(int x) { return -x + !x + ~x; }")
+    assert module.function("f") is not None
+
+
+def test_address_of():
+    module = parse("int g; int a[2]; int f() { return &g + &a[1]; }")
+    expr = module.function("f").body.statements[0].value
+    assert isinstance(expr.left, ast.AddressOf)
+    assert expr.left.index is None
+    assert isinstance(expr.right, ast.AddressOf)
+    assert expr.right.index is not None
+
+
+def test_spawn_expression():
+    module = parse("""
+    int worker(int x) { return x; }
+    int main() {
+        int t = spawn worker(3);
+        join(t);
+        return 0;
+    }
+    """)
+    decl = module.function("main").body.statements[0]
+    assert isinstance(decl.init, ast.Spawn)
+    assert decl.init.name == "worker"
+
+
+def test_string_argument():
+    module = parse('int main() { error(1, "boom"); return 0; }')
+    call = module.function("main").body.statements[0].expr
+    assert isinstance(call.args[1], ast.Str)
+    assert call.args[1].value == "boom"
+
+
+def test_missing_semicolon():
+    with pytest.raises(ParseError):
+        parse("int f() { return 0 }")
+
+
+def test_void_function():
+    module = parse("void f() { return; }")
+    assert module.function("f").params == []
+
+
+def test_void_variable_rejected():
+    with pytest.raises(ParseError):
+        parse("void x;")
+
+
+def test_library_on_global_rejected():
+    with pytest.raises(ParseError):
+        parse("library int x;")
+
+
+def test_lines_recorded():
+    module = parse("int f() {\n  return 0;\n}")
+    assert module.function("f").body.statements[0].line == 2

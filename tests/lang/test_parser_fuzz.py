@@ -1,0 +1,65 @@
+"""Fuzz the frontend: arbitrary input must fail cleanly.
+
+Whatever bytes arrive, the lexer and parser may only raise their own
+error types — never crash with an internal exception — and valid
+programs must never be corrupted by the transformer round trip.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compiler.frontend import compile_source
+from repro.compiler.codegen import CompileError
+from repro.lang.lexer import LexerError, tokenize
+from repro.lang.parser import ParseError, parse
+
+
+@given(st.text(max_size=120))
+@settings(max_examples=150, deadline=None)
+def test_lexer_never_crashes(source):
+    try:
+        tokens = tokenize(source)
+    except LexerError:
+        return
+    assert tokens[-1].kind == "eof"
+
+
+@given(st.text(
+    alphabet="intvoidreturnifelsewhilefor(){}[];=+-*/%<>!&|, 0123456789"
+             "abcxyz_\"\n",
+    max_size=200,
+))
+@settings(max_examples=150, deadline=None)
+def test_parser_never_crashes(source):
+    try:
+        parse(source)
+    except (LexerError, ParseError):
+        pass
+
+
+_TOKEN_POOL = [
+    "int", "void", "if", "else", "while", "for", "return", "break",
+    "continue", "library", "spawn", "main", "x", "y", "f", "42", "0",
+    "(", ")", "{", "}", "[", "]", ";", ",", "=", "+", "-", "*", "/",
+    "%", "<", ">", "==", "!=", "&&", "||", "!", "&", '"s"',
+]
+
+
+@given(st.lists(st.sampled_from(_TOKEN_POOL), max_size=60))
+@settings(max_examples=150, deadline=None)
+def test_token_soup_fails_cleanly(tokens):
+    source = " ".join(tokens)
+    try:
+        module = parse(source)
+    except (LexerError, ParseError):
+        return
+    # If it parses, compilation may still reject it semantically, but
+    # only with CompileError.
+    try:
+        compile_source(source, include_stdlib=True)
+    except CompileError:
+        pass
+    except KeyError as exc:
+        # Only the "no entry function" path is allowed to surface.
+        raise AssertionError("unexpected KeyError: %r" % exc)
+    assert module is not None

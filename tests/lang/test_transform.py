@@ -1,0 +1,167 @@
+"""Tests for the log-enhancement transformer (Section 5.1, Figure 8)."""
+
+from repro.lang import ast_nodes as ast
+from repro.lang.parser import parse
+from repro.lang.transform import (
+    LogEnhancer,
+    ReactiveTarget,
+    SEGV_HANDLER_NAME,
+    enhance_logging,
+)
+
+GUARDED = """
+int flag;
+int check(int x) {
+    if (x > 3) {
+        error(1, "too big");
+        return 1;
+    }
+    return 0;
+}
+int main(int x) {
+    flag = check(x);
+    return flag;
+}
+"""
+
+
+def test_monitoring_prologue_inserted_at_main():
+    module = enhance_logging(parse(GUARDED))
+    main = module.function("main")
+    ops = [s.op for s in main.body.statements
+           if isinstance(s, ast.HwStatement)]
+    assert ops[:3] == ["lbr_config", "lbr_reset", "lbr_enable"]
+    assert "lcr_enable" in ops
+
+
+def test_rings_subset():
+    module = enhance_logging(parse(GUARDED), rings=("lbr",))
+    main = module.function("main")
+    ops = [s.op for s in main.body.statements
+           if isinstance(s, ast.HwStatement)]
+    assert all(not op.startswith("lcr") for op in ops)
+
+
+def test_profile_point_before_log_call():
+    module = enhance_logging(parse(GUARDED))
+    check = module.function("check")
+    then = check.body.statements[0].then.statements
+    assert isinstance(then[0], ast.ProfilePoint)
+    assert then[0].site_kind == "failure"
+    assert isinstance(then[1], ast.ExprStmt)
+
+
+def test_segv_handler_registered():
+    module = enhance_logging(parse(GUARDED))
+    assert module.has_function(SEGV_HANDLER_NAME)
+    assert module.metadata["signal_handlers"]["SIGSEGV"] \
+        == SEGV_HANDLER_NAME
+
+
+def test_segv_handler_optional():
+    module = enhance_logging(parse(GUARDED), register_segv_handler=False)
+    assert not module.has_function(SEGV_HANDLER_NAME)
+
+
+def test_sites_table_records_log_function():
+    module = enhance_logging(parse(GUARDED))
+    sites = module.metadata["logging_sites"]
+    log_sites = [s for s in sites if s.kind == "failure-log"]
+    assert len(log_sites) == 1
+    assert log_sites[0].log_function == "error"
+    assert log_sites[0].function == "check"
+
+
+def test_proactive_scheme_applies_figure8():
+    module = enhance_logging(parse(GUARDED), success_scheme="proactive")
+    check = module.function("check")
+    statements = check.body.statements
+    # tmp decl, tmp assignment, success profile, transformed if
+    assert isinstance(statements[0], ast.LocalDecl)
+    assert isinstance(statements[1], ast.Assign)
+    assert isinstance(statements[2], ast.ProfilePoint)
+    assert statements[2].site_kind == "success"
+    transformed_if = statements[3]
+    assert isinstance(transformed_if, ast.If)
+    assert isinstance(transformed_if.cond, ast.Name)
+    assert transformed_if.cond.name.startswith("__log_cond")
+
+
+def test_success_site_paired_with_failure_site():
+    module = enhance_logging(parse(GUARDED), success_scheme="proactive")
+    sites = module.metadata["logging_sites"]
+    success = [s for s in sites if s.kind == "success"][0]
+    failure = [s for s in sites if s.kind == "failure-log"][0]
+    assert success.paired_failure_site == failure.site_id
+
+
+def test_reactive_scheme_targets_one_site():
+    source = """
+    int f(int x) {
+        if (x == 1) { error(1, "a"); }
+        if (x == 2) { error(1, "b"); }
+        return 0;
+    }
+    int main(int x) { return f(x); }
+    """
+    target = ReactiveTarget(kind="log", function="f", line=4)
+    module = enhance_logging(parse(source), success_scheme="reactive",
+                             reactive_target=target)
+    sites = module.metadata["logging_sites"]
+    success = [s for s in sites if s.kind == "success"]
+    assert len(success) == 1
+    assert success[0].line == 4
+
+
+def test_reactive_segv_site_after_statement():
+    source = """
+    int main(int x) {
+        int p = 0;
+        p[0] = x;
+        return 0;
+    }
+    """
+    target = ReactiveTarget(kind="segv", function="main", line=4)
+    module = enhance_logging(parse(source), success_scheme="reactive",
+                             reactive_target=target)
+    statements = module.function("main").body.statements
+    # find the faulting assignment; next statement must be the profile
+    for index, statement in enumerate(statements):
+        if isinstance(statement, ast.Assign) and statement.line == 4:
+            assert isinstance(statements[index + 1], ast.ProfilePoint)
+            assert statements[index + 1].site_kind == "success"
+            break
+    else:  # pragma: no cover
+        raise AssertionError("faulting statement not found")
+
+
+def test_original_module_not_mutated():
+    original = parse(GUARDED)
+    before = len(original.function("check").body.statements)
+    enhance_logging(original, success_scheme="proactive")
+    assert len(original.function("check").body.statements) == before
+    assert "logging_sites" not in original.metadata
+
+
+def test_log_call_in_loop_body():
+    source = """
+    int main(int n) {
+        int i = 0;
+        while (i < n) {
+            if (i == 3) { error(1, "x"); }
+            i = i + 1;
+        }
+        return 0;
+    }
+    """
+    module = enhance_logging(parse(source))
+    sites = module.metadata["logging_sites"]
+    assert any(s.kind == "failure-log" for s in sites)
+
+
+def test_bad_scheme_rejected():
+    import pytest
+    with pytest.raises(ValueError):
+        LogEnhancer(success_scheme="nope")
+    with pytest.raises(ValueError):
+        LogEnhancer(success_scheme="reactive")

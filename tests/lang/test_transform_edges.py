@@ -1,0 +1,150 @@
+"""Edge cases of the log-enhancement transformer."""
+
+from repro.lang import ast_nodes as ast
+from repro.lang.parser import parse
+from repro.lang.transform import LogEnhancer, ReactiveTarget, \
+    enhance_logging
+
+
+def test_log_call_in_else_branch_gets_figure8_treatment():
+    source = """
+    int f(int x) {
+        if (x > 0) {
+            x = x + 1;
+        } else {
+            error(1, "non-positive");
+        }
+        return x;
+    }
+    int main(int x) { return f(x); }
+    """
+    module = enhance_logging(parse(source), success_scheme="proactive")
+    statements = module.function("f").body.statements
+    # Hoisted: temp decl, assign, success profile, transformed if.
+    assert isinstance(statements[0], ast.LocalDecl)
+    assert isinstance(statements[2], ast.ProfilePoint)
+    transformed = statements[3]
+    else_statements = transformed.orelse.statements
+    assert isinstance(else_statements[0], ast.ProfilePoint)
+    assert else_statements[0].site_kind == "failure"
+
+
+def test_log_call_in_declaration_initializer():
+    source = """
+    int main(int x) {
+        if (x > 0) {
+            int r = error(1, "boom");
+            return r;
+        }
+        return 0;
+    }
+    """
+    module = enhance_logging(parse(source))
+    sites = module.metadata["logging_sites"]
+    assert any(s.kind == "failure-log" for s in sites)
+
+
+def test_log_call_in_return_value():
+    source = """
+    int main(int x) {
+        if (x > 0) {
+            return error(1, "boom");
+        }
+        return 0;
+    }
+    """
+    module = enhance_logging(parse(source))
+    sites = module.metadata["logging_sites"]
+    assert any(s.kind == "failure-log" for s in sites)
+
+
+def test_nested_if_hoists_innermost_guard():
+    source = """
+    int main(int x) {
+        if (x > 0) {
+            if (x > 5) {
+                error(1, "big");
+            }
+        }
+        return 0;
+    }
+    """
+    module = enhance_logging(parse(source), success_scheme="proactive")
+    outer = [s for s in module.function("main").body.statements
+             if isinstance(s, ast.If)][0]
+    inner_region = outer.then.statements
+    # The Figure 8 machinery lands inside the outer branch, around the
+    # innermost guard.
+    kinds = [type(s).__name__ for s in inner_region]
+    assert "LocalDecl" in kinds
+    assert "ProfilePoint" in kinds
+
+
+def test_reactive_target_mismatch_adds_no_success_site():
+    source = """
+    int main(int x) {
+        if (x > 0) {
+            error(1, "boom");
+        }
+        return 0;
+    }
+    """
+    target = ReactiveTarget(kind="log", function="other", line=4)
+    module = enhance_logging(parse(source), success_scheme="reactive",
+                             reactive_target=target)
+    sites = module.metadata["logging_sites"]
+    assert not any(s.kind == "success" for s in sites)
+
+
+def test_enhancer_sites_accessor():
+    source = """
+    int main(int x) {
+        if (x > 0) {
+            error(1, "boom");
+        }
+        return 0;
+    }
+    """
+    enhancer = LogEnhancer(log_functions=("error",))
+    enhancer.transform(parse(source))
+    sites = enhancer.sites()
+    assert len(sites) == 2    # failure-log + segv handler
+    assert sites[0].site_id == 0
+
+
+def test_library_functions_not_instrumented():
+    source = """
+    library int helper(int x) {
+        if (x > 0) {
+            error(1, "library-internal");
+        }
+        return 0;
+    }
+    int main(int x) { return helper(x); }
+    """
+    module = enhance_logging(parse(source))
+    helper = module.function("helper")
+    assert not any(isinstance(s, ast.ProfilePoint)
+                   for s in ast.walk_statements(helper.body))
+
+
+def test_multiple_log_functions():
+    source = """
+    int warn_log(int m) { return m; }
+    int main(int x) {
+        if (x == 1) { error(1, "a"); }
+        if (x == 2) { warn_log("b"); }
+        return 0;
+    }
+    """
+    module = enhance_logging(parse(source),
+                             log_functions=("error", "warn_log"))
+    sites = [s for s in module.metadata["logging_sites"]
+             if s.kind == "failure-log"]
+    assert {s.log_function for s in sites} == {"error", "warn_log"}
+
+
+def test_rings_recorded_in_metadata():
+    module = enhance_logging(parse("int main() { return 0; }"),
+                             rings=("lbr",))
+    assert module.metadata["log_rings"] == ("lbr",)

@@ -1,0 +1,264 @@
+"""Tests for the machine: execution, faults, threads, monitoring."""
+
+import pytest
+
+from repro.isa.asm import Assembler
+from repro.isa.instructions import BinaryOperator, HwOp, Opcode
+from repro.hwpmu.lbr import LBR_SELECT_PAPER_MASK
+from repro.machine.cpu import Machine, MachineConfig
+from repro.machine.faults import FaultKind
+
+
+def build(builder):
+    assembler = Assembler()
+    builder(assembler)
+    return assembler.link()
+
+
+def run(builder, args=(), **kwargs):
+    program = build(builder)
+    machine = Machine(program, config=kwargs.pop("config", None))
+    machine.load(args=args)
+    return machine, machine.run(**kwargs)
+
+
+def test_halt_exit_code():
+    def body(a):
+        a.function("main")
+        a.op(Opcode.HALT, imm=7)
+    _machine, status = run(body)
+    assert status.exit_code == 7
+    assert status.fault is None
+
+
+def test_arithmetic_and_store():
+    def body(a):
+        a.global_word("g")
+        a.function("main")
+        a.op(Opcode.LI, rd=7, imm=6)
+        a.op(Opcode.LI, rd=8, imm=7)
+        a.op(Opcode.BINOP, operator=BinaryOperator.MUL, rd=7, rs=7, rs2=8)
+        a.op(Opcode.LI, rd=9, imm=0x100000)
+        a.op(Opcode.STORE, rd=9, rs=7)
+        a.op(Opcode.HALT, imm=0)
+    machine, status = run(body)
+    assert machine.get_global("g") == 42
+
+
+def test_division_by_zero_faults():
+    def body(a):
+        a.function("main")
+        a.op(Opcode.LI, rd=7, imm=1)
+        a.op(Opcode.LI, rd=8, imm=0)
+        a.op(Opcode.BINOP, operator=BinaryOperator.DIV, rd=7, rs=7, rs2=8)
+        a.op(Opcode.HALT, imm=0)
+    _machine, status = run(body)
+    assert status.fault.kind is FaultKind.DIVISION_BY_ZERO
+
+
+def test_signed_division_truncates_toward_zero():
+    def body(a):
+        a.global_word("q")
+        a.global_word("r")
+        a.function("main")
+        a.op(Opcode.LI, rd=7, imm=-7)
+        a.op(Opcode.LI, rd=8, imm=2)
+        a.op(Opcode.BINOP, operator=BinaryOperator.DIV, rd=9, rs=7, rs2=8)
+        a.op(Opcode.LI, rd=10, imm=0x100000)
+        a.op(Opcode.STORE, rd=10, rs=9)
+        a.op(Opcode.BINOP, operator=BinaryOperator.MOD, rd=9, rs=7, rs2=8)
+        a.op(Opcode.LI, rd=10, imm=0x100008)
+        a.op(Opcode.STORE, rd=10, rs=9)
+        a.op(Opcode.HALT, imm=0)
+    machine, _status = run(body)
+    assert machine.get_global("q") == -3
+    assert machine.get_global("r") == -1
+
+
+def test_segfault_on_null_store():
+    def body(a):
+        a.function("main")
+        a.op(Opcode.LI, rd=7, imm=0)
+        a.op(Opcode.STORE, rd=7, rs=7)
+        a.op(Opcode.HALT, imm=0)
+    _machine, status = run(body)
+    assert status.fault.kind is FaultKind.SEGMENTATION_FAULT
+    assert status.fault.address == 0
+
+
+def test_assert_fault():
+    def body(a):
+        a.function("main")
+        a.op(Opcode.LI, rd=7, imm=0)
+        a.op(Opcode.ASSERT, rs=7)
+        a.op(Opcode.HALT, imm=0)
+    _machine, status = run(body)
+    assert status.fault.kind is FaultKind.ASSERTION_FAILURE
+
+
+def test_hang_detection_via_step_budget():
+    def body(a):
+        a.function("main")
+        a.label("loop")
+        a.op(Opcode.JMP, target="loop")
+    _machine, status = run(body, max_steps=100)
+    assert status.fault.kind is FaultKind.HANG
+
+
+def test_output_collection():
+    def body(a):
+        a.string("hi")
+        a.function("main")
+        a.op(Opcode.LI, rd=7, imm=5)
+        a.op(Opcode.OUT, rs=7)
+        a.op(Opcode.OUTS, imm=0)
+        a.op(Opcode.HALT, imm=0)
+    _machine, status = run(body)
+    assert status.output == (5, "hi")
+    assert status.output_contains("hi")
+
+
+def test_call_and_return():
+    def body(a):
+        a.global_word("g")
+        a.function("main")
+        a.op(Opcode.LI, rd=1, imm=20)
+        a.op(Opcode.CALL, target="double")
+        a.op(Opcode.LI, rd=9, imm=0x100000)
+        a.op(Opcode.STORE, rd=9, rs=0)
+        a.op(Opcode.HALT, imm=0)
+        a.function("double")
+        a.op(Opcode.BINOP, operator=BinaryOperator.ADD, rd=0, rs=1, rs2=1)
+        a.op(Opcode.RET)
+    machine, status = run(body)
+    assert machine.get_global("g") == 40
+    assert status.exit_code == 0
+
+
+def test_main_return_exits_process():
+    def body(a):
+        a.function("main")
+        a.op(Opcode.LI, rd=0, imm=9)
+        a.op(Opcode.RET)
+    _machine, status = run(body)
+    assert status.exit_code == 9
+
+
+def test_spawn_join_threads():
+    def body(a):
+        a.global_word("g")
+        a.function("main")
+        a.op(Opcode.LI, rd=1, imm=31)
+        a.op(Opcode.SPAWN, rd=7, target="worker")
+        a.op(Opcode.JOIN, rs=7)
+        a.op(Opcode.HALT, imm=0)
+        a.function("worker")
+        a.op(Opcode.LI, rd=9, imm=0x100000)
+        a.op(Opcode.STORE, rd=9, rs=1)   # writes arg into g
+        a.op(Opcode.RET)
+    machine, status = run(body)
+    assert status.exit_code == 0
+    assert machine.get_global("g") == 31
+    assert len(machine.threads) == 2
+
+
+def test_mutex_mutual_exclusion_and_handoff():
+    # Two threads each increment g under a lock many times.
+    def body(a):
+        a.global_word("g")
+        a.global_word("m")
+
+        def increment_loop(label_prefix):
+            a.op(Opcode.LI, rd=7, imm=10)       # counter
+            a.label(label_prefix + "_loop")
+            a.op(Opcode.LI, rd=8, imm=0x100008)  # &m
+            a.op(Opcode.LOCK, rs=8)
+            a.op(Opcode.LI, rd=9, imm=0x100000)
+            a.op(Opcode.LOAD, rd=10, rs=9)
+            a.op(Opcode.LI, rd=11, imm=1)
+            a.op(Opcode.BINOP, operator=BinaryOperator.ADD,
+                 rd=10, rs=10, rs2=11)
+            a.op(Opcode.STORE, rd=9, rs=10)
+            a.op(Opcode.UNLOCK, rs=8)
+            a.op(Opcode.LI, rd=11, imm=1)
+            a.op(Opcode.BINOP, operator=BinaryOperator.SUB,
+                 rd=7, rs=7, rs2=11)
+            a.op(Opcode.JNZ, rs=7, target=label_prefix + "_loop")
+
+        a.function("main")
+        a.op(Opcode.SPAWN, rd=6, target="worker")
+        increment_loop("main")
+        a.op(Opcode.JOIN, rs=6)
+        a.op(Opcode.HALT, imm=0)
+        a.function("worker")
+        increment_loop("worker")
+        a.op(Opcode.RET)
+
+    machine, status = run(body)
+    assert status.exit_code == 0
+    assert machine.get_global("g") == 20
+
+
+def test_lock_through_null_pointer_segfaults():
+    """The PBZIP2 order violation of Figure 6: locking a destroyed
+    (NULL) mutex pointer crashes."""
+    def body(a):
+        a.function("main")
+        a.op(Opcode.LI, rd=7, imm=0)
+        a.op(Opcode.LOCK, rs=7)
+        a.op(Opcode.HALT, imm=0)
+    _machine, status = run(body)
+    assert status.fault.kind is FaultKind.SEGMENTATION_FAULT
+
+
+def test_deadlock_detection():
+    def body(a):
+        a.global_word("m")
+        a.function("main")
+        a.op(Opcode.LI, rd=7, imm=0x100000)
+        a.op(Opcode.LOCK, rs=7)
+        a.op(Opcode.LOCK, rs=7)   # self-deadlock
+        a.op(Opcode.HALT, imm=0)
+    _machine, status = run(body)
+    assert status.fault.kind is FaultKind.DEADLOCK
+
+
+def test_lbr_records_taken_branches_only():
+    def body(a):
+        a.function("main")
+        a.op(Opcode.HWOP, hwop=HwOp.LBR_CONFIG,
+             imm=int(LBR_SELECT_PAPER_MASK), offset=1)
+        a.op(Opcode.HWOP, hwop=HwOp.LBR_ENABLE, offset=1)
+        a.op(Opcode.LI, rd=7, imm=0)
+        a.op(Opcode.JNZ, rs=7, target="skip")   # not taken: no record
+        a.op(Opcode.LI, rd=7, imm=1)
+        a.op(Opcode.JNZ, rs=7, target="skip")   # taken: recorded
+        a.op(Opcode.NOP)
+        a.label("skip")
+        a.op(Opcode.HWOP, hwop=HwOp.LBR_PROFILE, imm=0)
+        a.op(Opcode.HALT, imm=0)
+    _machine, status = run(body)
+    profile = status.profiles[0]
+    assert len(profile.entries) == 1
+
+
+def test_pmc_read_via_hwop():
+    def body(a):
+        a.global_word("g")
+        a.function("main")
+        a.op(Opcode.LI, rd=7, imm=0x100000)
+        a.op(Opcode.STORE, rd=7, rs=7)   # store misses: store@I counted
+        # selector: event 0x41 (store), mask 0x01 (Invalid)
+        a.op(Opcode.HWOP, hwop=HwOp.PMC_READ, rd=8, imm=0x4101)
+        a.op(Opcode.OUT, rs=8)
+        a.op(Opcode.HALT, imm=0)
+    _machine, status = run(body)
+    assert status.output[0] >= 1
+
+
+def test_exit_status_describe():
+    def body(a):
+        a.function("main")
+        a.op(Opcode.HALT, imm=0)
+    _machine, status = run(body)
+    assert "exit" in status.describe()

@@ -1,0 +1,64 @@
+"""Tests for the memory model."""
+
+import pytest
+
+from repro.machine.memory import Memory, SegmentationViolation
+
+
+def test_unmapped_access_faults():
+    memory = Memory()
+    with pytest.raises(SegmentationViolation):
+        memory.load(0x100000)
+    with pytest.raises(SegmentationViolation):
+        memory.store(0x100000, 1)
+
+
+def test_null_page_cannot_be_mapped():
+    memory = Memory()
+    with pytest.raises(ValueError):
+        memory.map_region(0, 0x1000)
+
+
+def test_mapped_region_reads_zero_initially():
+    memory = Memory()
+    memory.map_region(0x100000, 0x1000, "globals")
+    assert memory.load(0x100000) == 0
+
+
+def test_store_load_round_trip():
+    memory = Memory()
+    memory.map_region(0x100000, 0x1000)
+    memory.store(0x100008, 42)
+    assert memory.load(0x100008) == 42
+
+
+def test_region_boundaries_exclusive_high():
+    memory = Memory()
+    memory.map_region(0x100000, 0x10)
+    memory.load(0x10000F)
+    with pytest.raises(SegmentationViolation):
+        memory.load(0x100010)
+
+
+def test_violation_reports_address_and_kind():
+    memory = Memory()
+    try:
+        memory.store(0xDEAD0, 1)
+    except SegmentationViolation as exc:
+        assert exc.address == 0xDEAD0
+        assert exc.is_store
+    else:  # pragma: no cover
+        raise AssertionError("expected fault")
+
+
+def test_region_name_lookup():
+    memory = Memory()
+    memory.map_region(0x100000, 0x1000, "globals")
+    assert memory.region_name(0x100004) == "globals"
+    assert memory.region_name(0x200000) is None
+
+
+def test_peek_poke_bypass_mapping():
+    memory = Memory()
+    memory.poke(0x999999, 7)
+    assert memory.peek(0x999999) == 7

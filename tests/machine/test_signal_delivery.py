@@ -1,0 +1,68 @@
+"""Tests for fault delivery to a registered signal handler."""
+
+from repro.isa.asm import Assembler
+from repro.isa.instructions import HwOp, Opcode
+from repro.machine.cpu import Machine
+from repro.machine.faults import FaultKind
+
+
+def build_faulting_program(register_handler=True):
+    a = Assembler()
+    a.function("main")
+    a.op(Opcode.HWOP, hwop=HwOp.LBR_ENABLE, offset=1)
+    a.op(Opcode.LI, rd=7, imm=0)
+    a.op(Opcode.LOAD, rd=8, rs=7)      # null deref
+    a.op(Opcode.HALT, imm=0)
+    a.function("handler")
+    a.op(Opcode.HWOP, hwop=HwOp.LBR_PROFILE, imm=99)
+    a.op(Opcode.RET)
+    program = a.link()
+    if register_handler:
+        program.metadata["signal_handlers"] = {"SIGSEGV": "handler"}
+    return program
+
+
+def test_handler_runs_then_process_dies_of_fault():
+    machine = Machine(build_faulting_program())
+    machine.load()
+    status = machine.run()
+    assert status.fault is not None
+    assert status.fault.kind is FaultKind.SEGMENTATION_FAULT
+    # The handler profiled the LBR before the process died.
+    assert any(p.site_id == 99 for p in status.profiles)
+
+
+def test_without_handler_no_profile():
+    machine = Machine(build_faulting_program(register_handler=False))
+    machine.load()
+    status = machine.run()
+    assert status.fault is not None
+    assert status.profiles == ()
+
+
+def test_fault_in_handler_terminates():
+    a = Assembler()
+    a.function("main")
+    a.op(Opcode.LI, rd=7, imm=0)
+    a.op(Opcode.LOAD, rd=8, rs=7)
+    a.op(Opcode.HALT, imm=0)
+    a.function("handler")
+    a.op(Opcode.LI, rd=7, imm=0)
+    a.op(Opcode.LOAD, rd=8, rs=7)      # faults again inside the handler
+    a.op(Opcode.RET)
+    program = a.link()
+    program.metadata["signal_handlers"] = {"SIGSEGV": "handler"}
+    machine = Machine(program)
+    machine.load()
+    status = machine.run()
+    assert status.fault.kind is FaultKind.SEGMENTATION_FAULT
+
+
+def test_fault_delivery_does_not_pollute_lbr():
+    """Fault delivery is a hardware trap, not a retired branch."""
+    machine = Machine(build_faulting_program())
+    machine.load()
+    status = machine.run()
+    profile = next(p for p in status.profiles if p.site_id == 99)
+    # main contains no taken branches before the fault.
+    assert len(profile.entries) == 0

@@ -1,0 +1,116 @@
+"""Tests for the execution tracer."""
+
+from repro.compiler import compile_source
+from repro.machine.cpu import Machine
+from repro.machine.tracer import ExecutionTracer
+
+LOOP_SOURCE = """
+int main() {
+    int i = 0;
+    int total = 0;
+    while (i < 4) {
+        total = total + i;
+        i = i + 1;
+    }
+    print(total);
+    return 0;
+}
+"""
+
+
+def traced_run(source, args=()):
+    program = compile_source(source, include_stdlib=False)
+    machine = Machine(program)
+    machine.load(args=args)
+    tracer = ExecutionTracer(machine)
+    status = machine.run()
+    tracer.finish()
+    return tracer, status
+
+
+def test_branch_counts():
+    tracer, status = traced_run(LOOP_SOURCE)
+    assert status.output == (6,)
+    # 4 iterations: loop-enter + back-edge taken, plus the final exit.
+    assert tracer.summary.branches_taken >= 9
+    assert tracer.summary.branches_not_taken >= 4   # the not-taken JZs
+    assert 0.0 < tracer.summary.taken_ratio() < 1.0
+
+
+def test_branch_records_are_decoded():
+    tracer, _status = traced_run(LOOP_SOURCE)
+    decoded = [r.source for r in tracer.branch_history(taken_only=True)
+               if r.source]
+    assert any(s.endswith("=T") for s in decoded)
+    assert any(s.endswith("=F") for s in decoded)
+
+
+def test_access_records_and_summary():
+    tracer, _status = traced_run(LOOP_SOURCE)
+    assert tracer.summary.accesses.get("M", 0) > 0   # stack reuse
+    assert tracer.summary.accesses.get("I", 0) > 0   # first touches
+    assert all(r.access in ("load", "store") for r in tracer.accesses)
+
+
+def test_accesses_at_line():
+    tracer, _status = traced_run(LOOP_SOURCE)
+    # line 6: "total = total + i;" executes 4 times with several
+    # stack/frame accesses each.
+    records = tracer.accesses_at_line("main", 6)
+    assert len(records) >= 4
+
+
+def test_per_thread_retired():
+    tracer, status = traced_run(LOOP_SOURCE)
+    assert tracer.summary.per_thread_retired[0] == status.retired
+
+
+def test_interleaving_signature_differs_between_schedules():
+    source = """
+    int flag = 0;
+    int worker(int n) {
+        int j = 0;
+        while (j < n) {
+            flag = flag + 1;
+            j = j + 1;
+        }
+        return 0;
+    }
+    int main(int n) {
+        int t = spawn worker(n);
+        int i = 0;
+        while (i < n) {
+            flag = flag + 1;
+            i = i + 1;
+        }
+        join(t);
+        return 0;
+    }
+    """
+    from repro.kernel.scheduler import RandomScheduler
+
+    program = compile_source(source, include_stdlib=False)
+
+    def signature(seed):
+        machine = Machine(program,
+                          scheduler=RandomScheduler(seed=seed,
+                                                    switch_probability=0.4))
+        machine.load(args=(8,))
+        tracer = ExecutionTracer(machine)
+        machine.run()
+        return tracer.interleaving()
+
+    signatures = {signature(seed) for seed in range(5)}
+    assert len(signatures) > 1
+
+
+def test_record_cap_respected():
+    program = compile_source(LOOP_SOURCE, include_stdlib=False)
+    machine = Machine(program)
+    machine.load()
+    tracer = ExecutionTracer(machine, max_records=3)
+    machine.run()
+    assert len(tracer.branches) <= 3
+    assert len(tracer.accesses) <= 3
+    # Summary still counts everything.
+    assert tracer.summary.branches_taken > 3

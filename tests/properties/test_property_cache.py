@@ -1,0 +1,103 @@
+"""Property-based tests for the MESI coherence protocol.
+
+The central invariant is single-writer/multiple-reader: at any point,
+a line is either Modified/Exclusive in at most one cache (and Invalid
+everywhere else) or Shared in any number of caches.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.bus import CoherenceBus
+from repro.cache.l1cache import CacheConfig, L1Cache
+from repro.cache.mesi import MesiState
+
+accesses = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=3),        # core
+        st.integers(min_value=0, max_value=7),        # line index
+        st.booleans(),                                # is_store
+    ),
+    max_size=120,
+)
+
+
+def make_bus(cores=4, tiny=False):
+    bus = CoherenceBus()
+    config = CacheConfig(total_size=256, line_size=64, associativity=2) \
+        if tiny else None
+    for core_id in range(cores):
+        bus.attach(L1Cache(config=config, core_id=core_id))
+    return bus
+
+
+def check_swmr(bus, addresses):
+    for address in addresses:
+        states = [cache.state_of(address) for cache in bus.caches]
+        owners = [s for s in states
+                  if s in (MesiState.MODIFIED, MesiState.EXCLUSIVE)]
+        if owners:
+            assert len(owners) == 1, states
+            valid = [s for s in states if s.is_valid()]
+            assert len(valid) == 1, states
+
+
+@given(accesses)
+def test_single_writer_multiple_reader(operations):
+    bus = make_bus()
+    addresses = set()
+    for core, line, is_store in operations:
+        address = 0x1000 + line * 64
+        addresses.add(address)
+        observed = bus.access(core, address, is_store)
+        assert isinstance(observed, MesiState)
+        check_swmr(bus, addresses)
+
+
+@given(accesses)
+def test_observed_state_is_pre_access_state(operations):
+    bus = make_bus()
+    for core, line, is_store in operations:
+        address = 0x1000 + line * 64
+        before = bus.caches[core].state_of(address)
+        observed = bus.access(core, address, is_store)
+        assert observed is before
+
+
+@given(accesses)
+def test_store_always_leaves_modified(operations):
+    bus = make_bus()
+    for core, line, is_store in operations:
+        address = 0x1000 + line * 64
+        bus.access(core, address, is_store)
+        if is_store:
+            assert bus.caches[core].state_of(address) \
+                is MesiState.MODIFIED
+
+
+@given(accesses)
+@settings(max_examples=40)
+def test_swmr_survives_evictions(operations):
+    """The invariant holds even in a tiny cache with constant evictions."""
+    bus = make_bus(tiny=True)
+    addresses = set()
+    for core, line, is_store in operations:
+        address = 0x1000 + line * 64
+        addresses.add(address)
+        bus.access(core, address, is_store)
+        check_swmr(bus, addresses)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=30), max_size=40))
+def test_private_use_reaches_exclusive_then_stays(reads):
+    """A single core touching private lines observes I then E forever."""
+    bus = make_bus(cores=1)
+    seen = {}
+    for line in reads:
+        address = 0x2000 + line * 64
+        observed = bus.load(0, address)
+        if address not in seen:
+            assert observed is MesiState.INVALID
+            seen[address] = True
+        else:
+            assert observed is MesiState.EXCLUSIVE

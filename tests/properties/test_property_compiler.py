@@ -1,0 +1,126 @@
+"""Property-based test: compiled MiniC arithmetic agrees with Python.
+
+Random expression trees over integer literals and variables are
+compiled and executed on the simulated machine; the printed result must
+equal the reference evaluation (with C-style truncating division).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compiler import compile_source
+from repro.machine.cpu import Machine
+
+_VARIABLES = ("a", "b", "c")
+
+
+def _literals():
+    return st.integers(min_value=-50, max_value=50).map(
+        lambda v: (str(v) if v >= 0 else "(0 - %d)" % -v, v)
+    )
+
+
+def _variables():
+    values = {"a": 7, "b": -3, "c": 12}
+    return st.sampled_from(_VARIABLES).map(lambda n: (n, values[n]))
+
+
+def _combine(children):
+    binary = st.sampled_from([
+        ("+", lambda x, y: x + y),
+        ("-", lambda x, y: x - y),
+        ("*", lambda x, y: x * y),
+    ])
+    comparison = st.sampled_from([
+        ("<", lambda x, y: int(x < y)),
+        ("==", lambda x, y: int(x == y)),
+        (">=", lambda x, y: int(x >= y)),
+    ])
+
+    def merge(op, left, right):
+        symbol, fn = op
+        return ("(%s %s %s)" % (left[0], symbol, right[0]),
+                fn(left[1], right[1]))
+
+    return st.one_of(
+        st.tuples(binary, children, children).map(lambda t: merge(*t)),
+        st.tuples(comparison, children, children).map(
+            lambda t: merge(*t)
+        ),
+    )
+
+
+expressions = st.recursive(
+    st.one_of(_literals(), _variables()), _combine, max_leaves=12
+)
+
+
+@given(expressions)
+@settings(max_examples=60, deadline=None)
+def test_compiled_expression_matches_reference(expression):
+    text, expected = expression
+    source = """
+    int a = 7;
+    int b = -3;
+    int c = 12;
+    int main() {
+        print(%s);
+        return 0;
+    }
+    """ % text
+    program = compile_source(source, include_stdlib=False)
+    machine = Machine(program)
+    machine.load()
+    status = machine.run()
+    assert status.fault is None, status.describe()
+    assert status.output == (expected,)
+
+
+@given(st.integers(min_value=-40, max_value=40),
+       st.integers(min_value=-40, max_value=40).filter(lambda v: v != 0))
+@settings(max_examples=40, deadline=None)
+def test_division_matches_c_semantics(a, b):
+    source = """
+    int main(int a, int b) {
+        print(a / b);
+        print(a % b);
+        return 0;
+    }
+    """
+    program = compile_source(source, include_stdlib=False)
+    machine = Machine(program)
+    machine.load(args=(a, b))
+    status = machine.run()
+    quotient = abs(a) // abs(b)
+    if (a >= 0) != (b >= 0):
+        quotient = -quotient
+    remainder = a - quotient * b
+    assert status.output == (quotient, remainder)
+
+
+@given(st.lists(st.integers(min_value=-9, max_value=9), min_size=1,
+                max_size=8))
+@settings(max_examples=40, deadline=None)
+def test_array_sum_loop(values):
+    source = """
+    int data[8];
+    int n = 0;
+    int main() {
+        int total = 0;
+        int i = 0;
+        while (i < n) {
+            total = total + data[i];
+            i = i + 1;
+        }
+        print(total);
+        return 0;
+    }
+    """
+    program = compile_source(source, include_stdlib=False)
+    machine = Machine(program)
+    machine.load()
+    machine.set_global("n", len(values))
+    for index, value in enumerate(values):
+        machine.set_global("data", value, index=index)
+    status = machine.run()
+    assert status.output == (sum(values),)

@@ -1,0 +1,88 @@
+"""Property-based tests for memory and the ranking model."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.events import Event
+from repro.core.profiles import RunProfile
+from repro.core.statistics import rank_predictors
+from repro.machine.memory import Memory, SegmentationViolation
+
+addresses = st.integers(min_value=0x100000, max_value=0x100FF8)
+
+
+@given(st.lists(st.tuples(addresses, st.integers()), max_size=60))
+def test_memory_matches_dict_model(writes):
+    memory = Memory()
+    memory.map_region(0x100000, 0x1000)
+    model = {}
+    for address, value in writes:
+        memory.store(address, value)
+        model[address] = value
+    for address, value in model.items():
+        assert memory.load(address) == value
+
+
+@given(st.integers(min_value=0x1000, max_value=0x2000000))
+def test_unmapped_addresses_always_fault(address):
+    memory = Memory()
+    memory.map_region(0x100000, 0x100)
+    if 0x100000 <= address < 0x100100:
+        memory.load(address)
+    else:
+        try:
+            memory.load(address)
+        except SegmentationViolation as exc:
+            assert exc.address == address
+        else:  # pragma: no cover
+            raise AssertionError("expected fault at 0x%x" % address)
+
+
+event_sets = st.sets(st.sampled_from(["a", "b", "c", "d", "e"]),
+                     max_size=5)
+
+
+def _profiles(outcome, sets):
+    return [
+        RunProfile(
+            run_index=index, outcome=outcome, ring="lbr", site_id=0,
+            events=tuple(Event(event_id=e, kind="branch") for e in s),
+            snapshot=None,
+        )
+        for index, s in enumerate(sets)
+    ]
+
+
+@given(st.lists(event_sets, min_size=1, max_size=10),
+       st.lists(event_sets, max_size=10))
+def test_ranking_invariants(failure_sets, success_sets):
+    failures = _profiles("failure", failure_sets)
+    successes = _profiles("success", success_sets)
+    ranked = rank_predictors(failures, successes)
+    # Scores are valid probabilities; ranks are dense and ordered.
+    previous = None
+    for position, score in enumerate(ranked):
+        assert 0.0 <= score.precision <= 1.0
+        assert 0.0 <= score.recall <= 1.0
+        assert 0.0 <= score.f_score <= 1.0
+        if previous is not None:
+            assert score.f_score <= previous.f_score + 1e-12
+            assert score.rank >= previous.rank
+        previous = score
+    if ranked:
+        assert ranked[0].rank == 1
+
+
+@given(st.lists(event_sets, min_size=2, max_size=10),
+       st.lists(event_sets, min_size=2, max_size=10))
+def test_event_in_every_failure_and_no_success_is_top(failure_sets,
+                                                      success_sets):
+    marker = "bugmark"
+    failure_sets = [set(s) | {marker} for s in failure_sets]
+    success_sets = [set(s) - {marker} for s in success_sets]
+    ranked = rank_predictors(
+        _profiles("failure", failure_sets),
+        _profiles("success", success_sets),
+    )
+    best = [s for s in ranked if s.rank == 1]
+    assert any(s.event.event_id == marker for s in best)

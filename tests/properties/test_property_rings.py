@@ -1,0 +1,94 @@
+"""Property-based tests for the LBR/LCR ring buffers."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.mesi import MesiState
+from repro.hwpmu.lbr import LastBranchRecord, LbrSelectBits
+from repro.hwpmu.lcr import AccessType, LastCacheCoherenceRecord, LcrConfig
+from repro.isa.instructions import BranchKind, Ring
+
+branch_kinds = st.sampled_from(list(BranchKind))
+rings = st.sampled_from([Ring.USER, Ring.KERNEL])
+addresses = st.integers(min_value=0x1000, max_value=0xFFFF)
+
+
+@given(
+    records=st.lists(st.tuples(addresses, addresses, branch_kinds, rings),
+                     max_size=64),
+    capacity=st.sampled_from([4, 8, 16]),
+)
+def test_lbr_keeps_last_k_accepted(records, capacity):
+    lbr = LastBranchRecord(capacity=capacity)
+    lbr.enable()
+    accepted = []
+    for from_a, to_a, kind, ring in records:
+        if lbr.record(from_a, to_a, kind, ring):
+            accepted.append((from_a, to_a, kind, ring))
+    entries = lbr.entries()
+    assert len(entries) == min(len(accepted), capacity)
+    for entry, expected in zip(entries, accepted[-capacity:]):
+        assert (entry.from_address, entry.to_address,
+                entry.kind, entry.ring) == expected
+
+
+@given(
+    mask=st.integers(min_value=0, max_value=0x1FF),
+    records=st.lists(st.tuples(addresses, branch_kinds, rings),
+                     max_size=48),
+)
+def test_lbr_filter_is_consistent(mask, records):
+    """should_record and record agree, and no filtered record lands."""
+    lbr = LastBranchRecord()
+    lbr.enable()
+    lbr.configure(mask)
+    for address, kind, ring in records:
+        predicted = lbr.should_record(kind, ring)
+        outcome = lbr.record(address, address + 4, kind, ring)
+        assert predicted == outcome
+    for entry in lbr.entries():
+        assert lbr.should_record(entry.kind, entry.ring)
+
+
+@given(
+    events=st.lists(
+        st.tuples(
+            addresses,
+            st.sampled_from(list(MesiState)),
+            st.sampled_from(list(AccessType)),
+            rings,
+        ),
+        max_size=64,
+    ),
+    config_events=st.sets(
+        st.tuples(st.sampled_from(list(AccessType)),
+                  st.sampled_from(list(MesiState))),
+        max_size=8,
+    ),
+)
+def test_lcr_records_only_configured_events(events, config_events):
+    lcr = LastCacheCoherenceRecord(
+        config=LcrConfig(events=frozenset(config_events))
+    )
+    lcr.enabled = True
+    for pc, state, access, ring in events:
+        lcr.record(pc, state, access, ring)
+    for entry in lcr.entries():
+        assert (entry.access, entry.state) in config_events
+        assert entry.ring is Ring.USER
+    assert len(lcr) <= lcr.capacity
+
+
+@given(st.data())
+def test_lcr_latest_indexing(data):
+    lcr = LastCacheCoherenceRecord()
+    lcr.enabled = True
+    count = data.draw(st.integers(min_value=0, max_value=40))
+    for index in range(count):
+        lcr.record(0x1000 + index, MesiState.INVALID, AccessType.LOAD,
+                   Ring.USER)
+    visible = min(count, lcr.capacity)
+    for n in range(1, visible + 1):
+        entry = lcr.entry_latest(n)
+        assert entry.pc == 0x1000 + (count - n)
+    assert lcr.entry_latest(visible + 1) is None

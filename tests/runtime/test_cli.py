@@ -1,0 +1,78 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+def test_bugs_lists_all_31():
+    code, text = run_cli("bugs")
+    assert code == 0
+    assert len(text.strip().splitlines()) == 31
+    assert "sort" in text
+    assert "Figure" not in text
+
+
+def test_run_failing():
+    code, text = run_cli("run", "sort")
+    assert code == 0
+    assert "classified as failure: True" in text
+
+
+def test_run_passing():
+    code, text = run_cli("run", "sort", "--passing")
+    assert code == 0
+    assert "classified as failure: False" in text
+
+
+def test_log_report():
+    code, text = run_cli("log", "sort")
+    assert code == 0
+    assert "LBRLOG" in text
+    assert "root-cause event position:" in text
+    assert "None" not in text.splitlines()[-1]
+
+
+def test_log_concurrency():
+    code, text = run_cli("log", "mozilla-js3")
+    assert code == 0
+    assert "LCRLOG" in text
+
+
+def test_diagnose():
+    code, text = run_cli("diagnose", "apache3", "--runs", "6")
+    assert code == 0
+    assert "LBRA diagnosis" in text
+
+
+def test_experiments_listing():
+    code, text = run_cli("experiments")
+    assert code == 0
+    names = text.split()
+    assert "table6" in names
+    assert "ablation-pollution" in names
+
+
+def test_experiment_runs():
+    code, text = run_cli("experiment", "table1")
+    assert code == 0
+    assert "IA32_DEBUGCTL" in text
+
+
+def test_experiment_unknown():
+    code, text = run_cli("experiment", "nope")
+    assert code == 1
+    assert "unknown experiment" in text
+
+
+def test_unknown_bug_rejected():
+    with pytest.raises(SystemExit):
+        run_cli("run", "not-a-bug")

@@ -1,0 +1,104 @@
+"""Tests for the runtime layer: process running, workloads, campaigns."""
+
+from repro.compiler import compile_source
+from repro.runtime.harness import run_campaign
+from repro.runtime.process import run_program
+from repro.runtime.workload import RunPlan, Workload
+
+SOURCE = """
+int threshold = 5;
+int main(int x) {
+    if (x > threshold) {
+        exit(1);
+    }
+    print(x);
+    return 0;
+}
+"""
+
+
+class Thresholdy(Workload):
+    name = "thresholdy"
+    source = SOURCE
+
+    def failing_run_plan(self, k):
+        return RunPlan(args=(9,))
+
+    def passing_run_plan(self, k):
+        return RunPlan(args=(k % 4,))
+
+
+def test_run_program_basic():
+    program = compile_source(SOURCE)
+    status = run_program(program, args=(3,))
+    assert status.exit_code == 0
+    assert status.output == (3,)
+
+
+def test_run_program_globals_setup():
+    program = compile_source(SOURCE)
+    status = run_program(program, args=(3,),
+                         globals_setup={"threshold": 1})
+    assert status.exit_code == 1
+
+
+def test_run_program_globals_setup_array():
+    program = compile_source("""
+    int table[4];
+    int main() {
+        print(table[2]);
+        return 0;
+    }
+    """)
+    status = run_program(program, globals_setup={"table": [5, 6, 7, 8]})
+    assert status.output == (7,)
+
+
+def test_default_failure_classification():
+    workload = Thresholdy()
+    program = compile_source(SOURCE)
+    failing = run_program(program, args=(9,))
+    passing = run_program(program, args=(1,))
+    assert workload.is_failure(failing)
+    assert not workload.is_failure(passing)
+
+
+def test_failure_output_classification():
+    class ByOutput(Thresholdy):
+        failure_output = "boom"
+
+    workload = ByOutput()
+
+    class FakeStatus:
+        def __init__(self, items):
+            self._items = items
+
+        def output_contains(self, text):
+            return any(text in i for i in self._items
+                       if isinstance(i, str))
+
+    assert workload.is_failure(FakeStatus(["x boom y"]))
+    assert not workload.is_failure(FakeStatus(["fine"]))
+
+
+def test_campaign_collects_quotas():
+    workload = Thresholdy()
+    program = compile_source(SOURCE)
+    result = run_campaign(program, workload, want_failures=3,
+                          want_successes=4)
+    assert len(result.failures) == 3
+    assert len(result.successes) == 4
+    assert all(r.failed for r in result.failures)
+    assert all(not r.failed for r in result.successes)
+
+
+def test_campaign_respects_attempt_cap():
+    class NeverFails(Thresholdy):
+        def failing_run_plan(self, k):
+            return RunPlan(args=(0,))
+
+    program = compile_source(SOURCE)
+    result = run_campaign(program, NeverFails(), want_failures=2,
+                          want_successes=0, max_attempts=5)
+    assert result.failures == []
+    assert result.attempts == 5
