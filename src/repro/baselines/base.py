@@ -48,9 +48,14 @@ class BaselineToolBase:
 
     tool_name = "baseline"
 
-    def __init__(self, workload, seed=0):
+    def __init__(self, workload, seed=0, executor=None):
         self.workload = workload
         self.seed = seed
+        #: optional CampaignExecutor — campaign runs then execute on
+        #: worker-side reconstructions of this tool (see _clone_spec)
+        #: and flow back as counter/predicate deltas; results are
+        #: identical to the sequential path.
+        self.executor = executor
         self.program = compile_module(workload.build_module(),
                                       toggling=False)
         self.machine_config = MachineConfig(num_cores=workload.num_cores)
@@ -67,6 +72,15 @@ class BaselineToolBase:
     def predicate_info(self):
         """Return predicate id -> (site, function, line, detail)."""
         raise NotImplementedError
+
+    def _clone_spec(self):
+        """``(class, workload, kwargs)`` rebuilding an equivalent tool.
+
+        Used by the campaign executor to reconstruct this tool inside
+        worker processes; subclasses adding behavioural parameters must
+        extend the kwargs so clones sample and observe identically.
+        """
+        return type(self), self.workload, {"seed": self.seed}
 
     # -- campaign ---------------------------------------------------------
 
@@ -86,29 +100,66 @@ class BaselineToolBase:
         failed = self.workload.is_failure(status)
         return failed, finish(failed)
 
+    def _absorb(self, result):
+        """Apply one consumed run's counter/predicate deltas."""
+        self.events_observed += result.events_observed
+        self.samples_taken += result.samples_taken
+        self.retired_total += result.retired
+        predicates = getattr(self, "_predicates", None)
+        if predicates is not None:
+            for key, value in result.new_predicates.items():
+                predicates.setdefault(key, value)
+
     def diagnose(self, n_failures=1000, n_successes=1000,
                  max_attempts=None):
-        """Collect runs until the outcome quotas are met, then rank."""
+        """Collect runs until the outcome quotas are met, then rank.
+
+        With an executor attached, attempts fan out across its worker
+        pool (and replay from its run cache) but are consumed strictly
+        in attempt order, so counts, observations, and the predicate
+        registry are bit-identical to the sequential path.
+        """
         cap = max_attempts if max_attempts is not None else \
             (n_failures + n_successes) * 5 + 100
         observations = []
         failures = 0
         successes = 0
         attempt = 0
-        while failures < n_failures and attempt < cap:
-            plan = self.workload.failing_run_plan(attempt)
-            failed, observation = self._run_once(plan, attempt)
-            observations.append(observation)
-            failures += int(failed)
-            successes += int(not failed)
-            attempt += 1
-        while successes < n_successes and attempt < cap:
-            plan = self.workload.passing_run_plan(attempt)
-            failed, observation = self._run_once(plan, attempt)
-            observations.append(observation)
-            failures += int(failed)
-            successes += int(not failed)
-            attempt += 1
+
+        def consume(plan_of, quota_open):
+            nonlocal failures, successes, attempt
+            if self.executor is None:
+                while quota_open() and attempt < cap:
+                    plan = plan_of(attempt)
+                    failed, observation = self._run_once(plan, attempt)
+                    observations.append(observation)
+                    failures += int(failed)
+                    successes += int(not failed)
+                    attempt += 1
+                return
+
+            def plan_seeds():
+                k = attempt
+                while True:
+                    yield plan_of(k), k
+                    k += 1
+
+            runs = self.executor.iter_baseline_runs(self, plan_seeds())
+            try:
+                while quota_open() and attempt < cap:
+                    _seed, result = next(runs)
+                    self._absorb(result)
+                    observations.append(result.observation)
+                    failures += int(result.failed)
+                    successes += int(not result.failed)
+                    attempt += 1
+            finally:
+                runs.close()
+
+        consume(self.workload.failing_run_plan,
+                lambda: failures < n_failures)
+        consume(self.workload.passing_run_plan,
+                lambda: successes < n_successes)
         ranked = liblit_rank(observations, self.predicate_info())
         return BaselineDiagnosis(
             ranked=ranked,

@@ -38,13 +38,13 @@ class CbiTool(BaselineToolBase):
     tool_name = "CBI"
 
     def __init__(self, workload, sampling_rate=DEFAULT_SAMPLING_RATE,
-                 seed=0):
+                 seed=0, executor=None):
         if workload.language == "cpp":
             raise BaselineUnsupportedError(
                 "CBI's instrumentation framework does not support C++ "
                 "applications (%s)" % workload.name
             )
-        super().__init__(workload, seed=seed)
+        super().__init__(workload, seed=seed, executor=executor)
         self.sampling_rate = sampling_rate
         self._conditional_tags = {
             instr.address: self.program.debug_info.branches[instr.address]
@@ -87,6 +87,10 @@ class CbiTool(BaselineToolBase):
             )
 
         return finish
+
+    def _clone_spec(self):
+        return (type(self), self.workload,
+                {"seed": self.seed, "sampling_rate": self.sampling_rate})
 
     def predicate_info(self):
         info = {}

@@ -27,10 +27,14 @@ class CciTool(BaselineToolBase):
     tool_name = "CCI"
 
     def __init__(self, workload, sampling_rate=DEFAULT_SAMPLING_RATE,
-                 seed=0):
-        super().__init__(workload, seed=seed)
+                 seed=0, executor=None):
+        super().__init__(workload, seed=seed, executor=executor)
         self.sampling_rate = sampling_rate
         self._predicates = {}
+
+    def _clone_spec(self):
+        return (type(self), self.workload,
+                {"seed": self.seed, "sampling_rate": self.sampling_rate})
 
     def attach(self, machine, run_seed):
         sampler = GeometricSampler(rate=self.sampling_rate,

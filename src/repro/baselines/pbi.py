@@ -29,10 +29,14 @@ class PbiTool(BaselineToolBase):
     tool_name = "PBI"
 
     def __init__(self, workload, sample_period=DEFAULT_SAMPLE_PERIOD,
-                 seed=0):
-        super().__init__(workload, seed=seed)
+                 seed=0, executor=None):
+        super().__init__(workload, seed=seed, executor=executor)
         self.sample_period = sample_period
         self._predicates = {}
+
+    def _clone_spec(self):
+        return (type(self), self.workload,
+                {"seed": self.seed, "sample_period": self.sample_period})
 
     def attach(self, machine, run_seed):
         true_predicates = set()

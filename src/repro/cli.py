@@ -7,7 +7,15 @@ Commands:
 * ``log <bug> [--no-toggling]``  — LBRLOG/LCRLOG report at the failure;
 * ``diagnose <bug>``             — LBRA/LCRA with 10+10 runs;
 * ``experiment <name>``          — regenerate one paper table/figure;
+* ``experiment all``             — regenerate every table/figure;
 * ``experiments``                — list available experiment names.
+
+``diagnose`` and ``experiment`` accept ``--jobs N`` (fan campaign runs
+out over N worker processes), ``--cache``/``--no-cache`` (content-
+addressed run cache under ``--cache-dir``, default ``.repro-cache/``),
+and print the executor's statistics report when either is active.
+Results are identical at any ``--jobs`` value and any cache state —
+parallelism and caching change wall-clock time only.
 """
 
 import argparse
@@ -39,18 +47,43 @@ def _experiment_registry():
         "table3": table3.run,
         "table4": table4.run,
         "table5": table5.run,
-        "table6": lambda: table6.run(cbi_runs=200, overhead_runs=3),
+        "table6": lambda executor=None: table6.run(
+            cbi_runs=200, overhead_runs=3, executor=executor),
         "table7": table7.run,
         "figure1": figure1.run,
         "figure2": figure2.run,
-        "latency": lambda: latency.run(cbi_runs=(100, 500)),
+        "latency": lambda executor=None: latency.run(
+            cbi_runs=(100, 500), executor=executor),
         "loglatency": loglatency.run,
         "concurrency-baselines":
-            lambda: concurrency_baselines.run(n_runs=200),
+            lambda executor=None: concurrency_baselines.run(
+                n_runs=200, executor=executor),
         "adaptive": adaptive.run,
         "ablation-pollution": ablations.run_pollution,
         "ablation-lcr-capacity": ablations.run_lcr_capacity,
     }
+
+
+def _build_executor(args):
+    """Build the shared CampaignExecutor the flags ask for, or None."""
+    from repro.runtime.executor import CampaignExecutor
+
+    jobs = getattr(args, "jobs", 1)
+    cache = getattr(args, "cache", False)
+    if jobs <= 1 and not cache:
+        return None
+    return CampaignExecutor(
+        jobs=jobs, cache=cache,
+        cache_dir=args.cache_dir if cache else None,
+    )
+
+
+def _write_stats(executor, out):
+    from repro.experiments.report import executor_stats_result
+
+    stats = executor_stats_result(executor)
+    if stats is not None:
+        out.write("\n" + stats.format() + "\n")
 
 
 def _cmd_bugs(_args, out):
@@ -75,13 +108,13 @@ def _cmd_run(args, out):
     return 0
 
 
-def _log_tool(bug, toggling):
+def _log_tool(bug, toggling, executor=None):
     from repro.core.lbrlog import LbrLogTool
     from repro.core.lcrlog import LcrLogTool
 
     if bug.category == "sequential":
-        return LbrLogTool(bug, toggling=toggling)
-    return LcrLogTool(bug, toggling=toggling)
+        return LbrLogTool(bug, toggling=toggling, executor=executor)
+    return LcrLogTool(bug, toggling=toggling, executor=executor)
 
 
 def _cmd_log(args, out):
@@ -104,13 +137,19 @@ def _cmd_diagnose(args, out):
 
     bug = get_bug(args.bug)
     tool_class = LbraTool if bug.category == "sequential" else LcraTool
+    executor = _build_executor(args)
     try:
-        diagnosis = tool_class(bug, scheme=args.scheme) \
+        diagnosis = tool_class(bug, scheme=args.scheme,
+                               executor=executor) \
             .diagnose(args.runs, args.runs)
     except DiagnosisError as exc:
         out.write("diagnosis failed: %s\n" % exc)
         return 1
+    finally:
+        if executor is not None:
+            executor.shutdown()
     out.write(diagnosis.describe(n=args.top) + "\n")
+    _write_stats(executor, out)
     return 0
 
 
@@ -122,13 +161,41 @@ def _cmd_experiments(_args, out):
 
 def _cmd_experiment(args, out):
     registry = _experiment_registry()
-    if args.name not in registry:
-        out.write("unknown experiment %r; try: %s\n"
+    if args.name != "all" and args.name not in registry:
+        out.write("unknown experiment %r; try: all, %s\n"
                   % (args.name, ", ".join(sorted(registry))))
         return 1
-    result = registry[args.name]()
-    out.write(result.format() + "\n")
+    names = sorted(registry) if args.name == "all" else [args.name]
+    executor = _build_executor(args)
+    try:
+        for index, name in enumerate(names):
+            result = registry[name](executor=executor)
+            if index:
+                out.write("\n")
+            out.write(result.format() + "\n")
+    finally:
+        if executor is not None:
+            executor.shutdown()
+    _write_stats(executor, out)
     return 0
+
+
+def _add_executor_flags(parser):
+    from repro.runtime.executor import DEFAULT_CACHE_DIR
+
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for campaign runs (results are "
+             "identical at any value; default: 1)",
+    )
+    parser.add_argument(
+        "--cache", action=argparse.BooleanOptionalAction, default=False,
+        help="reuse finished runs via the content-addressed run cache",
+    )
+    parser.add_argument(
+        "--cache-dir", default=DEFAULT_CACHE_DIR, metavar="DIR",
+        help="on-disk cache location (default: %(default)s)",
+    )
 
 
 def build_parser():
@@ -160,12 +227,15 @@ def build_parser():
                              choices=("reactive", "proactive"))
     diag_parser.add_argument("--runs", type=int, default=10)
     diag_parser.add_argument("--top", type=int, default=5)
+    _add_executor_flags(diag_parser)
 
     commands.add_parser("experiments", help="list experiment names")
     exp_parser = commands.add_parser(
-        "experiment", help="regenerate one table/figure"
+        "experiment", help="regenerate one table/figure ('all' for "
+                           "every one)"
     )
     exp_parser.add_argument("name")
+    _add_executor_flags(exp_parser)
     return parser
 
 

@@ -97,18 +97,27 @@ class Diagnosis:
 
 
 class DiagnosisToolBase:
-    """Shared LBRA/LCRA orchestration."""
+    """Shared LBRA/LCRA orchestration.
+
+    ``executor`` optionally supplies a
+    :class:`~repro.runtime.executor.CampaignExecutor`; campaign runs
+    then execute on its worker pool and/or replay from its run cache.
+    Results are bit-identical to the sequential path — runs are consumed
+    strictly in plan order, so the stopping logic below replays the same
+    decisions regardless of worker count.
+    """
 
     ring = None
 
     def __init__(self, workload, scheme="reactive", toggling=True,
-                 lcr_selector=2):
+                 lcr_selector=2, executor=None):
         if scheme not in ("reactive", "proactive"):
             raise ValueError("unknown scheme %r" % (scheme,))
         self.workload = workload
         self.scheme = scheme
         self.toggling = toggling
         self.lcr_selector = lcr_selector
+        self.executor = executor
         self.machine_config = MachineConfig(num_cores=workload.num_cores)
         self._module = workload.build_module()
         self.failure_program = self._build_program(
@@ -135,6 +144,10 @@ class DiagnosisToolBase:
     # ------------------------------------------------------------------
 
     def _run(self, program, plan):
+        if self.executor is not None:
+            return self.executor.run_one(
+                program, plan, self.machine_config
+            ).status
         return run_program(
             program,
             args=plan.args,
@@ -144,14 +157,35 @@ class DiagnosisToolBase:
             globals_setup=plan.globals_setup,
         )
 
+    def _stream_statuses(self, program, plans):
+        """Yield each plan's ExitStatus, in plan order, lazily.
+
+        The executor path speculates ahead on its pool but still yields
+        in order, so consumers' stopping logic is execution-agnostic.
+        """
+        if self.executor is None:
+            for plan in plans:
+                yield self._run(program, plan)
+        else:
+            for _plan, result in self.executor.iter_runs(
+                    program, plans, self.machine_config):
+                yield result.status
+
     def _collect_failures(self, program, n_failures, max_attempts):
         statuses = []
         k = 0
-        while len(statuses) < n_failures and k < max_attempts:
-            status = self._run(program, self.workload.failing_run_plan(k))
-            if self.workload.is_failure(status):
-                statuses.append(status)
-            k += 1
+        runs = self._stream_statuses(
+            program, (self.workload.failing_run_plan(i)
+                      for i in _counter())
+        )
+        try:
+            while len(statuses) < n_failures and k < max_attempts:
+                status = next(runs)
+                if self.workload.is_failure(status):
+                    statuses.append(status)
+                k += 1
+        finally:
+            runs.close()
         if len(statuses) < n_failures:
             raise DiagnosisError(
                 "only %d/%d failure runs manifested in %d attempts"
@@ -164,20 +198,27 @@ class DiagnosisToolBase:
         profiles = []
         statuses = []
         k = 0
-        while len(profiles) < n_successes and k < max_attempts:
-            status = self._run(program, self.workload.passing_run_plan(k))
-            k += 1
-            if self.workload.is_failure(status):
-                continue
-            profile = extract_profile(
-                program, status, self.ring,
-                site_kinds=SUCCESS_SITE_KINDS,
-                site_ids=success_site_ids,
-                outcome="success", run_index=k,
-            )
-            if profile is not None:
-                profiles.append(profile)
-                statuses.append(status)
+        runs = self._stream_statuses(
+            program, (self.workload.passing_run_plan(i)
+                      for i in _counter())
+        )
+        try:
+            while len(profiles) < n_successes and k < max_attempts:
+                status = next(runs)
+                k += 1
+                if self.workload.is_failure(status):
+                    continue
+                profile = extract_profile(
+                    program, status, self.ring,
+                    site_kinds=SUCCESS_SITE_KINDS,
+                    site_ids=success_site_ids,
+                    outcome="success", run_index=k,
+                )
+                if profile is not None:
+                    profiles.append(profile)
+                    statuses.append(status)
+        finally:
+            runs.close()
         return profiles, statuses
 
     # ------------------------------------------------------------------
@@ -252,9 +293,12 @@ class DiagnosisToolBase:
         by_site = {}
         statuses_by_site = {}
         attempts = 0
+        runs = self._stream_statuses(
+            self.failure_program,
+            (self.workload.failing_run_plan(i) for i in _counter())
+        )
         while attempts < cap:
-            status = self._run(self.failure_program,
-                               self.workload.failing_run_plan(attempts))
+            status = next(runs)
             attempts += 1
             if not self.workload.is_failure(status):
                 continue
@@ -273,6 +317,7 @@ class DiagnosisToolBase:
                                for b in by_site.values()) \
                     and attempts >= 2 * n_failures_per_site:
                 break
+        runs.close()
         diagnoses = {}
         for site_id, profiles in by_site.items():
             failure_site = site_by_id(self.failure_program, site_id)
@@ -356,6 +401,13 @@ class DiagnosisToolBase:
                 "no proactive success site pairs with %s" % (failure_site,)
             )
         return site_ids
+
+
+def _counter():
+    k = 0
+    while True:
+        yield k
+        k += 1
 
 
 class LbraTool(DiagnosisToolBase):

@@ -17,10 +17,10 @@ class LcraTool(DiagnosisToolBase):
     ring = "lcr"
 
     def __init__(self, workload, scheme="reactive", toggling=True,
-                 lcr_selector=CONF2_SPACE_CONSUMING):
+                 lcr_selector=CONF2_SPACE_CONSUMING, executor=None):
         super().__init__(
             workload, scheme=scheme, toggling=toggling,
-            lcr_selector=lcr_selector,
+            lcr_selector=lcr_selector, executor=executor,
         )
 
 

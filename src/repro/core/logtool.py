@@ -40,9 +40,13 @@ class LogToolBase:
     ring = None
 
     def __init__(self, workload, toggling=True, lcr_selector=2,
-                 register_segv_handler=True, ring_capacity=16):
+                 register_segv_handler=True, ring_capacity=16,
+                 executor=None):
         self.workload = workload
         self.toggling = toggling
+        #: optional CampaignExecutor; runs then use its pool/run cache
+        #: (results are identical — see repro.runtime.executor)
+        self.executor = executor
         module = workload.build_module()
         enhanced = enhance_logging(
             module,
@@ -64,6 +68,10 @@ class LogToolBase:
 
     def run_plan(self, plan):
         """Execute one :class:`RunPlan` against the enhanced program."""
+        if self.executor is not None:
+            return self.executor.run_one(
+                self.program, plan, self.machine_config
+            ).status
         return run_program(
             self.program,
             args=plan.args,

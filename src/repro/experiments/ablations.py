@@ -16,9 +16,9 @@ from repro.core.lcrlog import CONF2_SPACE_CONSUMING, LcrLogTool
 from repro.experiments.report import ExperimentResult
 
 
-def _fpe_position(bug, pollution=True, capacity=16):
+def _fpe_position(bug, pollution=True, capacity=16, executor=None):
     tool = LcrLogTool(bug, selector=CONF2_SPACE_CONSUMING,
-                      ring_capacity=capacity)
+                      ring_capacity=capacity, executor=executor)
     tool.machine_config.lcr_ioctl_pollution = pollution
     for k in range(10):
         status = tool.run_failing(k)
@@ -29,13 +29,14 @@ def _fpe_position(bug, pollution=True, capacity=16):
                               state_tags=bug.fpe_state_tags)
 
 
-def run_pollution(bugs=None):
+def run_pollution(bugs=None, executor=None):
     """FPE depth with and without the ioctl-pollution model."""
     rows = []
     raw = []
     for bug in (bugs if bugs is not None else concurrency_bugs()):
-        with_pollution = _fpe_position(bug, pollution=True)
-        without = _fpe_position(bug, pollution=False)
+        with_pollution = _fpe_position(bug, pollution=True,
+                                       executor=executor)
+        without = _fpe_position(bug, pollution=False, executor=executor)
         raw.append({"name": bug.paper_name, "with": with_pollution,
                     "without": without})
         rows.append((
@@ -63,7 +64,8 @@ def run_pollution(bugs=None):
     return result
 
 
-def run_lcr_capacity(capacities=(4, 8, 16, 32), bugs=None):
+def run_lcr_capacity(capacities=(4, 8, 16, 32), bugs=None,
+                     executor=None):
     """Capture rate of the failure-predicting event per LCR size."""
     selected = bugs if bugs is not None else concurrency_bugs()
     rows = []
@@ -72,7 +74,8 @@ def run_lcr_capacity(capacities=(4, 8, 16, 32), bugs=None):
         captured = 0
         missed_names = []
         for bug in selected:
-            position = _fpe_position(bug, capacity=capacity)
+            position = _fpe_position(bug, capacity=capacity,
+                                     executor=executor)
             if position is not None:
                 captured += 1
             else:

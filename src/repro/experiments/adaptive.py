@@ -20,8 +20,13 @@ from repro.core.lbra import DiagnosisError, LbraTool
 from repro.experiments.report import ExperimentResult
 
 
-def run(runs_per_iteration=20, bugs=None):
-    """Regenerate the CBI-adaptive comparison."""
+def run(runs_per_iteration=20, bugs=None, executor=None):
+    """Regenerate the CBI-adaptive comparison.
+
+    CBI-adaptive re-instruments between iterations (each iteration is a
+    different program build), so it runs sequentially; the LBRA side
+    uses *executor* when given.
+    """
     selected = bugs if bugs is not None else [
         bug for bug in sequential_bugs() if bug.language != "cpp"
     ]
@@ -33,8 +38,8 @@ def run(runs_per_iteration=20, bugs=None):
         lines = tuple(bug.root_cause_lines) + tuple(bug.related_lines)
         adaptive_rank = outcome.rank_of_line(lines)
         try:
-            lbra_rank = LbraTool(bug).diagnose(10, 10) \
-                .rank_of_line(lines)
+            lbra_rank = LbraTool(bug, executor=executor) \
+                .diagnose(10, 10).rank_of_line(lines)
         except DiagnosisError:
             lbra_rank = None
         raw.append({

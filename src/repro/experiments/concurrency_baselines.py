@@ -18,23 +18,25 @@ from repro.experiments.report import ExperimentResult
 TOP_K = 3
 
 
-def _lcra_rank(bug):
+def _lcra_rank(bug, executor=None):
     try:
-        diagnosis = LcraTool(bug, scheme="reactive").diagnose(10, 10)
+        diagnosis = LcraTool(bug, scheme="reactive",
+                             executor=executor).diagnose(10, 10)
     except DiagnosisError:
         return None
     return diagnosis.rank_of_coherence(bug.root_cause_lines,
                                        bug.fpe_state_tags)
 
 
-def _pbi_rank(bug, n_runs, sample_period):
-    tool = PbiTool(bug, sample_period=sample_period, seed=2)
+def _pbi_rank(bug, n_runs, sample_period, executor=None):
+    tool = PbiTool(bug, sample_period=sample_period, seed=2,
+                   executor=executor)
     diagnosis = tool.diagnose(n_failures=n_runs, n_successes=n_runs)
     return diagnosis.rank_of_line(bug.root_cause_lines)
 
 
-def _cci_rank(bug, n_runs):
-    tool = CciTool(bug, seed=2)
+def _cci_rank(bug, n_runs, executor=None):
+    tool = CciTool(bug, seed=2, executor=executor)
     diagnosis = tool.diagnose(n_failures=n_runs, n_successes=n_runs)
     return diagnosis.rank_of_line(bug.root_cause_lines,
                                   detail_suffix="remote")
@@ -46,14 +48,15 @@ def _cell(rank):
     return "X %d" % rank if rank <= TOP_K else "(rank %d)" % rank
 
 
-def run(n_runs=300, pbi_sample_period=40, bugs=None):
+def run(n_runs=300, pbi_sample_period=40, bugs=None, executor=None):
     """Regenerate the Section 7.3 comparison."""
     rows = []
     raw = []
     for bug in (bugs if bugs is not None else concurrency_bugs()):
-        lcra = _lcra_rank(bug)
-        pbi = _pbi_rank(bug, n_runs, pbi_sample_period)
-        cci = _cci_rank(bug, n_runs)
+        lcra = _lcra_rank(bug, executor=executor)
+        pbi = _pbi_rank(bug, n_runs, pbi_sample_period,
+                        executor=executor)
+        cci = _cci_rank(bug, n_runs, executor=executor)
         raw.append({"name": bug.paper_name, "lcra": lcra, "pbi": pbi,
                     "cci": cci,
                     "fpe_in_failure_thread": bug.fpe_in_failure_thread})

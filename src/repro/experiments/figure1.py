@@ -21,11 +21,12 @@ from repro.experiments.report import ExperimentResult
 BTS_OVERHEAD = "20% - 100%"
 
 
-def _capture_rate(capacity):
+def _capture_rate(capacity, executor=None):
     captured = 0
     bugs = sequential_bugs()
     for bug in bugs:
-        tool = LbrLogTool(bug, ring_capacity=capacity)
+        tool = LbrLogTool(bug, ring_capacity=capacity,
+                          executor=executor)
         for k in range(10):
             status = tool.run_failing(k)
             if bug.is_failure(status):
@@ -62,12 +63,16 @@ def _bts_capture_and_overhead():
     return captured, len(bugs), mean_overhead
 
 
-def run(capacities=(4, 8, 16, 32)):
-    """Quantify Figure 1's trade-off."""
+def run(capacities=(4, 8, 16, 32), executor=None):
+    """Quantify Figure 1's trade-off.
+
+    The BTS stage attaches a tracer to a live machine and so always
+    runs in-process; the LBR capture sweeps use *executor* when given.
+    """
     rows = [("failure-site only", "none", "0/20", "~0%")]
     captured_16 = None
     for capacity in capacities:
-        captured, total = _capture_rate(capacity)
+        captured, total = _capture_rate(capacity, executor=executor)
         if capacity == 16:
             captured_16 = captured
         rows.append((

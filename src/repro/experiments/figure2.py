@@ -44,8 +44,10 @@ def _decode_run(argument):
     return program, outcomes
 
 
-def run():
-    """Regenerate the Figure 2 demonstration."""
+def run(executor=None):
+    """Regenerate the Figure 2 demonstration (single direct runs;
+    *executor* accepted for uniformity)."""
+    del executor
     program, _ = _decode_run(1)
     rows = []
     for instr in program.instructions:

@@ -15,9 +15,10 @@ from repro.core.lbra import DiagnosisError, LbraTool
 from repro.experiments.report import ExperimentResult
 
 
-def _lbra_found(bug, n_runs):
+def _lbra_found(bug, n_runs, executor=None):
     try:
-        diagnosis = LbraTool(bug, scheme="reactive").diagnose(
+        diagnosis = LbraTool(bug, scheme="reactive",
+                             executor=executor).diagnose(
             n_failures=n_runs, n_successes=n_runs
         )
     except DiagnosisError:
@@ -27,9 +28,9 @@ def _lbra_found(bug, n_runs):
     return rank is not None and rank <= 3
 
 
-def _cbi_found(bug, n_runs, seed=0):
+def _cbi_found(bug, n_runs, seed=0, executor=None):
     try:
-        tool = CbiTool(bug, seed=seed)
+        tool = CbiTool(bug, seed=seed, executor=executor)
     except BaselineUnsupportedError:
         return None
     diagnosis = tool.diagnose(n_failures=n_runs, n_successes=n_runs)
@@ -38,7 +39,8 @@ def _cbi_found(bug, n_runs, seed=0):
     return rank is not None and rank <= 3
 
 
-def run(lbra_runs=(10,), cbi_runs=(100, 500, 1000), bugs=None):
+def run(lbra_runs=(10,), cbi_runs=(100, 500, 1000), bugs=None,
+        executor=None):
     """Sweep failure-run budgets for LBRA and CBI."""
     selected = bugs if bugs is not None else [
         bug for bug in sequential_bugs() if bug.language != "cpp"
@@ -47,9 +49,11 @@ def run(lbra_runs=(10,), cbi_runs=(100, 500, 1000), bugs=None):
     for bug in selected:
         row = [bug.paper_name]
         for n_runs in lbra_runs:
-            row.append("found" if _lbra_found(bug, n_runs) else "-")
+            row.append("found" if _lbra_found(bug, n_runs,
+                                              executor=executor)
+                       else "-")
         for n_runs in cbi_runs:
-            found = _cbi_found(bug, n_runs)
+            found = _cbi_found(bug, n_runs, executor=executor)
             row.append("N/A" if found is None
                        else ("found" if found else "-"))
         rows.append(tuple(row))

@@ -44,8 +44,13 @@ def _failure_machine_state(bug_name="sort"):
     return ring_reads, max(frames, 1), mapped_bytes / 1024.0
 
 
-def run(bug_name="sort"):
-    """Model the three logging mechanisms' latencies."""
+def run(bug_name="sort", executor=None):
+    """Model the three logging mechanisms' latencies.
+
+    Inspects live machine state after the run, so it always executes
+    in-process; *executor* is accepted for uniformity.
+    """
+    del executor
     ring_reads, frames, mapped_kib = _failure_machine_state(bug_name)
     lbr_us = ring_reads * US_PER_MSR_READ
     stack_us = frames * US_PER_STACK_FRAME

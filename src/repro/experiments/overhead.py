@@ -14,7 +14,8 @@ from dataclasses import dataclass
 
 from repro.compiler.frontend import compile_module
 from repro.lang.transform import enhance_logging
-from repro.machine.cpu import Machine, MachineConfig
+from repro.machine.cpu import MachineConfig
+from repro.runtime.process import execute_plan
 
 #: Modeled extra instruction-equivalents per hardware-monitoring op.
 HWOP_IOCTL_COST = 2.0
@@ -24,26 +25,21 @@ HWOP_IOCTL_COST = 2.0
 DEFAULT_RUNS = 10
 
 
-def _run_once(program, workload, plan):
-    machine = Machine(
-        program,
-        config=MachineConfig(num_cores=workload.num_cores),
-        scheduler=plan.make_scheduler(),
-    )
-    machine.load(args=plan.args)
-    for name, value in plan.globals_setup.items():
-        if isinstance(value, (list, tuple)):
-            for index, word in enumerate(value):
-                machine.set_global(name, word, index=index)
-        else:
-            machine.set_global(name, value)
-    status = machine.run(max_steps=plan.max_steps)
-    hwops = sum(machine.hwop_counts.values())
-    broadcast = machine.hwop_broadcast_count
-    return status.retired, hwops, broadcast
+def _iter_outcomes(program, workload, plans, executor):
+    """Yield (status, hwops, broadcast) per plan, executor-optionally."""
+    config = MachineConfig(num_cores=workload.num_cores)
+    if executor is None:
+        for plan in plans:
+            outcome = execute_plan(program, plan, config)
+            yield (outcome.status, outcome.hwops_total,
+                   outcome.hwop_broadcast)
+    else:
+        for _plan, result in executor.iter_runs(program, plans, config):
+            yield (result.status, sum(result.hwop_counts.values()),
+                   result.hwop_broadcast)
 
 
-def measure_cost(program, workload, runs=DEFAULT_RUNS):
+def measure_cost(program, workload, runs=DEFAULT_RUNS, executor=None):
     """Mean modeled cost of *program* over the workload's passing plans.
 
     One-time monitoring setup (the broadcast enable sequence at the
@@ -52,12 +48,12 @@ def measure_cost(program, workload, runs=DEFAULT_RUNS):
     instructions.
     """
     total = 0.0
-    for k in range(runs):
-        retired, hwops, broadcast = _run_once(
-            program, workload, workload.passing_run_plan(k)
-        )
+    plans = [workload.passing_run_plan(k) for k in range(runs)]
+    for status, hwops, broadcast in _iter_outcomes(
+            program, workload, plans, executor):
         steady_hwops = hwops - broadcast
-        total += (retired - broadcast) + HWOP_IOCTL_COST * steady_hwops
+        total += (status.retired - broadcast) \
+            + HWOP_IOCTL_COST * steady_hwops
     return total / runs
 
 
@@ -92,7 +88,7 @@ def _build(workload, rings, toggling, success_scheme="none",
 
 
 def measure_workload_overheads(workload, ring="lbr", runs=DEFAULT_RUNS,
-                               reactive_target=None):
+                               reactive_target=None, executor=None):
     """Measure the Table 6 overhead columns for one workload.
 
     *reactive_target* (a :class:`~repro.lang.transform.ReactiveTarget`)
@@ -100,10 +96,11 @@ def measure_workload_overheads(workload, ring="lbr", runs=DEFAULT_RUNS,
     equals the plain LBRLOG build, which is a lower bound.
     """
     plain = compile_module(workload.build_module(), toggling=False)
-    baseline = measure_cost(plain, workload, runs)
+    baseline = measure_cost(plain, workload, runs, executor=executor)
 
     def overhead(program):
-        return measure_cost(program, workload, runs) / baseline - 1.0
+        return measure_cost(program, workload, runs,
+                            executor=executor) / baseline - 1.0
 
     rings = (ring,)
     return OverheadReport(
@@ -122,14 +119,14 @@ def measure_workload_overheads(workload, ring="lbr", runs=DEFAULT_RUNS,
     )
 
 
-def find_reactive_target(workload, ring="lbr"):
+def find_reactive_target(workload, ring="lbr", executor=None):
     """Run one failing run and derive the reactive success-site target."""
-    from repro.core.lbra import DiagnosisError, DiagnosisToolBase
     from repro.core.lbrlog import LbrLogTool
     from repro.core.lcrlog import LcrLogTool
     from repro.lang.transform import ReactiveTarget
 
-    tool = LbrLogTool(workload) if ring == "lbr" else LcrLogTool(workload)
+    tool = LbrLogTool(workload, executor=executor) if ring == "lbr" \
+        else LcrLogTool(workload, executor=executor)
     for k in range(20):
         status = tool.run_failing(k)
         if workload.is_failure(status):

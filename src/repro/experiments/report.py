@@ -1,4 +1,15 @@
-"""Result containers and plain-text table rendering."""
+"""Result containers and plain-text table rendering.
+
+Besides the per-experiment tables, this module renders the campaign
+executor's activity report (:func:`executor_stats_result`): workers
+used, cache hits/misses, attempts produced, and wall-clock versus the
+sequential estimate.  The stats are *observability only* — by the
+executor's determinism contract (same plan stream ⇒ same outcomes
+regardless of worker count or cache state, see
+:mod:`repro.runtime.executor`), every number in the experiment tables
+themselves is identical whether a run executed on a pool worker, in
+process, or was replayed from the content-addressed run cache.
+"""
 
 from dataclasses import dataclass, field
 
@@ -53,3 +64,24 @@ class ExperimentResult:
     def column(self, index):
         """Return one column across all rows."""
         return [row[index] for row in self.rows]
+
+
+def executor_stats_result(executor):
+    """Render one executor's activity as an :class:`ExperimentResult`.
+
+    Accepts a :class:`~repro.runtime.executor.CampaignExecutor` (or
+    ``None``, returning ``None`` so callers can pass the stats straight
+    through whether or not an executor was in play).
+    """
+    if executor is None:
+        return None
+    return ExperimentResult(
+        name="executor-stats",
+        headers=["metric", "value"],
+        rows=[list(row) for row in executor.stats_rows()],
+        title="Campaign executor statistics",
+        notes=[
+            "results are identical at any worker count; parallelism "
+            "and caching change wall-clock only",
+        ],
+    )

@@ -30,8 +30,9 @@ _MASK_DESCRIPTIONS = {
 }
 
 
-def run():
-    """Regenerate Table 1."""
+def run(executor=None):
+    """Regenerate Table 1 (static; *executor* accepted for uniformity)."""
+    del executor
     rows = [
         ("IA32_DEBUGCTL", "ID: 0x%x" % msrdefs.IA32_DEBUGCTL, ""),
         ("0x%x" % DEBUGCTL_ENABLE_VALUE, "Enable LBR", ""),

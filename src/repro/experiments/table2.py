@@ -47,8 +47,9 @@ def _drive_all_states():
     return counters
 
 
-def run():
-    """Regenerate Table 2."""
+def run(executor=None):
+    """Regenerate Table 2 (static; *executor* accepted for uniformity)."""
+    del executor
     counters = _drive_all_states()
     rows = []
     for state in (MesiState.INVALID, MesiState.SHARED,

@@ -29,12 +29,12 @@ _TAG_NAMES = {
 }
 
 
-def run():
+def run(executor=None):
     """Regenerate Table 3 with measured FPE observations."""
     rows = []
     for class_name, bug_name, predicted, in_thread in TAXONOMY:
         bug = get_bug(bug_name)
-        tool = LcrLogTool(bug, selector=2)
+        tool = LcrLogTool(bug, selector=2, executor=executor)
         report = tool.report(tool.run_failing(0))
         position = report.position_of(
             bug.root_cause_lines, state_tags=bug.fpe_state_tags

@@ -12,8 +12,10 @@ from repro.core.profiles import sites_of
 from repro.experiments.report import ExperimentResult
 
 
-def run():
-    """Regenerate Table 4."""
+def run(executor=None):
+    """Regenerate Table 4 (no campaigns; *executor* accepted for
+    uniformity)."""
+    del executor
     rows = []
     for bug in all_bugs():
         if bug.category == "sequential":

@@ -19,8 +19,13 @@ PAPER_RATIOS = {
 }
 
 
-def run():
-    """Regenerate Table 5 over the miniature applications."""
+def run(executor=None):
+    """Regenerate Table 5 over the miniature applications.
+
+    The useful-branch analysis is static; *executor* is accepted for
+    uniformity with the campaign-driven experiments.
+    """
+    del executor
     per_program = {}
     for bug in sequential_bugs():
         tool = LbrLogTool(bug)

@@ -41,8 +41,8 @@ def _distance_cell(distance):
     return "%d" % distance
 
 
-def _log_positions(bug, toggling):
-    tool = LbrLogTool(bug, toggling=toggling)
+def _log_positions(bug, toggling, executor=None):
+    tool = LbrLogTool(bug, toggling=toggling, executor=executor)
     for k in range(20):
         status = tool.run_failing(k)
         if bug.is_failure(status):
@@ -54,13 +54,18 @@ def _log_positions(bug, toggling):
     return report, root, related
 
 
-def evaluate_bug(bug, cbi_runs=1000, overhead_runs=5):
+def evaluate_bug(bug, cbi_runs=1000, overhead_runs=5, executor=None):
     """Produce one Table 6 row (as a dict) for *bug*."""
-    report_tog, root_tog, related_tog = _log_positions(bug, toggling=True)
-    _report_no, root_no, related_no = _log_positions(bug, toggling=False)
+    report_tog, root_tog, related_tog = _log_positions(
+        bug, toggling=True, executor=executor
+    )
+    _report_no, root_no, related_no = _log_positions(
+        bug, toggling=False, executor=executor
+    )
 
     try:
-        diagnosis = LbraTool(bug, scheme="reactive").diagnose(10, 10)
+        diagnosis = LbraTool(bug, scheme="reactive",
+                             executor=executor).diagnose(10, 10)
         lbra_root = diagnosis.rank_of_line(bug.root_cause_lines)
         lbra_related = diagnosis.rank_of_line(bug.related_lines) \
             if bug.related_lines else None
@@ -70,7 +75,7 @@ def evaluate_bug(bug, cbi_runs=1000, overhead_runs=5):
     cbi_cell = "N/A"
     cbi_overhead = None
     if bug.language != "cpp":
-        cbi = CbiTool(bug)
+        cbi = CbiTool(bug, executor=executor)
         cbi_diag = cbi.diagnose(n_failures=cbi_runs, n_successes=cbi_runs)
         cbi_root = cbi_diag.rank_of_line(bug.root_cause_lines)
         cbi_related = cbi_diag.rank_of_line(bug.related_lines) \
@@ -81,9 +86,10 @@ def evaluate_bug(bug, cbi_runs=1000, overhead_runs=5):
     distance_failure = failure_site_patch_distance(bug, report_tog)
     distance_lbr = lbr_patch_distance(bug, report_tog)
 
-    target = find_reactive_target(bug, ring="lbr")
+    target = find_reactive_target(bug, ring="lbr", executor=executor)
     overheads = measure_workload_overheads(
-        bug, ring="lbr", runs=overhead_runs, reactive_target=target
+        bug, ring="lbr", runs=overhead_runs, reactive_target=target,
+        executor=executor,
     )
 
     return {
@@ -103,13 +109,14 @@ def evaluate_bug(bug, cbi_runs=1000, overhead_runs=5):
     }
 
 
-def run(cbi_runs=1000, overhead_runs=5, bugs=None):
-    """Regenerate Table 6."""
+def run(cbi_runs=1000, overhead_runs=5, bugs=None, executor=None):
+    """Regenerate Table 6 (optionally on a shared campaign executor)."""
     rows = []
     raw = []
     for bug in (bugs if bugs is not None else sequential_bugs()):
         data = evaluate_bug(bug, cbi_runs=cbi_runs,
-                            overhead_runs=overhead_runs)
+                            overhead_runs=overhead_runs,
+                            executor=executor)
         raw.append(data)
         paper = data["paper"]
         rows.append((

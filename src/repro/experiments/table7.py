@@ -17,8 +17,8 @@ from repro.core.lcrlog import (
 from repro.experiments.report import ExperimentResult
 
 
-def _lcrlog_position(bug, selector):
-    tool = LcrLogTool(bug, selector=selector)
+def _lcrlog_position(bug, selector, executor=None):
+    tool = LcrLogTool(bug, selector=selector, executor=executor)
     for k in range(20):
         status = tool.run_failing(k)
         if bug.is_failure(status):
@@ -32,12 +32,14 @@ def _cell(value):
     return "X %d" % value if value is not None else "-"
 
 
-def evaluate_bug(bug):
+def evaluate_bug(bug, executor=None):
     """Produce one Table 7 row (as a dict) for *bug*."""
-    conf1 = _lcrlog_position(bug, CONF1_SPACE_SAVING)
-    conf2 = _lcrlog_position(bug, CONF2_SPACE_CONSUMING)
+    conf1 = _lcrlog_position(bug, CONF1_SPACE_SAVING, executor=executor)
+    conf2 = _lcrlog_position(bug, CONF2_SPACE_CONSUMING,
+                             executor=executor)
     try:
-        diagnosis = LcraTool(bug, scheme="reactive").diagnose(10, 10)
+        diagnosis = LcraTool(bug, scheme="reactive",
+                             executor=executor).diagnose(10, 10)
         lcra = diagnosis.rank_of_coherence(bug.root_cause_lines,
                                            bug.fpe_state_tags)
     except DiagnosisError:
@@ -51,12 +53,12 @@ def evaluate_bug(bug):
     }
 
 
-def run(bugs=None):
-    """Regenerate Table 7."""
+def run(bugs=None, executor=None):
+    """Regenerate Table 7 (optionally on a shared campaign executor)."""
     rows = []
     raw = []
     for bug in (bugs if bugs is not None else concurrency_bugs()):
-        data = evaluate_bug(bug)
+        data = evaluate_bug(bug, executor=executor)
         raw.append(data)
         paper = data["paper"]
         rows.append((

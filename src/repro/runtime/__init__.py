@@ -5,18 +5,40 @@
   (the bug suite) to the diagnosis tools: how to build the program, how to
   drive failing and passing runs, and how to recognize a failure;
 * :mod:`repro.runtime.harness` — run campaigns (N failing + M passing
-  runs) and collect statuses/profiles.
+  runs) and collect statuses/profiles;
+* :mod:`repro.runtime.executor` — fan campaign attempts out across a
+  process pool and memoize finished runs in a content-addressed cache.
 """
 
-from repro.runtime.process import run_program
+from repro.runtime.process import PlanOutcome, execute_plan, run_program
 from repro.runtime.workload import RunPlan, Workload
-from repro.runtime.harness import CampaignResult, RunRecord, run_campaign
+from repro.runtime.harness import (
+    CampaignResult,
+    CampaignShortfallError,
+    CampaignShortfallWarning,
+    RunRecord,
+    run_campaign,
+)
+from repro.runtime.executor import (
+    CampaignExecutor,
+    ExecutorStats,
+    RunCache,
+    build_executor,
+)
 
 __all__ = [
+    "CampaignExecutor",
     "CampaignResult",
+    "CampaignShortfallError",
+    "CampaignShortfallWarning",
+    "ExecutorStats",
+    "PlanOutcome",
+    "RunCache",
     "RunPlan",
     "RunRecord",
     "Workload",
+    "build_executor",
+    "execute_plan",
     "run_campaign",
     "run_program",
 ]

@@ -6,12 +6,39 @@ drives a workload's run plans until the requested number of runs with the
 right outcome have been observed, which mirrors production reality: a
 failing input occasionally fails to manifest (concurrency bugs!) and is
 then just another success run.
+
+Determinism contract
+--------------------
+
+A campaign's plan stream is a pure function of the workload: the k-th
+failing attempt always executes ``workload.failing_run_plan(k)``, and any
+randomness lives inside the plan (schedulers seeded by k).  Each run's
+outcome depends only on its (program, plan, config) triple.  Campaign
+results are therefore **bit-identical no matter how runs are executed**:
+sequentially in this process, fanned out across a worker pool, or
+replayed from the run cache.  Passing a
+:class:`~repro.runtime.executor.CampaignExecutor` via ``executor=``
+changes wall-clock time, never results — parallel workers only
+*speculate ahead* in the deterministic plan stream, and results are
+consumed strictly in plan order so the stopping decisions replay the
+sequential logic exactly.
+
+Shortfall handling
+------------------
+
+A campaign can exhaust its attempt budget short of the requested outcome
+counts (a "failing" input that stubbornly succeeds, or vice versa).
+That used to be silent; ``on_shortfall`` now controls it: ``"warn"``
+(default) emits a :class:`CampaignShortfallWarning`, ``"raise"`` raises
+:class:`CampaignShortfallError`, ``"ignore"`` restores the old silence.
+Both carry the structured counts so callers can react programmatically.
 """
 
+import warnings
 from dataclasses import dataclass
 
-from repro.runtime.process import run_program
 from repro.machine.cpu import MachineConfig
+from repro.runtime.process import run_program
 
 
 @dataclass
@@ -37,8 +64,38 @@ class CampaignResult:
         return self.failures + self.successes
 
 
+class _CampaignShortfall:
+    """Mixin carrying the structured shortfall description."""
+
+    def __init__(self, workload_name, want_failures, got_failures,
+                 want_successes, got_successes, attempts, limit):
+        self.workload_name = workload_name
+        self.want_failures = want_failures
+        self.got_failures = got_failures
+        self.want_successes = want_successes
+        self.got_successes = got_successes
+        self.attempts = attempts
+        self.limit = limit
+        super().__init__(
+            "campaign for %r exhausted %d/%d attempts with %d/%d "
+            "failures and %d/%d successes" % (
+                workload_name, attempts, limit, got_failures,
+                want_failures, got_successes, want_successes,
+            )
+        )
+
+
+class CampaignShortfallError(_CampaignShortfall, RuntimeError):
+    """The campaign hit its attempt cap short of the requested counts."""
+
+
+class CampaignShortfallWarning(_CampaignShortfall, UserWarning):
+    """Warning flavour of :class:`CampaignShortfallError`."""
+
+
 def run_campaign(program, workload, want_failures, want_successes,
-                 config=None, max_attempts=None):
+                 config=None, max_attempts=None, executor=None,
+                 on_shortfall="warn"):
     """Execute *program* until the requested outcome counts are reached.
 
     Failing runs use ``workload.failing_run_plan``; once enough failures
@@ -46,7 +103,19 @@ def run_campaign(program, workload, want_failures, want_successes,
     whose outcome does not match their plan's intent are still recorded
     under their actual outcome (a "failing" plan that survives is a
     success run, exactly as in production).
+
+    ``executor`` optionally supplies a
+    :class:`~repro.runtime.executor.CampaignExecutor` that runs attempts
+    on a worker pool and/or replays them from the run cache; results are
+    identical to the sequential path (see the module docstring).
+
+    ``on_shortfall`` — ``"warn"`` (default), ``"raise"``, or ``"ignore"``
+    — controls what happens when the attempt cap is reached before the
+    requested counts are (see the module docstring).
     """
+    if on_shortfall not in ("warn", "raise", "ignore"):
+        raise ValueError("on_shortfall must be 'warn', 'raise', or "
+                         "'ignore', not %r" % (on_shortfall,))
     config = config or MachineConfig(num_cores=workload.num_cores)
     failures = []
     successes = []
@@ -54,21 +123,35 @@ def run_campaign(program, workload, want_failures, want_successes,
     limit = max_attempts if max_attempts is not None else \
         (want_failures + want_successes) * 20 + 50
 
-    k_fail = 0
-    while len(failures) < want_failures and attempts < limit:
-        plan = workload.failing_run_plan(k_fail)
-        record = _run_one(program, workload, plan, attempts, config)
-        (failures if record.failed else successes).append(record)
-        k_fail += 1
-        attempts += 1
+    def consume(plan_stream, quota_reached):
+        nonlocal attempts
+        runs = _stream_runs(program, workload, plan_stream, config,
+                            executor)
+        try:
+            while not quota_reached() and attempts < limit:
+                record = next(runs, None)
+                if record is None:
+                    break
+                record.index = attempts
+                (failures if record.failed else successes).append(record)
+                attempts += 1
+        finally:
+            runs.close()
 
-    k_pass = 0
-    while len(successes) < want_successes and attempts < limit:
-        plan = workload.passing_run_plan(k_pass)
-        record = _run_one(program, workload, plan, attempts, config)
-        (failures if record.failed else successes).append(record)
-        k_pass += 1
-        attempts += 1
+    consume((workload.failing_run_plan(k) for k in _counter()),
+            lambda: len(failures) >= want_failures)
+    consume((workload.passing_run_plan(k) for k in _counter()),
+            lambda: len(successes) >= want_successes)
+
+    short = (len(failures) < want_failures
+             or len(successes) < want_successes)
+    if short and on_shortfall != "ignore":
+        description = (workload.name, want_failures, len(failures),
+                       want_successes, len(successes), attempts, limit)
+        if on_shortfall == "raise":
+            raise CampaignShortfallError(*description)
+        warnings.warn(CampaignShortfallWarning(*description),
+                      stacklevel=2)
 
     return CampaignResult(
         failures=failures[:want_failures] if want_failures else failures,
@@ -78,7 +161,33 @@ def run_campaign(program, workload, want_failures, want_successes,
     )
 
 
-def _run_one(program, workload, plan, index, config):
+def _counter():
+    k = 0
+    while True:
+        yield k
+        k += 1
+
+
+def _stream_runs(program, workload, plan_stream, config, executor):
+    """Yield RunRecords for *plan_stream*, in order, lazily.
+
+    The sequential path executes one plan per pull; the executor path
+    speculates ahead on the pool but still yields in plan order, so the
+    caller's stopping logic sees the same sequence either way.
+    """
+    if executor is None:
+        for plan in plan_stream:
+            yield _run_one(program, workload, plan, config)
+    else:
+        for plan, result in executor.iter_runs(program, plan_stream,
+                                               config):
+            yield RunRecord(
+                index=-1, status=result.status,
+                failed=workload.is_failure(result.status), plan=plan,
+            )
+
+
+def _run_one(program, workload, plan, config):
     status = run_program(
         program,
         args=plan.args,
@@ -88,6 +197,6 @@ def _run_one(program, workload, plan, index, config):
         globals_setup=plan.globals_setup,
     )
     return RunRecord(
-        index=index, status=status,
+        index=-1, status=status,
         failed=workload.is_failure(status), plan=plan,
     )

@@ -1,6 +1,60 @@
 """Run one program on a fresh machine."""
 
+from dataclasses import dataclass, field
+
 from repro.machine.cpu import Machine, MachineConfig
+
+
+@dataclass
+class PlanOutcome:
+    """Everything one executed run plan produced.
+
+    Besides the :class:`ExitStatus`, the hardware-monitoring counters of
+    the machine are snapshotted so consumers that model overheads (the
+    Table 6/7 columns) can share runs with consumers that only classify
+    outcomes.  This is the unit of work the campaign executor ships to
+    worker processes and the value the run cache stores.
+    """
+
+    status: object                 # ExitStatus
+    hwop_counts: dict = field(default_factory=dict)
+    hwop_broadcast: int = 0
+
+    @property
+    def hwops_total(self):
+        return sum(self.hwop_counts.values())
+
+
+def _apply_globals(machine, globals_setup):
+    for name, value in (globals_setup or {}).items():
+        if isinstance(value, (list, tuple)):
+            for index, word in enumerate(value):
+                machine.set_global(name, word, index=index)
+        else:
+            machine.set_global(name, value)
+
+
+def execute_plan(program, plan, config=None):
+    """Execute one :class:`~repro.runtime.workload.RunPlan` and return a
+    :class:`PlanOutcome`.
+
+    Each run builds a fresh :class:`~repro.machine.cpu.Machine` and a
+    fresh scheduler from the plan's factory, so runs are independent of
+    each other and of the process they execute in: the same
+    (program, plan, config) triple always produces the same outcome.
+    That independence is what makes run campaigns parallelizable and
+    cacheable (see :mod:`repro.runtime.executor`).
+    """
+    machine = Machine(program, config=config or MachineConfig(),
+                      scheduler=plan.make_scheduler())
+    machine.load(args=plan.args)
+    _apply_globals(machine, plan.globals_setup)
+    status = machine.run(max_steps=plan.max_steps)
+    return PlanOutcome(
+        status=status,
+        hwop_counts=dict(machine.hwop_counts),
+        hwop_broadcast=machine.hwop_broadcast_count,
+    )
 
 
 def run_program(program, args=(), scheduler=None, config=None,
@@ -14,11 +68,5 @@ def run_program(program, args=(), scheduler=None, config=None,
     machine = Machine(program, config=config or MachineConfig(),
                       scheduler=scheduler)
     machine.load(args=args)
-    if globals_setup:
-        for name, value in globals_setup.items():
-            if isinstance(value, (list, tuple)):
-                for index, word in enumerate(value):
-                    machine.set_global(name, word, index=index)
-            else:
-                machine.set_global(name, value)
+    _apply_globals(machine, globals_setup)
     return machine.run(max_steps=max_steps)

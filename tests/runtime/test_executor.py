@@ -1,0 +1,308 @@
+"""Tests for the parallel campaign executor and its run cache."""
+
+import pickle
+
+import pytest
+
+from repro.bugs.registry import get_bug
+from repro.core.lbra import LbraTool
+from repro.core.lcra import LcraTool
+from repro.machine.cpu import MachineConfig
+from repro.runtime.executor import (
+    CampaignExecutor,
+    RunCache,
+    fingerprint_plan,
+    fingerprint_program,
+)
+from repro.runtime.harness import run_campaign
+from repro.runtime.workload import RunPlan
+
+from repro.compiler import compile_source
+from tests.runtime.test_process_and_harness import SOURCE, Thresholdy
+
+
+def _campaign_signature(result):
+    return [
+        (record.index, record.failed, record.status.exit_code,
+         record.status.fault, tuple(record.status.output))
+        for record in result.all_runs
+    ]
+
+
+def _diagnosis_signature(diagnosis):
+    return (
+        [(score.rank, score.event.event_id) for score in diagnosis.ranked],
+        diagnosis.n_failure_profiles,
+        diagnosis.n_success_profiles,
+        str(diagnosis.failure_site),
+    )
+
+
+# ----------------------------------------------------------------------
+# Parallel == sequential
+# ----------------------------------------------------------------------
+
+def test_parallel_campaign_matches_sequential():
+    workload = Thresholdy()
+    program = compile_source(SOURCE)
+    sequential = run_campaign(program, workload, want_failures=3,
+                              want_successes=4)
+    with CampaignExecutor(jobs=2, cache=True) as executor:
+        parallel = run_campaign(program, workload, want_failures=3,
+                                want_successes=4, executor=executor)
+    assert _campaign_signature(parallel) == \
+        _campaign_signature(sequential)
+    assert parallel.attempts == sequential.attempts
+
+
+def test_parallel_diagnosis_matches_sequential_for_sequential_bug():
+    sequential = LbraTool(get_bug("sort")).diagnose(6, 6)
+    with CampaignExecutor(jobs=2, cache=True) as executor:
+        parallel = LbraTool(get_bug("sort"),
+                            executor=executor).diagnose(6, 6)
+    assert _diagnosis_signature(parallel) == \
+        _diagnosis_signature(sequential)
+
+
+def test_parallel_diagnosis_matches_sequential_for_concurrency_bug():
+    sequential = LcraTool(get_bug("apache4")).diagnose(6, 6)
+    with CampaignExecutor(jobs=2, cache=True) as executor:
+        parallel = LcraTool(get_bug("apache4"),
+                            executor=executor).diagnose(6, 6)
+    assert _diagnosis_signature(parallel) == \
+        _diagnosis_signature(sequential)
+
+
+def test_parallel_baseline_matches_sequential():
+    from repro.baselines.cbi import CbiTool
+
+    sequential_tool = CbiTool(get_bug("sort"))
+    sequential = sequential_tool.diagnose(n_failures=25, n_successes=25)
+    with CampaignExecutor(jobs=2, cache=True) as executor:
+        parallel_tool = CbiTool(get_bug("sort"), executor=executor)
+        parallel = parallel_tool.diagnose(n_failures=25, n_successes=25)
+    assert [repr(p) for p in parallel.ranked] == \
+        [repr(p) for p in sequential.ranked]
+    assert (parallel.n_failures, parallel.n_successes) == \
+        (sequential.n_failures, sequential.n_successes)
+    assert parallel_tool.events_observed == \
+        sequential_tool.events_observed
+    assert parallel_tool.samples_taken == sequential_tool.samples_taken
+    assert parallel_tool.retired_total == sequential_tool.retired_total
+
+
+def test_pool_workers_actually_used():
+    workload = Thresholdy()
+    program = compile_source(SOURCE)
+    with CampaignExecutor(jobs=2, cache=False) as executor:
+        run_campaign(program, workload, want_failures=3,
+                     want_successes=8, executor=executor)
+        stats = executor.stats
+    assert stats.pool_runs > 0
+    assert stats.workers_used >= 1
+    assert all(isinstance(pid, int) for pid in stats.worker_pids)
+
+
+# ----------------------------------------------------------------------
+# Cache accounting
+# ----------------------------------------------------------------------
+
+class DistinctPlans(Thresholdy):
+    """Every attempt uses a distinct plan (distinct cache key)."""
+
+    def failing_run_plan(self, k):
+        return RunPlan(args=(6 + k,))
+
+
+def test_cache_hit_miss_accounting():
+    workload = DistinctPlans()
+    program = compile_source(SOURCE)
+    with CampaignExecutor(jobs=1, cache=True) as executor:
+        first = run_campaign(program, workload, want_failures=2,
+                             want_successes=3, executor=executor)
+        after_first = (executor.stats.cache_hits,
+                       executor.stats.cache_misses)
+        second = run_campaign(program, workload, want_failures=2,
+                              want_successes=3, executor=executor)
+        after_second = (executor.stats.cache_hits,
+                        executor.stats.cache_misses)
+    assert _campaign_signature(first) == _campaign_signature(second)
+    # Cold pass: every consumed attempt missed; no hits.
+    assert after_first == (0, first.attempts)
+    # Warm pass: every attempt replayed; no new misses.
+    assert after_second == (second.attempts, first.attempts)
+    assert executor.stats.inline_runs == first.attempts
+
+
+def test_repeated_plans_hit_within_one_campaign():
+    # Thresholdy's failing plan is the same every attempt, so even a
+    # single cold campaign replays the repeats from the cache.
+    workload = Thresholdy()
+    program = compile_source(SOURCE)
+    with CampaignExecutor(jobs=1, cache=True) as executor:
+        result = run_campaign(program, workload, want_failures=3,
+                              want_successes=0, executor=executor)
+        assert result.attempts == 3
+        assert executor.stats.cache_misses == 1
+        assert executor.stats.cache_hits == 2
+
+
+def test_disk_cache_survives_across_executors(tmp_path):
+    workload = DistinctPlans()
+    program = compile_source(SOURCE)
+    cache_dir = tmp_path / "cache"
+    with CampaignExecutor(jobs=1, cache=True,
+                          cache_dir=cache_dir) as executor:
+        cold = run_campaign(program, workload, want_failures=2,
+                            want_successes=2, executor=executor)
+        assert executor.stats.cache_stores == cold.attempts
+    with CampaignExecutor(jobs=1, cache=True,
+                          cache_dir=cache_dir) as executor:
+        warm = run_campaign(program, workload, want_failures=2,
+                            want_successes=2, executor=executor)
+        assert executor.stats.cache_hits_disk == warm.attempts
+        assert executor.stats.inline_runs == 0
+        assert executor.stats.pool_runs == 0
+    assert _campaign_signature(cold) == _campaign_signature(warm)
+
+
+def test_poisoned_cache_entry_discarded_not_crashing(tmp_path):
+    workload = DistinctPlans()
+    program = compile_source(SOURCE)
+    cache_dir = tmp_path / "cache"
+    with CampaignExecutor(jobs=1, cache=True,
+                          cache_dir=cache_dir) as executor:
+        cold = run_campaign(program, workload, want_failures=2,
+                            want_successes=2, executor=executor)
+    # Poison every on-disk entry with content that is not valid pickle.
+    poisoned = list(cache_dir.rglob("*.pkl"))
+    assert poisoned
+    for path in poisoned:
+        path.write_bytes(b"not a pickle at all")
+    with CampaignExecutor(jobs=1, cache=True,
+                          cache_dir=cache_dir) as executor:
+        warm = run_campaign(program, workload, want_failures=2,
+                            want_successes=2, executor=executor)
+        assert executor.stats.cache_corrupt_dropped >= warm.attempts
+        assert executor.stats.cache_hits == 0
+    assert _campaign_signature(cold) == _campaign_signature(warm)
+    # Poisoned files were deleted, then re-stored with fresh results.
+    for path in poisoned:
+        if path.exists():
+            with open(path, "rb") as handle:
+                pickle.load(handle)      # must be valid again
+
+
+def test_stale_format_version_is_discarded(tmp_path):
+    cache = RunCache(directory=str(tmp_path))
+    cache.put("ab" * 32, {"value": 1, "duration": 0.5})
+    path = tmp_path / ("ab" * 32)[:2] / (("ab" * 32) + ".pkl")
+    payload = {"format": -1, "value": 1, "duration": 0.5}
+    path.write_bytes(pickle.dumps(payload))
+    fresh = RunCache(directory=str(tmp_path))
+    assert RunCache.is_miss(fresh.get("ab" * 32))
+    assert fresh.corrupt_dropped == 1
+
+
+def test_memory_cache_lru_eviction():
+    cache = RunCache(memory_capacity=2)
+    for key in ("a", "b", "c"):
+        cache.put(key, {"value": key, "duration": 0.0})
+    assert RunCache.is_miss(cache.get("a"))       # evicted
+    assert cache.get("b")["value"] == "b"
+    assert cache.get("c")["value"] == "c"
+
+
+# ----------------------------------------------------------------------
+# Fingerprints and degraded modes
+# ----------------------------------------------------------------------
+
+def test_program_fingerprint_distinguishes_programs():
+    one = compile_source(SOURCE)
+    two = compile_source(SOURCE.replace("threshold = 5",
+                                        "threshold = 6"))
+    assert fingerprint_program(one) != fingerprint_program(two)
+    assert fingerprint_program(one) == fingerprint_program(one)
+
+
+def test_plan_with_anonymous_scheduler_is_uncacheable():
+    assert fingerprint_plan(RunPlan(args=(1,))) is not None
+    anonymous = RunPlan(args=(1,), scheduler_factory=lambda: None)
+    assert fingerprint_plan(anonymous) is None
+
+
+def test_plan_with_cache_token_scheduler_is_cacheable():
+    def factory():
+        return None
+
+    factory.cache_token = "rr-seed-7"
+    tokened = RunPlan(args=(1,), scheduler_factory=factory)
+    assert fingerprint_plan(tokened) is not None
+    assert fingerprint_plan(tokened) != fingerprint_plan(RunPlan(args=(1,)))
+
+
+def test_unpicklable_plan_falls_back_to_inline_execution():
+    workload = Thresholdy()
+    program = compile_source(SOURCE)
+
+    class LambdaPlans(Thresholdy):
+        def failing_run_plan(self, k):
+            return RunPlan(args=(9,), scheduler_factory=lambda: None)
+
+        def passing_run_plan(self, k):
+            return RunPlan(args=(k % 4,), scheduler_factory=lambda: None)
+
+    sequential = run_campaign(program, LambdaPlans(), want_failures=2,
+                              want_successes=2)
+    with CampaignExecutor(jobs=2, cache=True) as executor:
+        parallel = run_campaign(program, LambdaPlans(), want_failures=2,
+                                want_successes=2, executor=executor)
+        assert executor.stats.unpicklable_tasks > 0
+        assert executor.stats.pool_runs == 0
+        assert executor.stats.inline_runs == parallel.attempts
+    assert _campaign_signature(parallel) == \
+        _campaign_signature(sequential)
+    del workload
+
+
+def test_run_one_matches_direct_execution():
+    from repro.runtime.process import execute_plan
+
+    program = compile_source(SOURCE)
+    plan = RunPlan(args=(9,))
+    config = MachineConfig()
+    direct = execute_plan(program, plan, config)
+    with CampaignExecutor(jobs=1, cache=True) as executor:
+        result = executor.run_one(program, plan, config)
+        replay = executor.run_one(program, plan, config)
+    assert result.status.exit_code == direct.status.exit_code
+    assert result.hwop_counts == direct.hwop_counts
+    assert not result.cached
+    assert replay.cached
+    assert replay.status.exit_code == direct.status.exit_code
+
+
+def test_stats_rows_render_through_report():
+    from repro.experiments.report import executor_stats_result
+
+    with CampaignExecutor(jobs=1, cache=True) as executor:
+        executor.run_one(compile_source(SOURCE), RunPlan(args=(1,)),
+                         MachineConfig())
+        result = executor_stats_result(executor)
+    assert result is not None
+    text = result.format()
+    assert "cache misses" in text
+    assert "wall clock" in text
+    assert executor_stats_result(None) is None
+
+
+def test_build_executor_returns_none_for_defaults():
+    from repro.runtime.executor import build_executor
+
+    assert build_executor(jobs=1, cache=False) is None
+    executor = build_executor(jobs=2, cache=False)
+    try:
+        assert executor is not None
+        assert executor.cache is None
+    finally:
+        executor.shutdown()

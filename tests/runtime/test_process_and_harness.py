@@ -1,7 +1,15 @@
 """Tests for the runtime layer: process running, workloads, campaigns."""
 
+import warnings
+
+import pytest
+
 from repro.compiler import compile_source
-from repro.runtime.harness import run_campaign
+from repro.runtime.harness import (
+    CampaignShortfallError,
+    CampaignShortfallWarning,
+    run_campaign,
+)
 from repro.runtime.process import run_program
 from repro.runtime.workload import RunPlan, Workload
 
@@ -92,13 +100,71 @@ def test_campaign_collects_quotas():
     assert all(not r.failed for r in result.successes)
 
 
-def test_campaign_respects_attempt_cap():
-    class NeverFails(Thresholdy):
-        def failing_run_plan(self, k):
-            return RunPlan(args=(0,))
+class NeverFails(Thresholdy):
+    def failing_run_plan(self, k):
+        return RunPlan(args=(0,))
 
+
+def test_campaign_respects_attempt_cap():
     program = compile_source(SOURCE)
-    result = run_campaign(program, NeverFails(), want_failures=2,
-                          want_successes=0, max_attempts=5)
+    with pytest.warns(CampaignShortfallWarning):
+        result = run_campaign(program, NeverFails(), want_failures=2,
+                              want_successes=0, max_attempts=5)
     assert result.failures == []
     assert result.attempts == 5
+
+
+def test_campaign_shortfall_warns_with_structured_counts():
+    program = compile_source(SOURCE)
+    with pytest.warns(CampaignShortfallWarning) as caught:
+        result = run_campaign(program, NeverFails(), want_failures=2,
+                              want_successes=1, max_attempts=5)
+    assert result.attempts == 5
+    warning = caught[0].message
+    assert warning.workload_name == "thresholdy"
+    assert warning.want_failures == 2
+    assert warning.got_failures == 0
+    assert warning.want_successes == 1
+    # All 5 attempts happened in the failing phase; each one passed.
+    assert warning.got_successes == 5
+    assert warning.attempts == 5
+    assert warning.limit == 5
+    assert "0/2 failures" in str(warning)
+
+
+def test_campaign_shortfall_raises_when_asked():
+    program = compile_source(SOURCE)
+    with pytest.raises(CampaignShortfallError) as caught:
+        run_campaign(program, NeverFails(), want_failures=2,
+                     want_successes=0, max_attempts=5,
+                     on_shortfall="raise")
+    assert caught.value.got_failures == 0
+    assert caught.value.want_failures == 2
+    assert caught.value.limit == 5
+
+
+def test_campaign_shortfall_ignore_stays_silent():
+    program = compile_source(SOURCE)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        result = run_campaign(program, NeverFails(), want_failures=2,
+                              want_successes=0, max_attempts=5,
+                              on_shortfall="ignore")
+    assert result.attempts == 5
+
+
+def test_campaign_no_shortfall_no_warning():
+    program = compile_source(SOURCE)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        result = run_campaign(program, Thresholdy(), want_failures=2,
+                              want_successes=2)
+    assert len(result.failures) == 2
+    assert len(result.successes) == 2
+
+
+def test_campaign_rejects_unknown_shortfall_mode():
+    program = compile_source(SOURCE)
+    with pytest.raises(ValueError):
+        run_campaign(program, Thresholdy(), want_failures=1,
+                     want_successes=1, on_shortfall="explode")
