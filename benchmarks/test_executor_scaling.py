@@ -31,7 +31,7 @@ def scaling_runs():
 def _diagnose(executor=None):
     tool = CbiTool(get_bug("sort"), executor=executor)
     n = scaling_runs()
-    return tool.diagnose(n_failures=n, n_successes=n)
+    return tool.run_diagnosis(n_failures=n, n_successes=n)
 
 
 def _signature(diagnosis):

@@ -26,7 +26,7 @@ def main():
     print("LBRA with just 10 failure occurrences")
     print("=" * 64)
     start = time.time()
-    diagnosis = LbraTool(bug, scheme="reactive").diagnose(10, 10)
+    diagnosis = LbraTool(bug, scheme="reactive").run_diagnosis(10, 10)
     print(diagnosis.describe(n=3))
     print("rank of root cause: %s  (%.2f s)"
           % (diagnosis.rank_of_line(bug.root_cause_lines),
@@ -39,7 +39,7 @@ def main():
         print("=" * 64)
         start = time.time()
         tool = CbiTool(bug)
-        cbi = tool.diagnose(n_failures=budget, n_successes=budget)
+        cbi = tool.run_diagnosis(n_failures=budget, n_successes=budget)
         for predictor in cbi.top(3):
             print("  %s" % predictor)
         print("rank of root cause: %s | modeled overhead %.1f%%  (%.2f s)"

@@ -58,7 +58,7 @@ def main():
     print("=" * 64)
     print("LCRA (Conf2, 10 failing + 10 passing runs)")
     print("=" * 64)
-    diagnosis = LcraTool(bug, scheme="reactive").diagnose(10, 10)
+    diagnosis = LcraTool(bug, scheme="reactive").run_diagnosis(10, 10)
     print(diagnosis.describe(n=5))
     print()
     print("rank of the a2 invalid read: %s (paper: top 1)"

@@ -37,7 +37,7 @@ def show(bug_name, figure):
     print("passing run:", passing.describe(),
           "output:", list(passing.output))
 
-    diagnosis = LcraTool(bug).diagnose(10, 10)
+    diagnosis = LcraTool(bug).run_diagnosis(10, 10)
     print()
     print(diagnosis.describe(n=3))
     print("LCRA rank of the FPE: %s"

@@ -79,7 +79,7 @@ def main():
     print("=" * 64)
     print("LBRA: automatic ranking from 10 failing + 10 passing runs")
     print("=" * 64)
-    diagnosis = LbraTool(workload, scheme="reactive").diagnose(10, 10)
+    diagnosis = LbraTool(workload, scheme="reactive").run_diagnosis(10, 10)
     print(diagnosis.describe(n=5))
     print()
     print("rank of the root-cause branch: %s"

@@ -65,7 +65,7 @@ def main():
     print("=" * 64)
     print("LBRA (reactive scheme, 10 failing + 10 passing runs)")
     print("=" * 64)
-    diagnosis = LbraTool(bug, scheme="reactive").diagnose(10, 10)
+    diagnosis = LbraTool(bug, scheme="reactive").run_diagnosis(10, 10)
     print(diagnosis.describe(n=5))
     print()
     print("rank of branch A: %s (paper: top 1)"

@@ -15,15 +15,17 @@ The package is layered bottom-up:
 
 The most common entry points are re-exported here::
 
-    from repro import get_bug, LbrLogTool, LbraTool
-    report = LbrLogTool(get_bug("sort")).capture_failure()
+    from repro import get_bug, get_tool
+    report = get_tool("lbra")(get_bug("sort")).diagnose()
 """
 
 from repro.bugs.registry import all_bugs, get_bug
+from repro.core.api import DiagnosisReport, get_log_tool, get_tool
 from repro.core.lbra import Diagnosis, DiagnosisError, LbraTool
 from repro.core.lbrlog import LbrLogTool
 from repro.core.lcra import LcraTool
 from repro.core.lcrlog import LcrLogTool
+from repro.obs import Observability
 from repro.runtime.workload import RunPlan, Workload
 
 __version__ = "1.0.0"
@@ -31,13 +33,17 @@ __version__ = "1.0.0"
 __all__ = [
     "Diagnosis",
     "DiagnosisError",
+    "DiagnosisReport",
     "LbraTool",
     "LbrLogTool",
     "LcraTool",
     "LcrLogTool",
+    "Observability",
     "RunPlan",
     "Workload",
     "__version__",
     "all_bugs",
     "get_bug",
+    "get_log_tool",
+    "get_tool",
 ]

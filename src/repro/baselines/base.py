@@ -4,7 +4,9 @@ from dataclasses import dataclass, field
 
 from repro.baselines.scoring import liblit_rank, rank_of_line
 from repro.compiler.frontend import compile_module
+from repro.core.api import deprecated_alias, validate_options
 from repro.machine.cpu import Machine, MachineConfig
+from repro.obs import get_obs, use
 
 
 @dataclass
@@ -44,18 +46,33 @@ class BaselineToolBase:
     Subclasses implement :meth:`attach` (install observers for one run,
     returning a callable that yields the run's RunObservation) and
     :meth:`predicate_info`.
+
+    Constructor keywords are validated against the class's ``OPTIONS``
+    mapping (see :func:`repro.core.api.validate_options`); subclasses
+    extend it with their behavioural parameters (sampling rate, sample
+    period, …), and unknown keywords raise :class:`TypeError` listing
+    the accepted set.  The merged options stay readable on
+    ``self.options``.
     """
 
     tool_name = "baseline"
 
-    def __init__(self, workload, seed=0, executor=None):
+    #: accepted constructor options and their defaults
+    OPTIONS = {"seed": 0, "executor": None, "obs": None}
+
+    def __init__(self, workload, **options):
+        self.options = validate_options(type(self).__name__,
+                                        self.OPTIONS, options)
         self.workload = workload
-        self.seed = seed
+        self.seed = self.options["seed"]
         #: optional CampaignExecutor — campaign runs then execute on
         #: worker-side reconstructions of this tool (see _clone_spec)
         #: and flow back as counter/predicate deltas; results are
         #: identical to the sequential path.
-        self.executor = executor
+        self.executor = self.options.get("executor")
+        #: optional Observability pinned for run_diagnosis (default:
+        #: whatever bundle is current at diagnosis time)
+        self.obs = self.options.get("obs")
         self.program = compile_module(workload.build_module(),
                                       toggling=False)
         self.machine_config = MachineConfig(num_cores=workload.num_cores)
@@ -85,17 +102,19 @@ class BaselineToolBase:
     # -- campaign ---------------------------------------------------------
 
     def _run_once(self, plan, run_seed):
-        machine = Machine(self.program, config=self.machine_config,
-                          scheduler=plan.make_scheduler())
-        machine.load(args=plan.args)
-        for name, value in plan.globals_setup.items():
-            if isinstance(value, (list, tuple)):
-                for index, word in enumerate(value):
-                    machine.set_global(name, word, index=index)
-            else:
-                machine.set_global(name, value)
-        finish = self.attach(machine, run_seed)
-        status = machine.run(max_steps=plan.max_steps)
+        with get_obs().span("interp.run") as span:
+            machine = Machine(self.program, config=self.machine_config,
+                              scheduler=plan.make_scheduler())
+            machine.load(args=plan.args)
+            for name, value in plan.globals_setup.items():
+                if isinstance(value, (list, tuple)):
+                    for index, word in enumerate(value):
+                        machine.set_global(name, word, index=index)
+                else:
+                    machine.set_global(name, value)
+            finish = self.attach(machine, run_seed)
+            status = machine.run(max_steps=plan.max_steps)
+            span.set(retired=status.retired, outcome=status.describe())
         self.retired_total += status.retired
         failed = self.workload.is_failure(status)
         return failed, finish(failed)
@@ -110,15 +129,30 @@ class BaselineToolBase:
             for key, value in result.new_predicates.items():
                 predicates.setdefault(key, value)
 
-    def diagnose(self, n_failures=1000, n_successes=1000,
-                 max_attempts=None):
+    def run_diagnosis(self, n_failures=1000, n_successes=1000,
+                      max_attempts=None):
         """Collect runs until the outcome quotas are met, then rank.
 
-        With an executor attached, attempts fan out across its worker
-        pool (and replay from its run cache) but are consumed strictly
-        in attempt order, so counts, observations, and the predicate
-        registry are bit-identical to the sequential path.
+        The modern entry point (:meth:`diagnose` is its deprecated
+        alias).  With an executor attached, attempts fan out across its
+        worker pool (and replay from its run cache) but are consumed
+        strictly in attempt order, so counts, observations, and the
+        predicate registry are bit-identical to the sequential path.
         """
+        obs = self.obs if self.obs is not None else get_obs()
+        with use(obs), obs.span("diagnose." + self.tool_name.lower(),
+                                workload=self.workload.name):
+            return self._run_diagnosis(obs, n_failures, n_successes,
+                                       max_attempts)
+
+    def diagnose(self, n_failures=1000, n_successes=1000,
+                 max_attempts=None):
+        """Deprecated alias of :meth:`run_diagnosis`."""
+        deprecated_alias("%s.diagnose()" % type(self).__name__,
+                         "run_diagnosis()")
+        return self.run_diagnosis(n_failures, n_successes, max_attempts)
+
+    def _run_diagnosis(self, obs, n_failures, n_successes, max_attempts):
         cap = max_attempts if max_attempts is not None else \
             (n_failures + n_successes) * 5 + 100
         observations = []
@@ -128,20 +162,31 @@ class BaselineToolBase:
 
         def consume(plan_of, quota_open):
             nonlocal failures, successes, attempt
+
+            def record(failed):
+                nonlocal failures, successes, attempt
+                if failed:
+                    failures += 1
+                    obs.counter("campaign.runs_failed").inc()
+                else:
+                    successes += 1
+                    obs.counter("campaign.runs_succeeded").inc()
+                attempt += 1
+
             if self.executor is None:
                 while quota_open() and attempt < cap:
-                    plan = plan_of(attempt)
-                    failed, observation = self._run_once(plan, attempt)
+                    plan = plan_of(attempt + self.seed)
+                    failed, observation = self._run_once(
+                        plan, attempt + self.seed
+                    )
                     observations.append(observation)
-                    failures += int(failed)
-                    successes += int(not failed)
-                    attempt += 1
+                    record(failed)
                 return
 
             def plan_seeds():
                 k = attempt
                 while True:
-                    yield plan_of(k), k
+                    yield plan_of(k + self.seed), k + self.seed
                     k += 1
 
             runs = self.executor.iter_baseline_runs(self, plan_seeds())
@@ -150,17 +195,18 @@ class BaselineToolBase:
                     _seed, result = next(runs)
                     self._absorb(result)
                     observations.append(result.observation)
-                    failures += int(result.failed)
-                    successes += int(not result.failed)
-                    attempt += 1
+                    record(result.failed)
             finally:
                 runs.close()
 
-        consume(self.workload.failing_run_plan,
-                lambda: failures < n_failures)
-        consume(self.workload.passing_run_plan,
-                lambda: successes < n_successes)
-        ranked = liblit_rank(observations, self.predicate_info())
+        with obs.span("collect.failures", want=n_failures):
+            consume(self.workload.failing_run_plan,
+                    lambda: failures < n_failures)
+        with obs.span("collect.successes", want=n_successes):
+            consume(self.workload.passing_run_plan,
+                    lambda: successes < n_successes)
+        with obs.span("rank"):
+            ranked = liblit_rank(observations, self.predicate_info())
         return BaselineDiagnosis(
             ranked=ranked,
             n_failures=failures,

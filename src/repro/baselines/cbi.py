@@ -37,15 +37,17 @@ class CbiTool(BaselineToolBase):
 
     tool_name = "CBI"
 
-    def __init__(self, workload, sampling_rate=DEFAULT_SAMPLING_RATE,
-                 seed=0, executor=None):
+    OPTIONS = dict(BaselineToolBase.OPTIONS,
+                   sampling_rate=DEFAULT_SAMPLING_RATE)
+
+    def __init__(self, workload, **options):
         if workload.language == "cpp":
             raise BaselineUnsupportedError(
                 "CBI's instrumentation framework does not support C++ "
                 "applications (%s)" % workload.name
             )
-        super().__init__(workload, seed=seed, executor=executor)
-        self.sampling_rate = sampling_rate
+        super().__init__(workload, **options)
+        self.sampling_rate = self.options["sampling_rate"]
         self._conditional_tags = {
             instr.address: self.program.debug_info.branches[instr.address]
             for instr in self.program.instructions

@@ -56,13 +56,20 @@ class AdaptiveOutcome:
 
 
 class CbiAdaptiveTool(BaselineToolBase):
-    """Adaptive predicate selection over one workload."""
+    """Adaptive predicate selection over one workload.
+
+    Accepts no ``executor`` option: iterations are inherently
+    sequential — each wave's predicate set depends on the previous
+    wave's diagnosis, so runs cannot be speculated ahead.
+    """
 
     tool_name = "CBI-adaptive"
 
-    def __init__(self, workload, runs_per_iteration=20, seed=0):
-        super().__init__(workload, seed=seed)
-        self.runs_per_iteration = runs_per_iteration
+    OPTIONS = {"seed": 0, "obs": None, "runs_per_iteration": 20}
+
+    def __init__(self, workload, **options):
+        super().__init__(workload, **options)
+        self.runs_per_iteration = self.options["runs_per_iteration"]
         self._sites_by_function = self._index_sites()
         self._call_graph = self._build_call_graph()
         self._active_sites = set()
@@ -165,14 +172,17 @@ class CbiAdaptiveTool(BaselineToolBase):
     def _run_once(self, plan, run_seed):
         # Keep the last status for _failure_function.
         from repro.machine.cpu import Machine
+        from repro.obs import get_obs
 
-        machine = Machine(self.program, config=self.machine_config,
-                          scheduler=plan.make_scheduler())
-        machine.load(args=plan.args)
-        for name, value in plan.globals_setup.items():
-            machine.set_global(name, value)
-        finish = self.attach(machine, run_seed)
-        status = machine.run(max_steps=plan.max_steps)
+        with get_obs().span("interp.run") as span:
+            machine = Machine(self.program, config=self.machine_config,
+                              scheduler=plan.make_scheduler())
+            machine.load(args=plan.args)
+            for name, value in plan.globals_setup.items():
+                machine.set_global(name, value)
+            finish = self.attach(machine, run_seed)
+            status = machine.run(max_steps=plan.max_steps)
+            span.set(retired=status.retired, outcome=status.describe())
         self._last_status = status
         self.retired_total += status.retired
         failed = self.workload.is_failure(status)
@@ -206,8 +216,23 @@ class CbiAdaptiveTool(BaselineToolBase):
                         next_frontier.append(neighbor)
             frontier = next_frontier
 
-    def diagnose(self, max_iterations=50):
+    def run_diagnosis(self, max_iterations=50):
         """Run the adaptive campaign; returns an AdaptiveOutcome."""
+        from repro.obs import get_obs, use
+
+        obs = self.obs if self.obs is not None else get_obs()
+        with use(obs), obs.span("diagnose.cbi-adaptive",
+                                workload=self.workload.name):
+            return self._run_adaptive(obs, max_iterations)
+
+    def diagnose(self, max_iterations=50):
+        """Deprecated alias of :meth:`run_diagnosis`."""
+        from repro.core.api import deprecated_alias
+
+        deprecated_alias("CbiAdaptiveTool.diagnose()", "run_diagnosis()")
+        return self.run_diagnosis(max_iterations)
+
+    def _run_adaptive(self, obs, max_iterations):
         total_sites = sum(len(s) for s in
                           self._sites_by_function.values())
         waves = self._expansion_waves(self._failure_function())
@@ -226,16 +251,18 @@ class CbiAdaptiveTool(BaselineToolBase):
             iterations += 1
             # One iteration = one redeployment: fresh runs with the
             # current predicate set fully instrumented.
-            for k in range(self.runs_per_iteration):
-                failed, obs = self._run_once(
-                    self.workload.failing_run_plan(k), k
-                )
-                observations.append(obs)
-                failed, obs = self._run_once(
-                    self.workload.passing_run_plan(k), k
-                )
-                observations.append(obs)
-            ranked = liblit_rank(observations, self.predicate_info())
+            with obs.span("iteration", n=iterations, function=function):
+                for k in range(self.runs_per_iteration):
+                    failed, observation = self._run_once(
+                        self.workload.failing_run_plan(k), k
+                    )
+                    observations.append(observation)
+                    failed, observation = self._run_once(
+                        self.workload.passing_run_plan(k), k
+                    )
+                    observations.append(observation)
+                ranked = liblit_rank(observations,
+                                     self.predicate_info())
             if self._is_conclusive(ranked, observations):
                 converged = True
                 break

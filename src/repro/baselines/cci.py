@@ -26,10 +26,12 @@ class CciTool(BaselineToolBase):
 
     tool_name = "CCI"
 
-    def __init__(self, workload, sampling_rate=DEFAULT_SAMPLING_RATE,
-                 seed=0, executor=None):
-        super().__init__(workload, seed=seed, executor=executor)
-        self.sampling_rate = sampling_rate
+    OPTIONS = dict(BaselineToolBase.OPTIONS,
+                   sampling_rate=DEFAULT_SAMPLING_RATE)
+
+    def __init__(self, workload, **options):
+        super().__init__(workload, **options)
+        self.sampling_rate = self.options["sampling_rate"]
         self._predicates = {}
 
     def _clone_spec(self):

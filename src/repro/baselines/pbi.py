@@ -28,10 +28,12 @@ class PbiTool(BaselineToolBase):
 
     tool_name = "PBI"
 
-    def __init__(self, workload, sample_period=DEFAULT_SAMPLE_PERIOD,
-                 seed=0, executor=None):
-        super().__init__(workload, seed=seed, executor=executor)
-        self.sample_period = sample_period
+    OPTIONS = dict(BaselineToolBase.OPTIONS,
+                   sample_period=DEFAULT_SAMPLE_PERIOD)
+
+    def __init__(self, workload, **options):
+        super().__init__(workload, **options)
+        self.sample_period = self.options["sample_period"]
         self._predicates = {}
 
     def _clone_spec(self):

@@ -20,6 +20,12 @@ class CoherenceBus:
     def __init__(self):
         self._caches = []
         self.transaction_count = 0
+        #: accesses served from the local cache without a bus transaction
+        self.hit_count = 0
+        #: remote caches probed during miss fills (snoop traffic)
+        self.snoop_count = 0
+        #: remote lines invalidated by read-for-ownership upgrades
+        self.invalidation_count = 0
 
     def attach(self, cache):
         """Register a cache with the bus."""
@@ -39,6 +45,7 @@ class CoherenceBus:
         observed = cache.state_of(address)
         if observed.is_valid():
             cache.touch(address)
+            self.hit_count += 1
             return observed
         # Miss: observed state is Invalid; fill from the bus.
         self.transaction_count += 1
@@ -46,6 +53,7 @@ class CoherenceBus:
         for other in self._caches:
             if other.core_id == core_id:
                 continue
+            self.snoop_count += 1
             remote = other.state_of(address)
             if remote.is_valid():
                 # Remote M writes back, remote M/E/S all downgrade to S.
@@ -60,6 +68,7 @@ class CoherenceBus:
         observed = cache.state_of(address)
         if observed is MesiState.MODIFIED:
             cache.touch(address)
+            self.hit_count += 1
             return observed
         self.transaction_count += 1
         # E upgrades silently; S and I must invalidate remote copies (RFO).
@@ -67,6 +76,9 @@ class CoherenceBus:
             for other in self._caches:
                 if other.core_id == core_id:
                     continue
+                self.snoop_count += 1
+                if other.state_of(address).is_valid():
+                    self.invalidation_count += 1
                 other.invalidate(address)
         cache.install(address, MesiState.MODIFIED)
         return observed

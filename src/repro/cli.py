@@ -5,10 +5,12 @@ Commands:
 * ``bugs``                       — list the 31 benchmark failures;
 * ``run <bug> [--passing]``      — execute one benchmark run;
 * ``log <bug> [--no-toggling]``  — LBRLOG/LCRLOG report at the failure;
-* ``diagnose <bug>``             — LBRA/LCRA with 10+10 runs;
+* ``diagnose <bug> [--tool T]``  — statistical diagnosis (default
+  LBRA/LCRA by bug category; ``--tool cbi|cci|pbi`` runs a baseline);
 * ``experiment <name>``          — regenerate one paper table/figure;
 * ``experiment all``             — regenerate every table/figure;
-* ``experiments``                — list available experiment names.
+* ``experiments``                — list available experiment names;
+* ``obs report <trace.jsonl>``   — per-phase breakdown of a trace.
 
 ``diagnose`` and ``experiment`` accept ``--jobs N`` (fan campaign runs
 out over N worker processes), ``--cache``/``--no-cache`` (content-
@@ -16,9 +18,16 @@ addressed run cache under ``--cache-dir``, default ``.repro-cache/``),
 and print the executor's statistics report when either is active.
 Results are identical at any ``--jobs`` value and any cache state —
 parallelism and caching change wall-clock time only.
+
+``run``, ``log``, ``diagnose``, and ``experiment`` accept
+``--trace FILE.jsonl`` and ``--metrics-out FILE.json``: observability
+is then enabled for the invocation and the span trace / metric totals
+are written on exit (see :mod:`repro.obs`; render traces with
+``repro obs report``).
 """
 
 import argparse
+import contextlib
 import sys
 
 from repro.bugs.registry import bug_names, get_bug
@@ -86,6 +95,26 @@ def _write_stats(executor, out):
         out.write("\n" + stats.format() + "\n")
 
 
+@contextlib.contextmanager
+def _obs_session(args, out):
+    """Install a collecting Observability when --trace/--metrics-out ask
+    for one, and export the buffers when the command finishes."""
+    from repro.obs import Observability, use
+
+    trace = getattr(args, "trace", None)
+    metrics_out = getattr(args, "metrics_out", None)
+    if not trace and not metrics_out:
+        yield
+        return
+    with use(Observability()) as obs:
+        yield
+    obs.export(trace_path=trace, metrics_path=metrics_out)
+    if trace:
+        out.write("trace written to %s\n" % trace)
+    if metrics_out:
+        out.write("metrics written to %s\n" % metrics_out)
+
+
 def _cmd_bugs(_args, out):
     for name in sorted(bug_names()):
         bug = get_bug(name)
@@ -95,11 +124,12 @@ def _cmd_bugs(_args, out):
 
 def _cmd_run(args, out):
     bug = get_bug(args.bug)
-    tool = _log_tool(bug, toggling=True)
-    if args.passing:
-        status = tool.run_passing(0)
-    else:
-        status = tool.run_failing(0)
+    with _obs_session(args, out):
+        tool = _log_tool(bug, toggling=True)
+        if args.passing:
+            status = tool.run_passing(0)
+        else:
+            status = tool.run_failing(0)
     out.write("outcome: %s\n" % status.describe())
     for item in status.output:
         out.write("output: %s\n" % (item,))
@@ -108,47 +138,58 @@ def _cmd_run(args, out):
     return 0
 
 
-def _log_tool(bug, toggling, executor=None):
-    from repro.core.lbrlog import LbrLogTool
-    from repro.core.lcrlog import LcrLogTool
+def _log_tool(bug, toggling, executor=None, name="auto"):
+    from repro.core.api import get_log_tool
 
-    if bug.category == "sequential":
-        return LbrLogTool(bug, toggling=toggling, executor=executor)
-    return LcrLogTool(bug, toggling=toggling, executor=executor)
+    if name == "auto":
+        name = "lbrlog" if bug.category == "sequential" else "lcrlog"
+    return get_log_tool(name)(bug, toggling=toggling, executor=executor)
 
 
 def _cmd_log(args, out):
     bug = get_bug(args.bug)
-    tool = _log_tool(bug, toggling=not args.no_toggling)
-    report = tool.report(tool.run_failing(0))
-    out.write(report.describe() + "\n")
-    if bug.category == "sequential":
-        position = report.position_of_line(bug.root_cause_lines)
-    else:
-        position = report.position_of(bug.root_cause_lines,
-                                      state_tags=bug.fpe_state_tags)
-    out.write("root-cause event position: %s\n" % position)
+    with _obs_session(args, out):
+        tool = _log_tool(bug, toggling=not args.no_toggling,
+                         name=args.tool)
+        report = tool.report(tool.run_failing(0))
+        out.write(report.describe() + "\n")
+        if tool.ring == "lbr":
+            position = report.position_of_line(bug.root_cause_lines)
+        else:
+            position = report.position_of(
+                bug.root_cause_lines,
+                state_tags=getattr(bug, "fpe_state_tags", None),
+            )
+        out.write("root-cause event position: %s\n" % position)
     return 0
 
 
 def _cmd_diagnose(args, out):
-    from repro.core.lbra import DiagnosisError, LbraTool
-    from repro.core.lcra import LcraTool
+    from repro.core.api import get_tool
+    from repro.core.lbra import DiagnosisError
+    from repro.baselines.cbi import BaselineUnsupportedError
 
     bug = get_bug(args.bug)
-    tool_class = LbraTool if bug.category == "sequential" else LcraTool
+    name = args.tool
+    if name == "auto":
+        name = "lbra" if bug.category == "sequential" else "lcra"
+    options = {}
+    if name in ("lbra", "lcra"):
+        options["scheme"] = args.scheme
     executor = _build_executor(args)
     try:
-        diagnosis = tool_class(bug, scheme=args.scheme,
-                               executor=executor) \
-            .diagnose(args.runs, args.runs)
-    except DiagnosisError as exc:
+        with _obs_session(args, out):
+            report = get_tool(name)(bug, executor=executor, **options) \
+                .diagnose(args.runs, args.runs)
+            out.write(report.describe(n=args.top) + "\n")
+            if args.json:
+                out.write(report.to_json() + "\n")
+    except (DiagnosisError, BaselineUnsupportedError) as exc:
         out.write("diagnosis failed: %s\n" % exc)
         return 1
     finally:
         if executor is not None:
             executor.shutdown()
-    out.write(diagnosis.describe(n=args.top) + "\n")
     _write_stats(executor, out)
     return 0
 
@@ -168,15 +209,27 @@ def _cmd_experiment(args, out):
     names = sorted(registry) if args.name == "all" else [args.name]
     executor = _build_executor(args)
     try:
-        for index, name in enumerate(names):
-            result = registry[name](executor=executor)
-            if index:
-                out.write("\n")
-            out.write(result.format() + "\n")
+        with _obs_session(args, out):
+            for index, name in enumerate(names):
+                result = registry[name](executor=executor)
+                if index:
+                    out.write("\n")
+                out.write(result.format() + "\n")
     finally:
         if executor is not None:
             executor.shutdown()
     _write_stats(executor, out)
+    return 0
+
+
+def _cmd_obs(args, out):
+    from repro.obs.report import render_report_file
+
+    try:
+        out.write(render_report_file(args.trace_file, top=args.top) + "\n")
+    except FileNotFoundError:
+        out.write("no such trace file: %s\n" % args.trace_file)
+        return 1
     return 0
 
 
@@ -198,6 +251,17 @@ def _add_executor_flags(parser):
     )
 
 
+def _add_obs_flags(parser):
+    parser.add_argument(
+        "--trace", metavar="FILE.jsonl", default=None,
+        help="write the span trace as JSON Lines (enables observability)",
+    )
+    parser.add_argument(
+        "--metrics-out", metavar="FILE.json", default=None,
+        help="write metric totals as JSON (enables observability)",
+    )
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -212,22 +276,37 @@ def build_parser():
     run_parser.add_argument("bug", choices=sorted(bug_names()))
     run_parser.add_argument("--passing", action="store_true",
                             help="use the passing plan")
+    _add_obs_flags(run_parser)
 
     log_parser = commands.add_parser(
         "log", help="LBRLOG/LCRLOG report at the failure"
     )
     log_parser.add_argument("bug", choices=sorted(bug_names()))
     log_parser.add_argument("--no-toggling", action="store_true")
+    log_parser.add_argument(
+        "--tool", default="auto", choices=("auto", "lbrlog", "lcrlog"),
+        help="log tool ('auto' picks by bug category; default)",
+    )
+    _add_obs_flags(log_parser)
 
     diag_parser = commands.add_parser(
-        "diagnose", help="LBRA/LCRA statistical diagnosis"
+        "diagnose", help="statistical failure diagnosis"
     )
     diag_parser.add_argument("bug", choices=sorted(bug_names()))
+    diag_parser.add_argument(
+        "--tool", default="auto",
+        choices=("auto", "lbra", "lcra", "cbi", "cci", "pbi"),
+        help="diagnosis tool ('auto' picks LBRA/LCRA by bug category; "
+             "default)",
+    )
     diag_parser.add_argument("--scheme", default="reactive",
                              choices=("reactive", "proactive"))
     diag_parser.add_argument("--runs", type=int, default=10)
     diag_parser.add_argument("--top", type=int, default=5)
+    diag_parser.add_argument("--json", action="store_true",
+                             help="also print the report as JSON")
     _add_executor_flags(diag_parser)
+    _add_obs_flags(diag_parser)
 
     commands.add_parser("experiments", help="list experiment names")
     exp_parser = commands.add_parser(
@@ -236,6 +315,19 @@ def build_parser():
     )
     exp_parser.add_argument("name")
     _add_executor_flags(exp_parser)
+    _add_obs_flags(exp_parser)
+
+    obs_parser = commands.add_parser(
+        "obs", help="inspect observability output"
+    )
+    obs_commands = obs_parser.add_subparsers(dest="obs_command",
+                                             required=True)
+    report_parser = obs_commands.add_parser(
+        "report", help="per-phase breakdown of a --trace file"
+    )
+    report_parser.add_argument("trace_file", metavar="trace.jsonl")
+    report_parser.add_argument("--top", type=int, default=None,
+                               help="show only the N slowest phases")
     return parser
 
 
@@ -249,6 +341,7 @@ def main(argv=None, out=None):
         "diagnose": _cmd_diagnose,
         "experiments": _cmd_experiments,
         "experiment": _cmd_experiment,
+        "obs": _cmd_obs,
     }
     try:
         return handlers[args.command](args, out)

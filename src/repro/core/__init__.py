@@ -11,8 +11,18 @@
 * :mod:`repro.core.events`, :mod:`repro.core.profiles`,
   :mod:`repro.core.statistics` — the shared event/profile/ranking
   machinery.
+* :mod:`repro.core.api` — the unified tool API: ``get_tool(name)``
+  factories, shared constructor-option validation, and the
+  JSON-serializable :class:`~repro.core.api.DiagnosisReport`.
 """
 
+from repro.core.api import (
+    DiagnosisReport,
+    DiagnosisTool,
+    available_tools,
+    get_log_tool,
+    get_tool,
+)
 from repro.core.events import Event, branch_event, coherence_event
 from repro.core.profiles import RunProfile, extract_profile, sites_of
 from repro.core.statistics import PredictorScore, rank_predictors
@@ -25,6 +35,8 @@ __all__ = [
     "DecodedEntry",
     "Diagnosis",
     "DiagnosisError",
+    "DiagnosisReport",
+    "DiagnosisTool",
     "Event",
     "LbraTool",
     "LbrLogReport",
@@ -34,9 +46,12 @@ __all__ = [
     "LcrLogTool",
     "PredictorScore",
     "RunProfile",
+    "available_tools",
     "branch_event",
     "coherence_event",
     "extract_profile",
+    "get_log_tool",
+    "get_tool",
     "rank_predictors",
     "sites_of",
 ]

@@ -1,0 +1,317 @@
+"""The unified diagnosis-tool API.
+
+Every diagnosis tool in this repository — the paper's LBRA/LCRA and the
+CBI-family baselines it is evaluated against — answers the same
+question ("which events predict the failure?") but historically grew its
+own constructor signature and result type.  This module unifies them:
+
+* :func:`validate_options` — shared constructor-keyword validation; a
+  tool declares the options it accepts (with defaults) and anything
+  else raises a :class:`TypeError` listing the accepted set, so e.g.
+  passing ``lcr_selector`` to the LBR-based tool fails loudly instead
+  of being silently ignored.
+* :class:`DiagnosisReport` — one serializable result shape: ranked
+  events as plain dicts, run counts, campaign stats, and timings, with
+  ``to_dict()`` / ``to_json()``.  The native result object (a
+  :class:`~repro.core.lbra.Diagnosis` or
+  :class:`~repro.baselines.base.BaselineDiagnosis`) stays reachable as
+  ``report.raw`` and its convenience accessors delegate.
+* :class:`DiagnosisTool` — the protocol adapter: uniform constructor
+  ``Tool(workload, *, executor=None, obs=None, seed=0, **options)`` and
+  a ``diagnose(...) -> DiagnosisReport`` method.
+* :func:`get_tool` / :func:`get_log_tool` — name-based factories
+  (``"lbra"``, ``"lcra"``, ``"cbi"``, ``"cci"``, ``"pbi"``; ``"lbrlog"``,
+  ``"lcrlog"``), so drivers and the CLI select tools with a flag
+  instead of an import.
+
+The underlying tool classes keep working directly — their modern entry
+point is ``run_diagnosis()``; the old ``diagnose()`` methods remain as
+thin aliases that emit :class:`DeprecationWarning`.
+"""
+
+import importlib
+import json
+import time
+import warnings
+from dataclasses import dataclass, field
+
+
+# ----------------------------------------------------------------------
+# Constructor-option validation
+# ----------------------------------------------------------------------
+
+def validate_options(tool_name, accepted, options):
+    """Merge *options* over the *accepted* ``{name: default}`` mapping.
+
+    Raises :class:`TypeError` naming the offending keyword and listing
+    every accepted option, so a mis-spelled (or wrong-tool) keyword
+    fails at construction time instead of being silently dropped.
+    """
+    unknown = sorted(set(options) - set(accepted))
+    if unknown:
+        raise TypeError(
+            "%s got unexpected option(s) %s; accepted options: %s" % (
+                tool_name, ", ".join(repr(name) for name in unknown),
+                ", ".join(sorted(accepted)),
+            )
+        )
+    merged = dict(accepted)
+    merged.update(options)
+    return merged
+
+
+# ----------------------------------------------------------------------
+# The unified report
+# ----------------------------------------------------------------------
+
+def _normalize_ranked(ranked):
+    """Ranked rows (PredictorScore or ScoredPredicate) as plain dicts."""
+    rows = []
+    for score in ranked:
+        event = getattr(score, "event", None)
+        if event is not None:            # core PredictorScore
+            rows.append({
+                "rank": score.rank,
+                "event_id": event.event_id,
+                "kind": event.kind,
+                "function": event.function,
+                "line": event.line,
+                "detail": event.detail,
+                "precision": score.precision,
+                "recall": score.recall,
+                "f_score": score.f_score,
+                "failure_hits": score.failure_hits,
+                "success_hits": score.success_hits,
+            })
+        else:                            # baseline ScoredPredicate
+            rows.append({
+                "rank": score.rank,
+                "predicate_id": score.predicate_id,
+                "site": score.site_id,
+                "function": score.function,
+                "line": score.line,
+                "detail": score.detail,
+                "importance": score.importance,
+                "increase": score.increase,
+                "failure_true": score.failure_true,
+                "success_true": score.success_true,
+            })
+    return rows
+
+
+@dataclass
+class DiagnosisReport:
+    """Uniform, JSON-serializable result of one diagnosis campaign.
+
+    ``raw`` holds the tool's native result object for callers that need
+    tool-specific detail; it is excluded from serialization.
+    """
+
+    tool: str
+    workload: str
+    ranked: list                       # plain dicts, best first
+    runs_used: dict                    # {"failures": n, "successes": n}
+    campaign: dict = field(default_factory=dict)
+    timings: dict = field(default_factory=dict)
+    params: dict = field(default_factory=dict)
+    raw: object = None
+
+    def to_dict(self):
+        return {
+            "tool": self.tool,
+            "workload": self.workload,
+            "ranked": self.ranked,
+            "runs_used": self.runs_used,
+            "campaign": self.campaign,
+            "timings": self.timings,
+            "params": self.params,
+        }
+
+    def to_json(self, indent=2):
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    # -- delegating conveniences ----------------------------------------
+
+    def describe(self, n=5):
+        return self.raw.describe(n)
+
+    def top(self, n=5):
+        return self.raw.top(n)
+
+    def best(self):
+        return self.raw.best()
+
+    def rank_of_line(self, lines, *args, **kwargs):
+        return self.raw.rank_of_line(lines, *args, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# The protocol adapters
+# ----------------------------------------------------------------------
+
+class DiagnosisTool:
+    """Uniform front for one underlying diagnosis tool.
+
+    Subclasses (built by :func:`get_tool`) bind ``name``, the
+    implementation class, and the default campaign size.  Constructor
+    keywords beyond the common four (``executor``, ``obs``, ``seed``,
+    plus the workload argument) pass through to — and are validated
+    by — the underlying tool.
+    """
+
+    name = None
+    _impl = None                       # ("module", "ClassName")
+    default_runs = 10
+
+    def __init__(self, workload, *, executor=None, obs=None, seed=0,
+                 **options):
+        module = importlib.import_module(self._impl[0])
+        impl_class = getattr(module, self._impl[1])
+        self.workload = workload
+        self.tool = impl_class(workload, executor=executor, obs=obs,
+                               seed=seed, **options)
+        self.params = dict(options, seed=seed)
+
+    def diagnose(self, n_failures=None, n_successes=None,
+                 max_attempts=None):
+        """Run the campaign; returns a :class:`DiagnosisReport`."""
+        n_failures = n_failures if n_failures is not None \
+            else self.default_runs
+        n_successes = n_successes if n_successes is not None \
+            else self.default_runs
+        started = time.perf_counter()
+        raw = self.tool.run_diagnosis(
+            n_failures=n_failures, n_successes=n_successes,
+            max_attempts=max_attempts,
+        )
+        elapsed = time.perf_counter() - started
+        return self._report(raw, elapsed)
+
+    def _report(self, raw, elapsed):
+        runs_used = {
+            "failures": getattr(raw, "n_failure_profiles",
+                                getattr(raw, "n_failures", 0)),
+            "successes": getattr(raw, "n_success_profiles",
+                                 getattr(raw, "n_successes", 0)),
+        }
+        campaign = {}
+        for attr in ("scheme", "ring", "events_observed",
+                     "samples_taken", "retired_total"):
+            value = getattr(raw, attr, None)
+            if value is not None:
+                campaign[attr] = value
+        executor = getattr(self.tool, "executor", None)
+        if executor is not None:
+            campaign["executor"] = {
+                "attempts": executor.stats.attempts,
+                "cache_hits": executor.stats.cache_hits,
+                "pool_runs": executor.stats.pool_runs,
+            }
+        return DiagnosisReport(
+            tool=self.name,
+            workload=self.workload.name,
+            ranked=_normalize_ranked(raw.ranked),
+            runs_used=runs_used,
+            campaign=campaign,
+            timings={"diagnose_seconds": elapsed},
+            params=self.params,
+            raw=raw,
+        )
+
+
+class LbraDiagnosisTool(DiagnosisTool):
+    name = "lbra"
+    _impl = ("repro.core.lbra", "LbraTool")
+    default_runs = 10
+
+
+class LcraDiagnosisTool(DiagnosisTool):
+    name = "lcra"
+    _impl = ("repro.core.lcra", "LcraTool")
+    default_runs = 10
+
+
+class CbiDiagnosisTool(DiagnosisTool):
+    name = "cbi"
+    _impl = ("repro.baselines.cbi", "CbiTool")
+    default_runs = 1000
+
+
+class CciDiagnosisTool(DiagnosisTool):
+    name = "cci"
+    _impl = ("repro.baselines.cci", "CciTool")
+    default_runs = 1000
+
+
+class PbiDiagnosisTool(DiagnosisTool):
+    name = "pbi"
+    _impl = ("repro.baselines.pbi", "PbiTool")
+    default_runs = 1000
+
+
+_TOOLS = {
+    tool.name: tool for tool in (
+        LbraDiagnosisTool, LcraDiagnosisTool, CbiDiagnosisTool,
+        CciDiagnosisTool, PbiDiagnosisTool,
+    )
+}
+
+_LOG_TOOLS = {
+    "lbrlog": ("repro.core.lbrlog", "LbrLogTool"),
+    "lcrlog": ("repro.core.lcrlog", "LcrLogTool"),
+}
+
+
+def get_tool(name):
+    """The :class:`DiagnosisTool` adapter class for *name*.
+
+    ``get_tool("lbra")(workload).diagnose()`` is the whole API.
+    """
+    try:
+        return _TOOLS[name]
+    except KeyError:
+        raise ValueError(
+            "unknown diagnosis tool %r; available tools: %s"
+            % (name, ", ".join(sorted(_TOOLS)))
+        ) from None
+
+
+def get_log_tool(name):
+    """The underlying logging-tool class for *name* (lbrlog/lcrlog)."""
+    try:
+        module, class_name = _LOG_TOOLS[name]
+    except KeyError:
+        raise ValueError(
+            "unknown log tool %r; available tools: %s"
+            % (name, ", ".join(sorted(_LOG_TOOLS)))
+        ) from None
+    return getattr(importlib.import_module(module), class_name)
+
+
+def available_tools():
+    """Names :func:`get_tool` accepts, sorted."""
+    return sorted(_TOOLS)
+
+
+def deprecated_alias(old, new):
+    """Emit the standard rename :class:`DeprecationWarning`."""
+    warnings.warn(
+        "%s is deprecated; use %s instead" % (old, new),
+        DeprecationWarning, stacklevel=3,
+    )
+
+
+__all__ = [
+    "CbiDiagnosisTool",
+    "CciDiagnosisTool",
+    "DiagnosisReport",
+    "DiagnosisTool",
+    "LbraDiagnosisTool",
+    "LcraDiagnosisTool",
+    "PbiDiagnosisTool",
+    "available_tools",
+    "deprecated_alias",
+    "get_log_tool",
+    "get_tool",
+    "validate_options",
+]

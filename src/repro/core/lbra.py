@@ -14,12 +14,15 @@ precision and recall.  Both success-profiling schemes are implemented:
   locations (segfaults), exactly as the paper notes.
 """
 
+import warnings
 from dataclasses import dataclass, field
 
 from repro.compiler.frontend import compile_module
 from repro.lang.transform import ReactiveTarget, enhance_logging
 from repro.machine.cpu import MachineConfig
+from repro.obs import get_obs, use
 from repro.runtime.process import run_program
+from repro.core.api import deprecated_alias, validate_options
 from repro.core.profiles import (
     SUCCESS_SITE_KINDS,
     dominant_failure_site,
@@ -99,25 +102,51 @@ class Diagnosis:
 class DiagnosisToolBase:
     """Shared LBRA/LCRA orchestration.
 
+    Constructor keywords are validated against the class's ``OPTIONS``
+    mapping (see :func:`repro.core.api.validate_options`): an option a
+    tool does not take — ``lcr_selector`` on the LBR-based tool, say —
+    raises :class:`TypeError` listing the accepted set instead of being
+    silently ignored.
+
     ``executor`` optionally supplies a
     :class:`~repro.runtime.executor.CampaignExecutor`; campaign runs
     then execute on its worker pool and/or replay from its run cache.
     Results are bit-identical to the sequential path — runs are consumed
     strictly in plan order, so the stopping logic below replays the same
     decisions regardless of worker count.
+
+    ``obs`` optionally pins an :class:`~repro.obs.Observability` that
+    :meth:`run_diagnosis` installs for its duration; by default the
+    currently installed bundle is used (the shared no-op one unless
+    tracing was enabled).  ``seed`` offsets the campaign's plan streams,
+    giving statistically independent repetitions of one diagnosis.
     """
 
     ring = None
+    tool_name = "tool"
 
-    def __init__(self, workload, scheme="reactive", toggling=True,
-                 lcr_selector=2, executor=None):
+    #: accepted constructor options and their defaults
+    OPTIONS = {
+        "scheme": "reactive",
+        "toggling": True,
+        "executor": None,
+        "obs": None,
+        "seed": 0,
+    }
+
+    def __init__(self, workload, **options):
+        options = validate_options(type(self).__name__, self.OPTIONS,
+                                   options)
+        scheme = options["scheme"]
         if scheme not in ("reactive", "proactive"):
             raise ValueError("unknown scheme %r" % (scheme,))
         self.workload = workload
         self.scheme = scheme
-        self.toggling = toggling
-        self.lcr_selector = lcr_selector
-        self.executor = executor
+        self.toggling = options["toggling"]
+        self.lcr_selector = options.get("lcr_selector", 2)
+        self.executor = options["executor"]
+        self.obs = options["obs"]
+        self.seed = options["seed"]
         self.machine_config = MachineConfig(num_cores=workload.num_cores)
         self._module = workload.build_module()
         self.failure_program = self._build_program(
@@ -174,15 +203,19 @@ class DiagnosisToolBase:
     def _collect_failures(self, program, n_failures, max_attempts):
         statuses = []
         k = 0
+        obs = get_obs()
         runs = self._stream_statuses(
             program, (self.workload.failing_run_plan(i)
-                      for i in _counter())
+                      for i in _counter(self.seed))
         )
         try:
             while len(statuses) < n_failures and k < max_attempts:
                 status = next(runs)
                 if self.workload.is_failure(status):
                     statuses.append(status)
+                    obs.counter("campaign.runs_failed").inc()
+                else:
+                    obs.counter("campaign.runs_succeeded").inc()
                 k += 1
         finally:
             runs.close()
@@ -198,16 +231,19 @@ class DiagnosisToolBase:
         profiles = []
         statuses = []
         k = 0
+        obs = get_obs()
         runs = self._stream_statuses(
             program, (self.workload.passing_run_plan(i)
-                      for i in _counter())
+                      for i in _counter(self.seed))
         )
         try:
             while len(profiles) < n_successes and k < max_attempts:
                 status = next(runs)
                 k += 1
                 if self.workload.is_failure(status):
+                    obs.counter("campaign.runs_failed").inc()
                     continue
+                obs.counter("campaign.runs_succeeded").inc()
                 profile = extract_profile(
                     program, status, self.ring,
                     site_kinds=SUCCESS_SITE_KINDS,
@@ -225,13 +261,36 @@ class DiagnosisToolBase:
     # Diagnosis
     # ------------------------------------------------------------------
 
+    def run_diagnosis(self, n_failures=10, n_successes=10,
+                      max_attempts=None):
+        """Run the full campaign and return a :class:`Diagnosis`.
+
+        The modern entry point (:meth:`diagnose` is its deprecated
+        alias).  Runs under this tool's ``obs`` when one was given, the
+        currently installed one otherwise, tagging the phases
+        ``diagnose.<tool>`` → ``collect.failures`` / ``collect.successes``
+        / ``rank``.
+        """
+        obs = self.obs if self.obs is not None else get_obs()
+        with use(obs), obs.span("diagnose." + self.tool_name,
+                                workload=self.workload.name,
+                                scheme=self.scheme):
+            return self._run_diagnosis(obs, n_failures, n_successes,
+                                       max_attempts)
+
     def diagnose(self, n_failures=10, n_successes=10, max_attempts=None):
-        """Run the full campaign and return a :class:`Diagnosis`."""
+        """Deprecated alias of :meth:`run_diagnosis`."""
+        deprecated_alias("%s.diagnose()" % type(self).__name__,
+                         "run_diagnosis()")
+        return self.run_diagnosis(n_failures, n_successes, max_attempts)
+
+    def _run_diagnosis(self, obs, n_failures, n_successes, max_attempts):
         cap = max_attempts if max_attempts is not None else \
             (n_failures + n_successes) * 20 + 50
-        failing = self._collect_failures(
-            self.failure_program, n_failures, cap
-        )
+        with obs.span("collect.failures", want=n_failures):
+            failing = self._collect_failures(
+                self.failure_program, n_failures, cap
+            )
         failure_profiles = []
         for index, status in enumerate(failing):
             profile = extract_profile(
@@ -255,10 +314,12 @@ class DiagnosisToolBase:
         else:
             success_program = self.failure_program
             success_sites = self._proactive_success_sites(failure_site)
-        success_profiles, passing = self._collect_success_profiles(
-            success_program, success_sites, n_successes, cap
-        )
-        ranked = rank_predictors(failure_profiles, success_profiles)
+        with obs.span("collect.successes", want=n_successes):
+            success_profiles, passing = self._collect_success_profiles(
+                success_program, success_sites, n_successes, cap
+            )
+        with obs.span("rank"):
+            ranked = rank_predictors(failure_profiles, success_profiles)
         success_site = site_by_id(success_program, min(success_sites)) \
             if success_sites else None
         return Diagnosis(
@@ -288,6 +349,14 @@ class DiagnosisToolBase:
         attempt budget runs out), so workloads whose failing plans
         rotate through several bugs are handled naturally.
         """
+        obs = self.obs if self.obs is not None else get_obs()
+        with use(obs), obs.span("diagnose_all." + self.tool_name,
+                                workload=self.workload.name):
+            return self._diagnose_all(n_failures_per_site, n_successes,
+                                      max_attempts)
+
+    def _diagnose_all(self, n_failures_per_site, n_successes,
+                      max_attempts):
         cap = max_attempts if max_attempts is not None else \
             n_failures_per_site * 40 + 100
         by_site = {}
@@ -295,7 +364,8 @@ class DiagnosisToolBase:
         attempts = 0
         runs = self._stream_statuses(
             self.failure_program,
-            (self.workload.failing_run_plan(i) for i in _counter())
+            (self.workload.failing_run_plan(i)
+             for i in _counter(self.seed))
         )
         while attempts < cap:
             status = next(runs)
@@ -403,17 +473,23 @@ class DiagnosisToolBase:
         return site_ids
 
 
-def _counter():
-    k = 0
+def _counter(start=0):
+    k = start
     while True:
         yield k
         k += 1
 
 
 class LbraTool(DiagnosisToolBase):
-    """LBRA: automatic diagnosis of sequential-bug failures."""
+    """LBRA: automatic diagnosis of sequential-bug failures.
+
+    Accepts the shared tool options only — in particular it rejects
+    ``lcr_selector``, which configures the *coherence* ring LBRA never
+    reads (pass it to :class:`~repro.core.lcra.LcraTool` instead).
+    """
 
     ring = "lbr"
+    tool_name = "lbra"
 
 
 __all__ = ["Diagnosis", "DiagnosisError", "DiagnosisToolBase", "LbraTool"]

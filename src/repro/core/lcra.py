@@ -12,16 +12,17 @@ from repro.core.lcrlog import CONF2_SPACE_CONSUMING
 
 
 class LcraTool(DiagnosisToolBase):
-    """LCRA: automatic diagnosis of concurrency-bug failures."""
+    """LCRA: automatic diagnosis of concurrency-bug failures.
+
+    Accepts ``lcr_selector`` on top of the shared tool options — the
+    only tool that does, since it is the only one reading the LCR.
+    """
 
     ring = "lcr"
+    tool_name = "lcra"
 
-    def __init__(self, workload, scheme="reactive", toggling=True,
-                 lcr_selector=CONF2_SPACE_CONSUMING, executor=None):
-        super().__init__(
-            workload, scheme=scheme, toggling=toggling,
-            lcr_selector=lcr_selector, executor=executor,
-        )
+    OPTIONS = dict(DiagnosisToolBase.OPTIONS,
+                   lcr_selector=CONF2_SPACE_CONSUMING)
 
 
 __all__ = ["LcraTool"]

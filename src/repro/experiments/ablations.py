@@ -13,7 +13,7 @@
 
 from repro.bugs.registry import concurrency_bugs
 from repro.core.lcrlog import CONF2_SPACE_CONSUMING, LcrLogTool
-from repro.experiments.report import ExperimentResult
+from repro.experiments.report import ExperimentResult, traced
 
 
 def _fpe_position(bug, pollution=True, capacity=16, executor=None):
@@ -29,6 +29,7 @@ def _fpe_position(bug, pollution=True, capacity=16, executor=None):
                               state_tags=bug.fpe_state_tags)
 
 
+@traced("experiment.ablations.pollution")
 def run_pollution(bugs=None, executor=None):
     """FPE depth with and without the ioctl-pollution model."""
     rows = []
@@ -64,6 +65,7 @@ def run_pollution(bugs=None, executor=None):
     return result
 
 
+@traced("experiment.ablations.lcr_capacity")
 def run_lcr_capacity(capacities=(4, 8, 16, 32), bugs=None,
                      executor=None):
     """Capture rate of the failure-predicting event per LCR size."""

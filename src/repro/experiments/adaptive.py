@@ -17,9 +17,10 @@ is in its final ranking — against LBRA's single-shot result.
 from repro.baselines.cbi_adaptive import CbiAdaptiveTool
 from repro.bugs.registry import sequential_bugs
 from repro.core.lbra import DiagnosisError, LbraTool
-from repro.experiments.report import ExperimentResult
+from repro.experiments.report import ExperimentResult, traced
 
 
+@traced("experiment.adaptive")
 def run(runs_per_iteration=20, bugs=None, executor=None):
     """Regenerate the CBI-adaptive comparison.
 
@@ -34,12 +35,12 @@ def run(runs_per_iteration=20, bugs=None, executor=None):
     raw = []
     for bug in selected:
         tool = CbiAdaptiveTool(bug, runs_per_iteration=runs_per_iteration)
-        outcome = tool.diagnose()
+        outcome = tool.run_diagnosis()
         lines = tuple(bug.root_cause_lines) + tuple(bug.related_lines)
         adaptive_rank = outcome.rank_of_line(lines)
         try:
             lbra_rank = LbraTool(bug, executor=executor) \
-                .diagnose(10, 10).rank_of_line(lines)
+                .run_diagnosis(10, 10).rank_of_line(lines)
         except DiagnosisError:
             lbra_rank = None
         raw.append({

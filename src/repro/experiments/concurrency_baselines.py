@@ -12,7 +12,7 @@ from repro.baselines.pbi import PbiTool
 from repro.bugs.registry import concurrency_bugs
 from repro.core.lbra import DiagnosisError
 from repro.core.lcra import LcraTool
-from repro.experiments.report import ExperimentResult
+from repro.experiments.report import ExperimentResult, traced
 
 #: Rank threshold for "diagnosed".
 TOP_K = 3
@@ -21,7 +21,7 @@ TOP_K = 3
 def _lcra_rank(bug, executor=None):
     try:
         diagnosis = LcraTool(bug, scheme="reactive",
-                             executor=executor).diagnose(10, 10)
+                             executor=executor).run_diagnosis(10, 10)
     except DiagnosisError:
         return None
     return diagnosis.rank_of_coherence(bug.root_cause_lines,
@@ -31,13 +31,13 @@ def _lcra_rank(bug, executor=None):
 def _pbi_rank(bug, n_runs, sample_period, executor=None):
     tool = PbiTool(bug, sample_period=sample_period, seed=2,
                    executor=executor)
-    diagnosis = tool.diagnose(n_failures=n_runs, n_successes=n_runs)
+    diagnosis = tool.run_diagnosis(n_failures=n_runs, n_successes=n_runs)
     return diagnosis.rank_of_line(bug.root_cause_lines)
 
 
 def _cci_rank(bug, n_runs, executor=None):
     tool = CciTool(bug, seed=2, executor=executor)
-    diagnosis = tool.diagnose(n_failures=n_runs, n_successes=n_runs)
+    diagnosis = tool.run_diagnosis(n_failures=n_runs, n_successes=n_runs)
     return diagnosis.rank_of_line(bug.root_cause_lines,
                                   detail_suffix="remote")
 
@@ -48,6 +48,7 @@ def _cell(rank):
     return "X %d" % rank if rank <= TOP_K else "(rank %d)" % rank
 
 
+@traced("experiment.concurrency_baselines")
 def run(n_runs=300, pbi_sample_period=40, bugs=None, executor=None):
     """Regenerate the Section 7.3 comparison."""
     rows = []

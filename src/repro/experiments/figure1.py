@@ -15,7 +15,7 @@ from repro.bugs.registry import sequential_bugs
 from repro.core.lbrlog import LbrLogTool
 from repro.hwpmu.bts import attach_bts
 from repro.machine.cpu import Machine
-from repro.experiments.report import ExperimentResult
+from repro.experiments.report import ExperimentResult, traced
 
 #: Whole-execution branch tracing overhead range from the paper ([31]).
 BTS_OVERHEAD = "20% - 100%"
@@ -63,6 +63,7 @@ def _bts_capture_and_overhead():
     return captured, len(bugs), mean_overhead
 
 
+@traced("experiment.figure1")
 def run(capacities=(4, 8, 16, 32), executor=None):
     """Quantify Figure 1's trade-off.
 

@@ -7,7 +7,7 @@ true), then runs both directions and decodes the LBR.
 """
 
 from repro.compiler.frontend import compile_source
-from repro.experiments.report import ExperimentResult
+from repro.experiments.report import ExperimentResult, traced
 from repro.isa.instructions import Opcode
 from repro.machine.cpu import Machine
 
@@ -44,6 +44,7 @@ def _decode_run(argument):
     return program, outcomes
 
 
+@traced("experiment.figure2")
 def run(executor=None):
     """Regenerate the Figure 2 demonstration (single direct runs;
     *executor* accepted for uniformity)."""

@@ -12,13 +12,13 @@ limited to 500 failure runs while LBRA succeeds with 10.
 from repro.baselines.cbi import BaselineUnsupportedError, CbiTool
 from repro.bugs.registry import sequential_bugs
 from repro.core.lbra import DiagnosisError, LbraTool
-from repro.experiments.report import ExperimentResult
+from repro.experiments.report import ExperimentResult, traced
 
 
 def _lbra_found(bug, n_runs, executor=None):
     try:
         diagnosis = LbraTool(bug, scheme="reactive",
-                             executor=executor).diagnose(
+                             executor=executor).run_diagnosis(
             n_failures=n_runs, n_successes=n_runs
         )
     except DiagnosisError:
@@ -33,12 +33,13 @@ def _cbi_found(bug, n_runs, seed=0, executor=None):
         tool = CbiTool(bug, seed=seed, executor=executor)
     except BaselineUnsupportedError:
         return None
-    diagnosis = tool.diagnose(n_failures=n_runs, n_successes=n_runs)
+    diagnosis = tool.run_diagnosis(n_failures=n_runs, n_successes=n_runs)
     lines = tuple(bug.root_cause_lines) + tuple(bug.related_lines)
     rank = diagnosis.rank_of_line(lines)
     return rank is not None and rank <= 3
 
 
+@traced("experiment.latency")
 def run(lbra_runs=(10,), cbi_runs=(100, 500, 1000), bugs=None,
         executor=None):
     """Sweep failure-run budgets for LBRA and CBI."""

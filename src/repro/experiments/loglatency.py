@@ -10,7 +10,7 @@ paper's Core i7 platform.
 
 from repro.bugs.registry import get_bug
 from repro.core.lbrlog import LbrLogTool
-from repro.experiments.report import ExperimentResult
+from repro.experiments.report import ExperimentResult, traced
 from repro.isa.layout import WORD_SIZE
 from repro.isa.registers import FP
 
@@ -44,6 +44,7 @@ def _failure_machine_state(bug_name="sort"):
     return ring_reads, max(frames, 1), mapped_bytes / 1024.0
 
 
+@traced("experiment.loglatency")
 def run(bug_name="sort", executor=None):
     """Model the three logging mechanisms' latencies.
 

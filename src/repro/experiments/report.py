@@ -11,7 +11,27 @@ themselves is identical whether a run executed on a pool worker, in
 process, or was replayed from the content-addressed run cache.
 """
 
+import functools
 from dataclasses import dataclass, field
+
+from repro.obs import get_obs
+
+
+def traced(name):
+    """Decorator tagging an experiment driver with an obs span.
+
+    Every driver's ``run()`` is wrapped in ``experiment.<name>``, so a
+    trace of a full invocation breaks down by experiment, then by
+    campaign, then by run (``repro obs report trace.jsonl``).  Costs one
+    no-op context manager per driver call when observability is off.
+    """
+    def wrap(fn):
+        @functools.wraps(fn)
+        def inner(*args, **kwargs):
+            with get_obs().span(name):
+                return fn(*args, **kwargs)
+        return inner
+    return wrap
 
 
 def format_table(headers, rows, title=""):

@@ -15,7 +15,7 @@ from repro.hwpmu.lbr import (
     LbrSelectBits,
 )
 from repro.hwpmu.msr import MsrFile
-from repro.experiments.report import ExperimentResult
+from repro.experiments.report import ExperimentResult, traced
 
 _MASK_DESCRIPTIONS = {
     LbrSelectBits.CPL_EQ_0: "Filter branches occurring in ring 0",
@@ -30,6 +30,7 @@ _MASK_DESCRIPTIONS = {
 }
 
 
+@traced("experiment.table1")
 def run(executor=None):
     """Regenerate Table 1 (static; *executor* accepted for uniformity)."""
     del executor

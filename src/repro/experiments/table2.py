@@ -11,7 +11,7 @@ from repro.cache.mesi import MesiState
 from repro.hwpmu.counters import CoherenceCounters, UNIT_MASK
 from repro.hwpmu.lcr import AccessType
 from repro.isa.instructions import Ring
-from repro.experiments.report import ExperimentResult
+from repro.experiments.report import ExperimentResult, traced
 
 _DESCRIPTIONS = {
     MesiState.INVALID: "Observe I state prior to a cache access",
@@ -47,6 +47,7 @@ def _drive_all_states():
     return counters
 
 
+@traced("experiment.table2")
 def run(executor=None):
     """Regenerate Table 2 (static; *executor* accepted for uniformity)."""
     del executor

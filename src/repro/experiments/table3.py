@@ -9,7 +9,7 @@ next to the class Table 3 predicts.
 
 from repro.bugs.registry import get_bug
 from repro.core.lcrlog import LcrLogTool
-from repro.experiments.report import ExperimentResult
+from repro.experiments.report import ExperimentResult, traced
 
 #: interleaving class -> (representative bug, Table 3 FPE, FPE in
 #: failure thread per Table 3)
@@ -29,6 +29,7 @@ _TAG_NAMES = {
 }
 
 
+@traced("experiment.table3")
 def run(executor=None):
     """Regenerate Table 3 with measured FPE observations."""
     rows = []

@@ -9,9 +9,10 @@ from repro.bugs.registry import all_bugs
 from repro.core.lbrlog import LbrLogTool
 from repro.core.lcrlog import LcrLogTool
 from repro.core.profiles import sites_of
-from repro.experiments.report import ExperimentResult
+from repro.experiments.report import ExperimentResult, traced
 
 
+@traced("experiment.table4")
 def run(executor=None):
     """Regenerate Table 4 (no campaigns; *executor* accepted for
     uniformity)."""

@@ -9,7 +9,7 @@ site (Section 7.1.1; the paper measures 0.74–0.98 over 6945 sites).
 from repro.analysis.static_infer import useful_branch_ratio
 from repro.bugs.registry import sequential_bugs
 from repro.core.lbrlog import LbrLogTool
-from repro.experiments.report import ExperimentResult
+from repro.experiments.report import ExperimentResult, traced
 
 #: Paper's Table 5 ratios by application (for side-by-side printing).
 PAPER_RATIOS = {
@@ -19,6 +19,7 @@ PAPER_RATIOS = {
 }
 
 
+@traced("experiment.table5")
 def run(executor=None):
     """Regenerate Table 5 over the miniature applications.
 

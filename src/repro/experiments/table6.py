@@ -23,7 +23,7 @@ from repro.experiments.overhead import (
     find_reactive_target,
     measure_workload_overheads,
 )
-from repro.experiments.report import ExperimentResult
+from repro.experiments.report import ExperimentResult, traced
 
 
 def _cell(value, related_value=None):
@@ -65,7 +65,7 @@ def evaluate_bug(bug, cbi_runs=1000, overhead_runs=5, executor=None):
 
     try:
         diagnosis = LbraTool(bug, scheme="reactive",
-                             executor=executor).diagnose(10, 10)
+                             executor=executor).run_diagnosis(10, 10)
         lbra_root = diagnosis.rank_of_line(bug.root_cause_lines)
         lbra_related = diagnosis.rank_of_line(bug.related_lines) \
             if bug.related_lines else None
@@ -76,7 +76,7 @@ def evaluate_bug(bug, cbi_runs=1000, overhead_runs=5, executor=None):
     cbi_overhead = None
     if bug.language != "cpp":
         cbi = CbiTool(bug, executor=executor)
-        cbi_diag = cbi.diagnose(n_failures=cbi_runs, n_successes=cbi_runs)
+        cbi_diag = cbi.run_diagnosis(n_failures=cbi_runs, n_successes=cbi_runs)
         cbi_root = cbi_diag.rank_of_line(bug.root_cause_lines)
         cbi_related = cbi_diag.rank_of_line(bug.related_lines) \
             if bug.related_lines else None
@@ -109,6 +109,7 @@ def evaluate_bug(bug, cbi_runs=1000, overhead_runs=5, executor=None):
     }
 
 
+@traced("experiment.table6")
 def run(cbi_runs=1000, overhead_runs=5, bugs=None, executor=None):
     """Regenerate Table 6 (optionally on a shared campaign executor)."""
     rows = []

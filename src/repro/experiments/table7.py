@@ -14,7 +14,7 @@ from repro.core.lcrlog import (
     CONF2_SPACE_CONSUMING,
     LcrLogTool,
 )
-from repro.experiments.report import ExperimentResult
+from repro.experiments.report import ExperimentResult, traced
 
 
 def _lcrlog_position(bug, selector, executor=None):
@@ -39,7 +39,7 @@ def evaluate_bug(bug, executor=None):
                              executor=executor)
     try:
         diagnosis = LcraTool(bug, scheme="reactive",
-                             executor=executor).diagnose(10, 10)
+                             executor=executor).run_diagnosis(10, 10)
         lcra = diagnosis.rank_of_coherence(bug.root_cause_lines,
                                            bug.fpe_state_tags)
     except DiagnosisError:
@@ -53,6 +53,7 @@ def evaluate_bug(bug, executor=None):
     }
 
 
+@traced("experiment.table7")
 def run(bugs=None, executor=None):
     """Regenerate Table 7 (optionally on a shared campaign executor)."""
     rows = []

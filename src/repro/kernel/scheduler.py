@@ -5,6 +5,13 @@ next runnable :class:`~repro.machine.thread.Thread` (or ``None`` when no
 thread is runnable).  Schedulers decide when concurrency bugs manifest:
 the bug suite pairs each concurrency benchmark with schedules known to
 trigger the failure and schedules known to avoid it.
+
+Each scheduler maintains a ``switches`` counter — the number of times it
+handed the CPU to a different thread than its previous pick.  The
+counter is harvested per run by :mod:`repro.obs` (metric
+``scheduler.switches``) alongside the machine's own context-switch
+count; the two differ when the machine's built-in fallback scheduler is
+in play.
 """
 
 import random
@@ -17,6 +24,7 @@ class RoundRobinScheduler:
         if quantum < 1:
             raise ValueError("quantum must be positive")
         self.quantum = quantum
+        self.switches = 0
         self._current_tid = None
         self._remaining = 0
 
@@ -30,6 +38,8 @@ class RoundRobinScheduler:
             self._remaining -= 1
             return current
         chosen = self._next_after(runnable, current)
+        if chosen.tid != self._current_tid:
+            self.switches += 1
         self._current_tid = chosen.tid
         self._remaining = self.quantum - 1
         return chosen
@@ -63,6 +73,7 @@ class RandomScheduler:
     def __init__(self, seed=0, switch_probability=0.1):
         self._rng = random.Random(seed)
         self.switch_probability = switch_probability
+        self.switches = 0
         self._current_tid = None
 
     def pick(self, machine):
@@ -85,6 +96,8 @@ class RandomScheduler:
         if not must_switch:
             return current
         chosen = self._rng.choice(runnable)
+        if chosen.tid != self._current_tid:
+            self.switches += 1
         self._current_tid = chosen.tid
         return chosen
 
@@ -105,6 +118,13 @@ class ScriptedScheduler:
         self._fallback = RoundRobinScheduler(quantum=fallback_quantum)
         self._position = 0
         self._remaining = self._segments[0][1] if self._segments else 0
+        self._last_tid = None
+        self._switches = 0
+
+    @property
+    def switches(self):
+        """Thread handoffs, including those of the fallback phase."""
+        return self._switches + self._fallback.switches
 
     def pick(self, machine):
         while self._position < len(self._segments):
@@ -115,6 +135,9 @@ class ScriptedScheduler:
                 self._advance()
                 continue
             self._remaining -= 1
+            if tid != self._last_tid:
+                self._switches += 1
+                self._last_tid = tid
             return thread
         return self._fallback.pick(machine)
 

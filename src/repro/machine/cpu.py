@@ -6,10 +6,12 @@ mirrors the paper's evaluation platform shape: 4 cores, 16-entry LBR and
 LCR, and the Section 6 L1-D geometry.
 """
 
+import time
 from collections import deque
 from dataclasses import dataclass, field
 
 from repro.cache.bus import CoherenceBus
+from repro.obs import get_obs
 from repro.cache.l1cache import CacheConfig
 from repro.hwpmu.lbr import LBR_SELECT_PAPER_MASK
 from repro.hwpmu.lcr import (
@@ -194,6 +196,16 @@ class Machine:
         self.hwop_counts = {}
         #: broadcast (one-time setup) HWOPs dispatched
         self.hwop_broadcast_count = 0
+        #: taken branches retired (harvested by repro.obs per run)
+        self.branches_taken = 0
+        #: scheduler handoffs between distinct threads
+        self.context_switches = 0
+        #: optional sampling callback fn(machine, thread, steps), fired
+        #: every ``_profile_every`` retired instructions (see
+        #: :meth:`set_profile_hook`); ``None`` keeps the run loop on a
+        #: single local truthiness test per instruction.
+        self._profile_hook = None
+        self._profile_every = None
         self._loaded = False
 
     # ------------------------------------------------------------------
@@ -254,20 +266,45 @@ class Machine:
     # Execution
     # ------------------------------------------------------------------
 
+    def set_profile_hook(self, hook, every=1000):
+        """Install a sampling callback fired every *every* instructions.
+
+        *hook* is called as ``hook(machine, thread, steps)`` with the
+        thread that retired the sampled instruction — the basis for
+        sampled self-profiling (see :mod:`repro.obs.sampling`).  Pass
+        ``None`` to uninstall.
+        """
+        if hook is not None and every < 1:
+            raise ValueError("profile period must be positive")
+        self._profile_hook = hook
+        self._profile_every = every if hook is not None else None
+
     def run(self, args=(), max_steps=None):
         """Load (if needed) and run to completion; return an ExitStatus."""
         if not self._loaded:
             self.load(args=args)
+        started = time.perf_counter()
         budget = max_steps if max_steps is not None else self.config.max_steps
         steps = 0
         hang_delivered = False
+        # Hot loop: the profiling hook and switch tracking are local
+        # reads so the disabled path stays within the obs overhead
+        # budget (see benchmarks/test_obs_overhead.py).
+        profile_every = self._profile_every
+        profile_hook = self._profile_hook
+        last_thread = None
         while self.running:
             thread = self.scheduler.pick(self)
             if thread is None:
                 self._handle_no_runnable()
                 break
+            if thread is not last_thread:
+                self.context_switches += 1
+                last_thread = thread
             self.step(thread)
             steps += 1
+            if profile_every and steps % profile_every == 0:
+                profile_hook(self, thread, steps)
             if steps >= budget and self.running:
                 info = FaultInfo(
                     kind=FaultKind.HANG, pc=thread.pc,
@@ -283,6 +320,9 @@ class Machine:
                     hang_delivered = True
                     self._deliver_fault(thread, info)
                     budget += 20_000
+        obs = get_obs()
+        if obs.enabled:
+            obs.record_run(self, time.perf_counter() - started)
         return self.exit_status()
 
     def step(self, thread):
@@ -368,6 +408,7 @@ class Machine:
             for observer in self.branch_observers:
                 observer(thread, instr, taken, target)
         if taken:
+            self.branches_taken += 1
             self.cores[thread.core_id].lbr.record(
                 from_address=instr.address,
                 to_address=target,

@@ -1,0 +1,204 @@
+"""repro.obs — zero-dependency observability for the whole pipeline.
+
+One :class:`Observability` object bundles a :class:`~repro.obs.tracer.Tracer`
+(nested wall-time spans) and a :class:`~repro.obs.metrics.Metrics`
+registry (counters / gauges / histograms), threaded through every layer:
+the machine harvests per-run hardware counts, campaigns count outcomes,
+the executor records dispatch/cache/speculation activity, and each
+experiment driver tags its phase.  Usage::
+
+    from repro import obs
+
+    with obs.enabled() as o:              # install a collecting obs
+        table6.run()
+        o.tracer.export_jsonl("trace.jsonl")
+        o.metrics.export_json("metrics.json")
+
+    with obs.span("my.phase", detail=1):  # spans no-op when disabled
+        ...
+
+Design rules:
+
+* **Disabled is the default and costs ~nothing.**  The module-level
+  current obs starts as :data:`NULL_OBS`, whose tracer and metrics are
+  shared no-op stubs; hot paths either check ``obs.enabled`` once per
+  *run* (not per instruction) or call a no-op method.  The hardware
+  counts the metrics layer reports (instructions retired, MESI bus
+  traffic, ring writes, …) are maintained by the simulated hardware
+  itself regardless, and harvested once at the end of each run.
+* **Worker buffers merge.**  Pool workers run under their own
+  collecting obs; their span/metric buffers return with each run result
+  and the parent merges exactly the buffers of the runs a campaign
+  consumed (see :mod:`repro.runtime.executor`), so traces and metric
+  totals are consistent at any ``--jobs`` value.
+* **One payload format.**  :meth:`Observability.to_payload` /
+  :meth:`Observability.merge_payload` is the single serialization used
+  for worker round-trips; JSONL traces and JSON metric dumps are the
+  at-rest formats (``repro obs report`` renders the former).
+"""
+
+import contextlib
+import time
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    Metrics,
+    NULL_METRICS,
+    NullMetrics,
+)
+from repro.obs.tracer import NULL_TRACER, NullTracer, Span, Tracer, read_jsonl
+
+
+class Observability:
+    """A tracer + metrics bundle (see the module docstring)."""
+
+    def __init__(self, enabled=True):
+        self.enabled = enabled
+        if enabled:
+            self.tracer = Tracer()
+            self.metrics = Metrics()
+        else:
+            self.tracer = NULL_TRACER
+            self.metrics = NULL_METRICS
+
+    # -- convenience delegates ------------------------------------------
+
+    def span(self, name, **attrs):
+        return self.tracer.span(name, **attrs)
+
+    def counter(self, name):
+        return self.metrics.counter(name)
+
+    def gauge(self, name):
+        return self.metrics.gauge(name)
+
+    def histogram(self, name):
+        return self.metrics.histogram(name)
+
+    # -- per-run harvest ------------------------------------------------
+
+    def record_run(self, machine, seconds):
+        """Harvest one finished machine's hardware counts.
+
+        Called by :meth:`repro.machine.cpu.Machine.run` when this obs is
+        enabled.  Everything read here is a counter the simulated
+        hardware (or kernel) maintains anyway — harvesting is O(cores)
+        per run, never per instruction.
+        """
+        metrics = self.metrics
+        counter = metrics.counter
+        counter("machine.runs").inc()
+        counter("machine.instructions_retired").inc(machine.retired)
+        counter("machine.instructions_user").inc(machine.retired_user)
+        counter("machine.branches_taken").inc(machine.branches_taken)
+        counter("machine.context_switches").inc(machine.context_switches)
+        switches = getattr(machine.scheduler, "switches", None)
+        if switches is not None:
+            counter("scheduler.switches").inc(switches)
+        bus = machine.bus
+        counter("cache.hits").inc(bus.hit_count)
+        counter("cache.bus_transactions").inc(bus.transaction_count)
+        counter("cache.snoops").inc(bus.snoop_count)
+        counter("cache.invalidations").inc(bus.invalidation_count)
+        lbr_writes = lcr_writes = evictions = 0
+        for core in machine.cores:
+            lbr_writes += core.lbr.recorded_count
+            lcr_writes += core.lcr.recorded_count
+            evictions += core.cache.eviction_count
+        counter("ring.lbr_writes").inc(lbr_writes)
+        counter("ring.lcr_writes").inc(lcr_writes)
+        counter("cache.evictions").inc(evictions)
+        counter("hwop.dispatched").inc(sum(machine.hwop_counts.values()))
+        counter("hwop.broadcast").inc(machine.hwop_broadcast_count)
+        metrics.histogram("machine.run_seconds").observe(seconds)
+        metrics.histogram("machine.run_retired").observe(machine.retired)
+
+    # -- worker buffer exchange -----------------------------------------
+
+    def to_payload(self):
+        """Serialize both buffers for shipping across processes."""
+        return {"metrics": self.metrics.to_dict(),
+                "spans": self.tracer.to_records()}
+
+    def merge_payload(self, payload, span_root=None):
+        """Merge a worker's :meth:`to_payload` buffers into this obs.
+
+        Spans are re-rooted under *span_root* (default: the currently
+        open span), metric counters/histograms accumulate.
+        """
+        if not payload:
+            return
+        self.metrics.merge(payload.get("metrics", {}))
+        self.tracer.absorb(payload.get("spans", ()), under=span_root)
+
+    # -- export ---------------------------------------------------------
+
+    def export(self, trace_path=None, metrics_path=None):
+        """Write the JSONL trace and/or JSON metrics files."""
+        if trace_path:
+            self.tracer.export_jsonl(trace_path)
+        if metrics_path:
+            self.metrics.export_json(metrics_path)
+
+
+#: The shared disabled bundle: every layer's default obs.
+NULL_OBS = Observability(enabled=False)
+
+_current = NULL_OBS
+
+
+def get_obs():
+    """The currently installed :class:`Observability` (NULL when off)."""
+    return _current
+
+
+def set_obs(obs):
+    """Install *obs* as current; returns the previously installed one."""
+    global _current
+    previous = _current
+    _current = obs if obs is not None else NULL_OBS
+    return previous
+
+
+@contextlib.contextmanager
+def use(obs):
+    """Temporarily install *obs* as the current observability."""
+    previous = set_obs(obs)
+    try:
+        yield obs
+    finally:
+        set_obs(previous)
+
+
+def enabled():
+    """Shorthand: ``use(Observability())`` — install a fresh collector."""
+    return use(Observability())
+
+
+def span(name, **attrs):
+    """Open a span on the *current* obs (no-op when disabled)."""
+    return _current.tracer.span(name, **attrs)
+
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Metrics",
+    "NULL_METRICS",
+    "NULL_OBS",
+    "NULL_TRACER",
+    "NullMetrics",
+    "NullTracer",
+    "Observability",
+    "Span",
+    "Tracer",
+    "enabled",
+    "get_obs",
+    "read_jsonl",
+    "set_obs",
+    "span",
+    "use",
+]

@@ -1,0 +1,211 @@
+"""Metrics: counters, gauges, and histograms with no-op stubs.
+
+A :class:`Metrics` registry hands out named instruments::
+
+    metrics.counter("cache.hits").inc()
+    metrics.gauge("executor.jobs").set(8)
+    metrics.histogram("machine.run_seconds").observe(0.013)
+
+Instruments are created on first use and live for the registry's
+lifetime, so hot code can hold a direct reference and pay one attribute
+increment per event.  When observability is disabled the
+:class:`NullMetrics` registry hands out shared no-op instruments whose
+methods do nothing — the disabled path allocates nothing and branches
+once.
+
+Registries serialize to plain dicts (:meth:`Metrics.to_dict`) and merge
+(:meth:`Metrics.merge`), which is how pool workers ship their metric
+buffers back to the parent process: each worker run snapshots its own
+registry, the executor returns the snapshot with the run result, and
+the consuming process merges exactly the buffers of the runs its
+campaign actually consumed — so merged totals are identical at any
+``--jobs`` value.
+"""
+
+
+class Counter:
+    """Monotonic event count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name):
+        self.name = name
+        self.value = 0
+
+    def inc(self, n=1):
+        self.value += n
+
+
+class Gauge:
+    """Last-written value (worker merges keep the latest write)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name):
+        self.name = name
+        self.value = 0
+
+    def set(self, value):
+        self.value = value
+
+
+class Histogram:
+    """Streaming summary: count, sum, min, max (no buckets kept)."""
+
+    __slots__ = ("name", "count", "total", "min", "max")
+
+    def __init__(self, name):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = None
+        self.max = None
+
+    def observe(self, value):
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self):
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self):
+        return {"count": self.count, "sum": self.total,
+                "min": self.min, "max": self.max}
+
+
+class Metrics:
+    """Registry of named instruments (see the module docstring)."""
+
+    def __init__(self):
+        self._counters = {}
+        self._gauges = {}
+        self._histograms = {}
+
+    # -- instruments ----------------------------------------------------
+
+    def counter(self, name):
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name):
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[name] = Gauge(name)
+        return instrument
+
+    def histogram(self, name):
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram(name)
+        return instrument
+
+    # -- buffer exchange ------------------------------------------------
+
+    def to_dict(self):
+        """Snapshot as a plain (picklable, JSON-serializable) dict."""
+        return {
+            "counters": {n: c.value for n, c in self._counters.items()},
+            "gauges": {n: g.value for n, g in self._gauges.items()},
+            "histograms": {n: h.summary()
+                           for n, h in self._histograms.items()},
+        }
+
+    def merge(self, payload):
+        """Fold a :meth:`to_dict` snapshot into this registry.
+
+        Counters and histograms accumulate; gauges take the incoming
+        value (last write wins).
+        """
+        for name, value in payload.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, value in payload.get("gauges", {}).items():
+            self.gauge(name).set(value)
+        for name, summary in payload.get("histograms", {}).items():
+            histogram = self.histogram(name)
+            count = summary.get("count", 0)
+            if not count:
+                continue
+            histogram.count += count
+            histogram.total += summary.get("sum", 0.0)
+            for key, better in (("min", min), ("max", max)):
+                incoming = summary.get(key)
+                if incoming is None:
+                    continue
+                current = getattr(histogram, key)
+                setattr(histogram, key,
+                        incoming if current is None
+                        else better(current, incoming))
+
+    def export_json(self, path):
+        """Write the registry snapshot to *path* as pretty JSON."""
+        import json
+        with open(path, "w") as handle:
+            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+
+class _NullInstrument:
+    """Shared do-nothing counter/gauge/histogram."""
+
+    __slots__ = ()
+
+    name = ""
+    value = 0
+    count = 0
+    total = 0.0
+    min = None
+    max = None
+    mean = 0.0
+
+    def inc(self, n=1):
+        pass
+
+    def set(self, value):
+        pass
+
+    def observe(self, value):
+        pass
+
+    def summary(self):
+        return {"count": 0, "sum": 0.0, "min": None, "max": None}
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullMetrics:
+    """No-op registry handed out when observability is disabled."""
+
+    __slots__ = ()
+
+    def counter(self, _name):
+        return _NULL_INSTRUMENT
+
+    def gauge(self, _name):
+        return _NULL_INSTRUMENT
+
+    def histogram(self, _name):
+        return _NULL_INSTRUMENT
+
+    def to_dict(self):
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def merge(self, payload):
+        pass
+
+    def export_json(self, path):
+        raise RuntimeError("cannot export disabled metrics; enable "
+                           "observability first")
+
+
+NULL_METRICS = NullMetrics()
+
+__all__ = ["Counter", "Gauge", "Histogram", "Metrics", "NULL_METRICS",
+           "NullMetrics"]

@@ -17,6 +17,7 @@ from repro.runtime.harness import (
     CampaignShortfallError,
     CampaignShortfallWarning,
     RunRecord,
+    ShortfallInfo,
     run_campaign,
 )
 from repro.runtime.executor import (
@@ -36,6 +37,7 @@ __all__ = [
     "RunCache",
     "RunPlan",
     "RunRecord",
+    "ShortfallInfo",
     "Workload",
     "build_executor",
     "execute_plan",

@@ -48,6 +48,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
 from repro.machine.cpu import MachineConfig
+from repro.obs import Observability, get_obs, use
 from repro.runtime.process import execute_plan
 
 #: Bump when the cached value layout changes; stale entries then miss.
@@ -305,12 +306,31 @@ _WORKER_PROGRAMS = {}
 _WORKER_TOOLS = {}
 
 
-def _worker_run_plans(program_fp, program_blob, config_blob, plan_blobs):
+def _collected(callable_, collect_obs):
+    """Run *callable_*, returning ``(duration, value, obs payload)``.
+
+    When *collect_obs* is true the call executes under a fresh
+    collecting :class:`~repro.obs.Observability`, whose span/metric
+    buffers ship back with the result for the parent to merge; when
+    false the payload slot is ``None`` and the call pays nothing.
+    """
+    started = time.perf_counter()
+    if not collect_obs:
+        value = callable_()
+        return time.perf_counter() - started, value, None
+    with use(Observability()) as obs:
+        value = callable_()
+    return time.perf_counter() - started, value, obs.to_payload()
+
+
+def _worker_run_plans(program_fp, program_blob, config_blob, collect_obs,
+                      plan_blobs):
     """Execute a batch of plans against one program on a pool worker.
 
     Batching amortizes the dominant dispatch costs — shipping the
     ~100 KB program blob and paying one future round-trip — over many
-    short runs; per-run results keep their own durations.
+    short runs; per-run results keep their own durations (and, when
+    *collect_obs* is set, their own span/metric payloads).
     """
     program = _WORKER_PROGRAMS.get(program_fp)
     if program is None:
@@ -319,9 +339,10 @@ def _worker_run_plans(program_fp, program_blob, config_blob, plan_blobs):
     config = pickle.loads(config_blob)
     results = []
     for plan_blob in plan_blobs:
-        started = time.perf_counter()
-        outcome = execute_plan(program, pickle.loads(plan_blob), config)
-        results.append((time.perf_counter() - started, outcome))
+        plan = pickle.loads(plan_blob)
+        results.append(_collected(
+            lambda: execute_plan(program, plan, config), collect_obs
+        ))
     return os.getpid(), results
 
 
@@ -359,7 +380,7 @@ def _baseline_execute(tool, plan, run_seed):
     }
 
 
-def _worker_run_baselines(tool_fp, tool_blob, calls):
+def _worker_run_baselines(tool_fp, tool_blob, collect_obs, calls):
     """Execute a batch of ``(plan_blob, run_seed)`` baseline attempts.
 
     Safe to batch because :func:`_baseline_execute` reports before/after
@@ -373,9 +394,10 @@ def _worker_run_baselines(tool_fp, tool_blob, calls):
         _WORKER_TOOLS[tool_fp] = tool
     results = []
     for plan_blob, run_seed in calls:
-        started = time.perf_counter()
-        value = _baseline_execute(tool, pickle.loads(plan_blob), run_seed)
-        results.append((time.perf_counter() - started, value))
+        plan = pickle.loads(plan_blob)
+        results.append(_collected(
+            lambda: _baseline_execute(tool, plan, run_seed), collect_obs
+        ))
     return os.getpid(), results
 
 
@@ -402,6 +424,7 @@ class ExecutorStats:
     cache_stores: int = 0
     cache_corrupt_dropped: int = 0
     unpicklable_tasks: int = 0
+    speculation_discarded: int = 0
     worker_pids: set = field(default_factory=set)
     busy_seconds: float = 0.0
     saved_seconds: float = 0.0
@@ -447,6 +470,7 @@ class ExecutorStats:
             ("cache stores", self.cache_stores),
             ("corrupt cache entries dropped", self.cache_corrupt_dropped),
             ("unpicklable tasks run in-process", self.unpicklable_tasks),
+            ("speculative dispatches discarded", self.speculation_discarded),
             ("busy seconds (fresh runs)", "%.2f" % self.busy_seconds),
             ("seconds saved by cache", "%.2f" % self.saved_seconds),
             ("sequential estimate (s)", "%.2f" % estimate),
@@ -611,6 +635,7 @@ class CampaignExecutor:
         key = None
         if self.cache is not None:
             key = _run_key(program, plan, config)
+        collect_obs = get_obs().enabled
         batch_fn = batch_group = batch_header = batch_item = None
         if self.jobs > 1:
             try:
@@ -625,8 +650,10 @@ class CampaignExecutor:
                     plan, protocol=pickle.HIGHEST_PROTOCOL
                 )
                 batch_fn = _worker_run_plans
-                batch_group = ("plan", program_fp, config_blob)
-                batch_header = (program_fp, program_blob, config_blob)
+                batch_group = ("plan", program_fp, config_blob,
+                               collect_obs)
+                batch_header = (program_fp, program_blob, config_blob,
+                                collect_obs)
             except Exception:
                 self.stats.unpicklable_tasks += 1
                 batch_fn = None
@@ -679,6 +706,7 @@ class CampaignExecutor:
         key = None
         if self.cache is not None:
             key = _baseline_key(tool_fp, plan, run_seed)
+        collect_obs = get_obs().enabled
         batch_fn = batch_group = batch_header = batch_item = None
         if self.jobs > 1:
             try:
@@ -690,8 +718,8 @@ class CampaignExecutor:
                     plan, protocol=pickle.HIGHEST_PROTOCOL
                 )
                 batch_fn = _worker_run_baselines
-                batch_group = ("baseline", tool_fp)
-                batch_header = (tool_fp, tool_blob)
+                batch_group = ("baseline", tool_fp, collect_obs)
+                batch_header = (tool_fp, tool_blob, collect_obs)
                 batch_item = (plan_blob, run_seed)
             except Exception:
                 self.stats.unpicklable_tasks += 1
@@ -734,6 +762,7 @@ class CampaignExecutor:
         speculative work happens at all.
         """
         pool = self._pool_handle()
+        obs = get_obs()
         pending = deque()
         tasks = iter(tasks)
         exhausted = False
@@ -759,16 +788,23 @@ class CampaignExecutor:
                     open_batch = None
                 if not pending:
                     return
-                yield self._resolve(pending.popleft(), inflight)
+                yield self._resolve(pending.popleft(), inflight, obs)
                 consumed += 1
                 if (pool is not None and batch_size < self.batch
                         and consumed >= 2 * window):
                     batch_size *= 2
         finally:
+            discarded = 0
             while pending:
                 entry = pending.popleft()
-                if entry[0] == "batch" and entry[2].future is not None:
-                    entry[2].future.cancel()
+                if entry[0] == "batch":
+                    discarded += 1
+                    if entry[2].future is not None:
+                        entry[2].future.cancel()
+            if discarded:
+                self.stats.speculation_discarded += discarded
+                obs.counter("executor.speculation_discarded") \
+                    .inc(discarded)
 
     def _dispatch(self, task, pool, open_batch, batch_size, inflight):
         """Route one task to cache / a pool batch / inline execution.
@@ -804,7 +840,9 @@ class CampaignExecutor:
     def _submit_batch(pool, batch):
         batch.future = pool.submit(batch.fn, *batch.header, batch.items)
 
-    def _resolve(self, entry, inflight=()):
+    def _resolve(self, entry, inflight=(), obs=None):
+        if obs is None:
+            obs = get_obs()
         kind, task, payload, index = entry
         if kind == "dup":
             # The identical in-flight predecessor resolved (and stored)
@@ -816,18 +854,28 @@ class CampaignExecutor:
             duration = payload["duration"]
             self.stats.saved_seconds += duration
             self._sync_cache_stats()
+            obs.counter("executor.cache_hits").inc()
+            # The cache stores no span buffer; synthesize the run span so
+            # the trace keeps one per consumed run either way.
+            obs.tracer.record_complete("interp.run", duration,
+                                       {"cached": True})
             return task.wrap(payload["value"], duration, None, True)
         if kind == "batch":
             pid, results = payload.future.result()
-            duration, value = results[index]
+            duration, value, obs_payload = results[index]
             self.stats.pool_runs += 1
             self.stats.worker_pids.add(pid)
+            obs.counter("executor.dispatch_pool").inc()
+            obs.merge_payload(obs_payload)
         else:
             started = time.perf_counter()
+            # Inline calls execute under the current obs, so their spans
+            # and metrics land in the campaign's buffers directly.
             value = task.inline_call()
             duration = time.perf_counter() - started
             pid = None
             self.stats.inline_runs += 1
+            obs.counter("executor.dispatch_inline").inc()
         self.stats.busy_seconds += duration
         if task.key is not None:
             self.cache.put(task.key, {"value": value,

@@ -38,6 +38,7 @@ import warnings
 from dataclasses import dataclass
 
 from repro.machine.cpu import MachineConfig
+from repro.obs import get_obs, use
 from repro.runtime.process import run_program
 
 
@@ -51,17 +52,56 @@ class RunRecord:
     plan: object          # RunPlan
 
 
+@dataclass(frozen=True)
+class ShortfallInfo:
+    """Structured description of a campaign that missed its quotas."""
+
+    workload_name: str
+    want_failures: int
+    got_failures: int
+    want_successes: int
+    got_successes: int
+    attempts: int
+    limit: int
+
+    def describe(self):
+        return (
+            "campaign for %r exhausted %d/%d attempts with %d/%d "
+            "failures and %d/%d successes" % (
+                self.workload_name, self.attempts, self.limit,
+                self.got_failures, self.want_failures,
+                self.got_successes, self.want_successes,
+            )
+        )
+
+
 @dataclass
 class CampaignResult:
-    """Outcome of a run campaign."""
+    """Outcome of a run campaign.
+
+    Besides the collected runs, carries everything observable about how
+    the campaign unfolded: ``shortfall`` (a :class:`ShortfallInfo`, or
+    ``None`` when both quotas were met), ``executor_stats`` (the
+    :class:`~repro.runtime.executor.ExecutorStats` of the executor in
+    play, or ``None`` on the sequential path), and ``obs`` (the
+    :class:`~repro.obs.Observability` whose span/metric buffers the
+    campaign wrote into; the shared NULL bundle when disabled).
+    """
 
     failures: list
     successes: list
     attempts: int
+    shortfall: ShortfallInfo = None
+    executor_stats: object = None
+    obs: object = None
 
     @property
     def all_runs(self):
         return self.failures + self.successes
+
+    @property
+    def met_quotas(self):
+        return self.shortfall is None
 
 
 class _CampaignShortfall:
@@ -69,6 +109,10 @@ class _CampaignShortfall:
 
     def __init__(self, workload_name, want_failures, got_failures,
                  want_successes, got_successes, attempts, limit):
+        self.info = ShortfallInfo(
+            workload_name, want_failures, got_failures,
+            want_successes, got_successes, attempts, limit,
+        )
         self.workload_name = workload_name
         self.want_failures = want_failures
         self.got_failures = got_failures
@@ -76,13 +120,7 @@ class _CampaignShortfall:
         self.got_successes = got_successes
         self.attempts = attempts
         self.limit = limit
-        super().__init__(
-            "campaign for %r exhausted %d/%d attempts with %d/%d "
-            "failures and %d/%d successes" % (
-                workload_name, attempts, limit, got_failures,
-                want_failures, got_successes, want_successes,
-            )
-        )
+        super().__init__(self.info.describe())
 
 
 class CampaignShortfallError(_CampaignShortfall, RuntimeError):
@@ -93,10 +131,13 @@ class CampaignShortfallWarning(_CampaignShortfall, UserWarning):
     """Warning flavour of :class:`CampaignShortfallError`."""
 
 
-def run_campaign(program, workload, want_failures, want_successes,
+def run_campaign(program, workload, *, want_failures, want_successes,
                  config=None, max_attempts=None, executor=None,
-                 on_shortfall="warn"):
+                 on_shortfall="warn", obs=None):
     """Execute *program* until the requested outcome counts are reached.
+
+    Everything after ``workload`` is keyword-only; the old positional
+    tail (``run_campaign(p, w, 10, 10)``) grew too easy to mis-order.
 
     Failing runs use ``workload.failing_run_plan``; once enough failures
     are collected, passing runs use ``workload.passing_run_plan``.  Runs
@@ -112,10 +153,17 @@ def run_campaign(program, workload, want_failures, want_successes,
     ``on_shortfall`` — ``"warn"`` (default), ``"raise"``, or ``"ignore"``
     — controls what happens when the attempt cap is reached before the
     requested counts are (see the module docstring).
+
+    ``obs`` — an :class:`~repro.obs.Observability` to record spans and
+    metrics into for the duration of the campaign; defaults to whatever
+    bundle is already current (the shared no-op one unless tracing was
+    enabled), so instrumentation costs nothing when unused.
     """
     if on_shortfall not in ("warn", "raise", "ignore"):
         raise ValueError("on_shortfall must be 'warn', 'raise', or "
                          "'ignore', not %r" % (on_shortfall,))
+    if obs is None:
+        obs = get_obs()
     config = config or MachineConfig(num_cores=workload.num_cores)
     failures = []
     successes = []
@@ -126,39 +174,62 @@ def run_campaign(program, workload, want_failures, want_successes,
     def consume(plan_stream, quota_reached):
         nonlocal attempts
         runs = _stream_runs(program, workload, plan_stream, config,
-                            executor)
+                            executor, obs)
         try:
             while not quota_reached() and attempts < limit:
                 record = next(runs, None)
                 if record is None:
                     break
                 record.index = attempts
-                (failures if record.failed else successes).append(record)
+                if record.failed:
+                    failures.append(record)
+                    obs.counter("campaign.runs_failed").inc()
+                else:
+                    successes.append(record)
+                    obs.counter("campaign.runs_succeeded").inc()
                 attempts += 1
         finally:
             runs.close()
 
-    consume((workload.failing_run_plan(k) for k in _counter()),
-            lambda: len(failures) >= want_failures)
-    consume((workload.passing_run_plan(k) for k in _counter()),
-            lambda: len(successes) >= want_successes)
+    with obs.span("campaign", workload=workload.name):
+        with obs.span("campaign.failing"):
+            consume((workload.failing_run_plan(k) for k in _counter()),
+                    lambda: len(failures) >= want_failures)
+        with obs.span("campaign.passing"):
+            consume((workload.passing_run_plan(k) for k in _counter()),
+                    lambda: len(successes) >= want_successes)
+    obs.counter("campaign.attempts").inc(attempts)
 
+    shortfall = None
     short = (len(failures) < want_failures
              or len(successes) < want_successes)
-    if short and on_shortfall != "ignore":
-        description = (workload.name, want_failures, len(failures),
-                       want_successes, len(successes), attempts, limit)
+    if short:
+        obs.counter("campaign.shortfalls").inc()
+        shortfall = ShortfallInfo(
+            workload.name, want_failures, len(failures),
+            want_successes, len(successes), attempts, limit,
+        )
         if on_shortfall == "raise":
-            raise CampaignShortfallError(*description)
-        warnings.warn(CampaignShortfallWarning(*description),
-                      stacklevel=2)
+            raise CampaignShortfallError(*_astuple(shortfall))
+        if on_shortfall == "warn":
+            warnings.warn(CampaignShortfallWarning(*_astuple(shortfall)),
+                          stacklevel=2)
 
     return CampaignResult(
         failures=failures[:want_failures] if want_failures else failures,
         successes=successes[:want_successes] if want_successes
         else successes,
         attempts=attempts,
+        shortfall=shortfall,
+        executor_stats=getattr(executor, "stats", None),
+        obs=obs,
     )
+
+
+def _astuple(info):
+    return (info.workload_name, info.want_failures, info.got_failures,
+            info.want_successes, info.got_successes, info.attempts,
+            info.limit)
 
 
 def _counter():
@@ -168,23 +239,26 @@ def _counter():
         k += 1
 
 
-def _stream_runs(program, workload, plan_stream, config, executor):
+def _stream_runs(program, workload, plan_stream, config, executor, obs):
     """Yield RunRecords for *plan_stream*, in order, lazily.
 
     The sequential path executes one plan per pull; the executor path
     speculates ahead on the pool but still yields in plan order, so the
-    caller's stopping logic sees the same sequence either way.
+    caller's stopping logic sees the same sequence either way.  The whole
+    stream runs with *obs* installed as the current observability bundle
+    so both paths record into the campaign's buffers.
     """
-    if executor is None:
-        for plan in plan_stream:
-            yield _run_one(program, workload, plan, config)
-    else:
-        for plan, result in executor.iter_runs(program, plan_stream,
-                                               config):
-            yield RunRecord(
-                index=-1, status=result.status,
-                failed=workload.is_failure(result.status), plan=plan,
-            )
+    with use(obs):
+        if executor is None:
+            for plan in plan_stream:
+                yield _run_one(program, workload, plan, config)
+        else:
+            for plan, result in executor.iter_runs(program, plan_stream,
+                                                   config):
+                yield RunRecord(
+                    index=-1, status=result.status,
+                    failed=workload.is_failure(result.status), plan=plan,
+                )
 
 
 def _run_one(program, workload, plan, config):

@@ -3,6 +3,7 @@
 from dataclasses import dataclass, field
 
 from repro.machine.cpu import Machine, MachineConfig
+from repro.obs import get_obs
 
 
 @dataclass
@@ -45,11 +46,13 @@ def execute_plan(program, plan, config=None):
     That independence is what makes run campaigns parallelizable and
     cacheable (see :mod:`repro.runtime.executor`).
     """
-    machine = Machine(program, config=config or MachineConfig(),
-                      scheduler=plan.make_scheduler())
-    machine.load(args=plan.args)
-    _apply_globals(machine, plan.globals_setup)
-    status = machine.run(max_steps=plan.max_steps)
+    with get_obs().span("interp.run") as span:
+        machine = Machine(program, config=config or MachineConfig(),
+                          scheduler=plan.make_scheduler())
+        machine.load(args=plan.args)
+        _apply_globals(machine, plan.globals_setup)
+        status = machine.run(max_steps=plan.max_steps)
+        span.set(retired=status.retired, outcome=status.describe())
     return PlanOutcome(
         status=status,
         hwop_counts=dict(machine.hwop_counts),
@@ -65,8 +68,11 @@ def run_program(program, args=(), scheduler=None, config=None,
     (or lists of values for arrays), poked after load — how benchmark
     inputs beyond the six argument registers are injected.
     """
-    machine = Machine(program, config=config or MachineConfig(),
-                      scheduler=scheduler)
-    machine.load(args=args)
-    _apply_globals(machine, globals_setup)
-    return machine.run(max_steps=max_steps)
+    with get_obs().span("interp.run") as span:
+        machine = Machine(program, config=config or MachineConfig(),
+                          scheduler=scheduler)
+        machine.load(args=args)
+        _apply_globals(machine, globals_setup)
+        status = machine.run(max_steps=max_steps)
+        span.set(retired=status.retired, outcome=status.describe())
+    return status

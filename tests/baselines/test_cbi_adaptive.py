@@ -6,7 +6,7 @@ from repro.bugs.registry import get_bug
 
 def test_adaptive_converges_on_sort():
     tool = CbiAdaptiveTool(get_bug("sort"), runs_per_iteration=15)
-    outcome = tool.diagnose()
+    outcome = tool.run_diagnosis()
     assert outcome.converged
     assert outcome.iterations >= 1
     assert 0.0 < outcome.fraction_evaluated <= 1.0
@@ -16,7 +16,7 @@ def test_adaptive_converges_on_sort():
 def test_adaptive_expands_from_failure_function():
     bug = get_bug("sort")
     tool = CbiAdaptiveTool(bug, runs_per_iteration=10)
-    outcome = tool.diagnose()
+    outcome = tool.run_diagnosis()
     # The wave starts at the crashing function and grows outward.
     assert outcome.wave_functions[0] == "hash_lookup"
 
@@ -25,7 +25,7 @@ def test_adaptive_needs_iterations_where_lbra_needs_none():
     """The structural contrast of Section 8: LBRA ships no updates."""
     bug = get_bug("apache1")
     tool = CbiAdaptiveTool(bug, runs_per_iteration=10)
-    outcome = tool.diagnose()
+    outcome = tool.run_diagnosis()
     assert outcome.iterations >= 1
     assert outcome.predicates_evaluated >= 1
 

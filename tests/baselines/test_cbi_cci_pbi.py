@@ -98,7 +98,7 @@ int main(int race) {
 
 def test_cbi_finds_discriminative_branch():
     tool = CbiTool(BranchBug(), seed=3)
-    diagnosis = tool.diagnose(n_failures=400, n_successes=400)
+    diagnosis = tool.run_diagnosis(n_failures=400, n_successes=400)
     rank = diagnosis.rank_of_line([BranchBug().root_line],
                                   detail_suffix="=T")
     assert rank is not None
@@ -109,7 +109,7 @@ def test_cbi_finds_discriminative_branch():
 def test_cbi_needs_many_runs():
     """With very few runs, 1/100 sampling rarely catches the predicate."""
     tool = CbiTool(BranchBug(), seed=3)
-    diagnosis = tool.diagnose(n_failures=5, n_successes=5)
+    diagnosis = tool.run_diagnosis(n_failures=5, n_successes=5)
     rank = diagnosis.rank_of_line([BranchBug().root_line])
     assert rank is None or rank > 0     # usually None; never crashes
 
@@ -121,7 +121,7 @@ def test_cbi_rejects_cpp():
 
 def test_cci_finds_remote_access():
     tool = CciTool(RaceBug(), seed=1)
-    diagnosis = tool.diagnose(n_failures=300, n_successes=300)
+    diagnosis = tool.run_diagnosis(n_failures=300, n_successes=300)
     best = diagnosis.best()
     assert best is not None
     remote = [p for p in diagnosis.ranked
@@ -133,7 +133,7 @@ def test_cci_finds_remote_access():
 def test_pbi_finds_coherence_predicate():
     workload = RaceBug()
     tool = PbiTool(workload, sample_period=5, seed=1)
-    diagnosis = tool.diagnose(n_failures=200, n_successes=200)
+    diagnosis = tool.run_diagnosis(n_failures=200, n_successes=200)
     rank = diagnosis.rank_of_line([workload.raced_line])
     assert rank is not None
     assert rank <= 5
@@ -142,11 +142,11 @@ def test_pbi_finds_coherence_predicate():
 def test_pbi_overhead_is_small_at_default_period():
     # PBI's counting is nearly free; only overflow interrupts cost.
     tool = PbiTool(RaceBug(), seed=1)
-    tool.diagnose(n_failures=30, n_successes=30)
+    tool.run_diagnosis(n_failures=30, n_successes=30)
     assert tool.estimated_overhead() < 0.6
 
 
 def test_baseline_diagnosis_describe():
     tool = CbiTool(BranchBug())
-    diagnosis = tool.diagnose(n_failures=50, n_successes=50)
+    diagnosis = tool.run_diagnosis(n_failures=50, n_successes=50)
     assert "CBI" in diagnosis.describe()

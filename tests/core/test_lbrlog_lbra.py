@@ -119,7 +119,7 @@ def test_lbrlog_position_of_function():
 def test_lbra_reactive_ranks_root_first():
     workload = GuardedFailure()
     diagnosis = LbraTool(workload, scheme="reactive") \
-        .diagnose(n_failures=8, n_successes=8)
+        .run_diagnosis(n_failures=8, n_successes=8)
     assert diagnosis.rank_of_line([workload.root_line], outcome=True) == 1
     assert diagnosis.n_failure_profiles == 8
     assert diagnosis.n_success_profiles == 8
@@ -129,14 +129,14 @@ def test_lbra_reactive_ranks_root_first():
 def test_lbra_proactive_ranks_root_first():
     workload = GuardedFailure()
     diagnosis = LbraTool(workload, scheme="proactive") \
-        .diagnose(n_failures=8, n_successes=8)
+        .run_diagnosis(n_failures=8, n_successes=8)
     assert diagnosis.rank_of_line([workload.root_line], outcome=True) == 1
 
 
 def test_lbra_segfault_reactive():
     workload = CrashingFailure()
     diagnosis = LbraTool(workload, scheme="reactive") \
-        .diagnose(n_failures=6, n_successes=6)
+        .run_diagnosis(n_failures=6, n_successes=6)
     assert diagnosis.failure_site.kind == "segv-handler"
     assert diagnosis.rank_of_line([workload.root_line], outcome=True) == 1
 
@@ -146,7 +146,7 @@ def test_lbra_proactive_cannot_cover_segfaults():
     that manifest at unexpected locations'."""
     with pytest.raises(DiagnosisError):
         LbraTool(CrashingFailure(), scheme="proactive") \
-            .diagnose(n_failures=4, n_successes=4)
+            .run_diagnosis(n_failures=4, n_successes=4)
 
 
 def test_lbra_rejects_unknown_scheme():
@@ -155,7 +155,7 @@ def test_lbra_rejects_unknown_scheme():
 
 
 def test_diagnosis_describe_mentions_scheme():
-    diagnosis = LbraTool(GuardedFailure()).diagnose(4, 4)
+    diagnosis = LbraTool(GuardedFailure()).run_diagnosis(4, 4)
     text = diagnosis.describe()
     assert "reactive" in text
     assert "LBRA" in text

@@ -121,7 +121,7 @@ def test_pollution_entries_are_marked_and_skipped():
 def test_lcra_ranks_fpe_first():
     workload = TinyRace()
     diagnosis = LcraTool(workload, scheme="reactive") \
-        .diagnose(n_failures=8, n_successes=8)
+        .run_diagnosis(n_failures=8, n_successes=8)
     assert diagnosis.ring == "lcr"
     assert diagnosis.rank_of_coherence([workload.fpe_line],
                                        ("load@I",)) == 1

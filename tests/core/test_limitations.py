@@ -135,7 +135,7 @@ int main(int race) {
 def test_ranking_filters_false_sharing_noise():
     workload = NoisyRace()
     diagnosis = LcraTool(workload, scheme="reactive") \
-        .diagnose(n_failures=8, n_successes=8)
+        .run_diagnosis(n_failures=8, n_successes=8)
     fpe_rank = diagnosis.rank_of_coherence([workload.fpe_line],
                                            ("load@I",))
     noise_rank = diagnosis.rank_of_coherence([workload.noise_line])

@@ -1,0 +1,83 @@
+"""Metric instruments, snapshot/merge semantics, and the no-op path."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import NULL_METRICS, Metrics
+
+
+def test_instruments_are_cached_by_name():
+    metrics = Metrics()
+    assert metrics.counter("c") is metrics.counter("c")
+    assert metrics.gauge("g") is metrics.gauge("g")
+    assert metrics.histogram("h") is metrics.histogram("h")
+
+
+def test_counter_gauge_histogram_basics():
+    metrics = Metrics()
+    metrics.counter("runs").inc()
+    metrics.counter("runs").inc(4)
+    metrics.gauge("jobs").set(8)
+    for value in (2.0, 1.0, 4.0):
+        metrics.histogram("dur").observe(value)
+    snapshot = metrics.to_dict()
+    assert snapshot["counters"] == {"runs": 5}
+    assert snapshot["gauges"] == {"jobs": 8}
+    assert snapshot["histograms"]["dur"] == {
+        "count": 3, "sum": 7.0, "min": 1.0, "max": 4.0,
+    }
+    assert metrics.histogram("dur").mean == pytest.approx(7.0 / 3)
+
+
+def test_merge_accumulates_counters_and_histograms():
+    parent = Metrics()
+    parent.counter("runs").inc(2)
+    parent.gauge("jobs").set(1)
+    parent.histogram("dur").observe(5.0)
+    worker = Metrics()
+    worker.counter("runs").inc(3)
+    worker.counter("only.worker").inc()
+    worker.gauge("jobs").set(8)
+    worker.histogram("dur").observe(1.0)
+    worker.histogram("dur").observe(9.0)
+
+    parent.merge(worker.to_dict())
+    snapshot = parent.to_dict()
+    assert snapshot["counters"] == {"runs": 5, "only.worker": 1}
+    assert snapshot["gauges"]["jobs"] == 8          # last write wins
+    assert snapshot["histograms"]["dur"] == {
+        "count": 3, "sum": 15.0, "min": 1.0, "max": 9.0,
+    }
+
+
+def test_merge_skips_empty_histograms():
+    parent = Metrics()
+    parent.histogram("dur").observe(2.0)
+    parent.merge({"histograms": {"dur": {"count": 0, "sum": 0.0,
+                                         "min": None, "max": None}}})
+    assert parent.histogram("dur").count == 1
+    assert parent.histogram("dur").min == 2.0
+
+
+def test_export_json_is_valid_and_sorted(tmp_path):
+    metrics = Metrics()
+    metrics.counter("b").inc()
+    metrics.counter("a").inc()
+    path = tmp_path / "metrics.json"
+    metrics.export_json(str(path))
+    loaded = json.loads(path.read_text())
+    assert loaded == metrics.to_dict()
+
+
+def test_null_metrics_is_inert_but_loud_on_export(tmp_path):
+    NULL_METRICS.counter("x").inc(10)
+    NULL_METRICS.gauge("x").set(10)
+    NULL_METRICS.histogram("x").observe(10)
+    assert NULL_METRICS.counter("x").value == 0
+    assert NULL_METRICS.to_dict() == {
+        "counters": {}, "gauges": {}, "histograms": {},
+    }
+    NULL_METRICS.merge({"counters": {"x": 3}})       # still inert
+    with pytest.raises(RuntimeError):
+        NULL_METRICS.export_json(str(tmp_path / "nope.json"))

@@ -56,19 +56,19 @@ def test_parallel_campaign_matches_sequential():
 
 
 def test_parallel_diagnosis_matches_sequential_for_sequential_bug():
-    sequential = LbraTool(get_bug("sort")).diagnose(6, 6)
+    sequential = LbraTool(get_bug("sort")).run_diagnosis(6, 6)
     with CampaignExecutor(jobs=2, cache=True) as executor:
         parallel = LbraTool(get_bug("sort"),
-                            executor=executor).diagnose(6, 6)
+                            executor=executor).run_diagnosis(6, 6)
     assert _diagnosis_signature(parallel) == \
         _diagnosis_signature(sequential)
 
 
 def test_parallel_diagnosis_matches_sequential_for_concurrency_bug():
-    sequential = LcraTool(get_bug("apache4")).diagnose(6, 6)
+    sequential = LcraTool(get_bug("apache4")).run_diagnosis(6, 6)
     with CampaignExecutor(jobs=2, cache=True) as executor:
         parallel = LcraTool(get_bug("apache4"),
-                            executor=executor).diagnose(6, 6)
+                            executor=executor).run_diagnosis(6, 6)
     assert _diagnosis_signature(parallel) == \
         _diagnosis_signature(sequential)
 
@@ -77,10 +77,10 @@ def test_parallel_baseline_matches_sequential():
     from repro.baselines.cbi import CbiTool
 
     sequential_tool = CbiTool(get_bug("sort"))
-    sequential = sequential_tool.diagnose(n_failures=25, n_successes=25)
+    sequential = sequential_tool.run_diagnosis(n_failures=25, n_successes=25)
     with CampaignExecutor(jobs=2, cache=True) as executor:
         parallel_tool = CbiTool(get_bug("sort"), executor=executor)
-        parallel = parallel_tool.diagnose(n_failures=25, n_successes=25)
+        parallel = parallel_tool.run_diagnosis(n_failures=25, n_successes=25)
     assert [repr(p) for p in parallel.ranked] == \
         [repr(p) for p in sequential.ranked]
     assert (parallel.n_failures, parallel.n_successes) == \
