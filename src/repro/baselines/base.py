@@ -1,5 +1,6 @@
 """Shared campaign machinery for the CBI-family baselines."""
 
+import time
 from dataclasses import dataclass, field
 
 from repro.baselines.scoring import liblit_rank, rank_of_line
@@ -7,6 +8,7 @@ from repro.compiler.frontend import compile_module
 from repro.core.api import deprecated_alias, validate_options
 from repro.machine.cpu import Machine, MachineConfig
 from repro.obs import get_obs, use
+from repro.obs.ledger import get_ledger
 
 
 @dataclass
@@ -138,12 +140,29 @@ class BaselineToolBase:
         worker pool (and replay from its run cache) but are consumed
         strictly in attempt order, so counts, observations, and the
         predicate registry are bit-identical to the sequential path.
+        The finished diagnosis is recorded in the current run ledger
+        (:mod:`repro.obs.ledger`; a no-op unless one is installed).
         """
         obs = self.obs if self.obs is not None else get_obs()
+        started = time.perf_counter()
         with use(obs), obs.span("diagnose." + self.tool_name.lower(),
                                 workload=self.workload.name):
-            return self._run_diagnosis(obs, n_failures, n_successes,
-                                       max_attempts)
+            diagnosis = self._run_diagnosis(obs, n_failures, n_successes,
+                                            max_attempts)
+        params = {name: value for name, value in self.options.items()
+                  if name not in ("executor", "obs", "seed")}
+        params.update(n_failures=n_failures, n_successes=n_successes)
+        get_ledger().record_diagnosis(
+            tool=self.tool_name.lower(),
+            workload=self.workload,
+            raw=diagnosis,
+            seed=self.seed,
+            params=params,
+            wall_seconds=time.perf_counter() - started,
+            executor=self.executor,
+            obs=obs,
+        )
+        return diagnosis
 
     def diagnose(self, n_failures=1000, n_successes=1000,
                  max_attempts=None):

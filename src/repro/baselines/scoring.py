@@ -14,6 +14,8 @@ bug isolation", PLDI 2005), which CBI, CCI, and PBI all use:
 import math
 from dataclasses import dataclass
 
+from repro.obs.provenance import EventProvenance
+
 
 @dataclass(frozen=True)
 class ScoredPredicate:
@@ -31,6 +33,7 @@ class ScoredPredicate:
     increase: float
     importance: float
     rank: int = 0
+    provenance: object = None     # EventProvenance (or None)
 
     def __str__(self):
         return "#%d %s (Imp=%.3f Inc=%.3f F=%d S=%d)" % (
@@ -59,26 +62,35 @@ def liblit_rank(observations, predicate_info):
     detail).  Returns :class:`ScoredPredicate` rows, best first, with
     dense ranks; predicates with non-positive Increase are pruned, as in
     CBI.
+
+    Each surviving predicate carries an
+    :class:`~repro.obs.provenance.EventProvenance` naming the runs that
+    supported it (failing runs observing it true) and opposed it
+    (passing runs observing it true).  Run ids are the campaign attempt
+    positions — observations arrive in campaign order, which is
+    deterministic at any worker count — prefixed ``F``/``S`` by outcome.
     """
     total_failures = sum(1 for o in observations if o.failed)
-    f_true = {}
-    s_true = {}
+    supporting = {}               # predicate_id -> ["F<pos>", ...]
+    opposing = {}                 # predicate_id -> ["S<pos>", ...]
     f_obs = {}
     s_obs = {}
-    for observation in observations:
-        true_bucket = f_true if observation.failed else s_true
+    for position, observation in enumerate(observations):
+        true_bucket = supporting if observation.failed else opposing
+        run_id = ("F%d" if observation.failed else "S%d") % position
         obs_bucket = f_obs if observation.failed else s_obs
         for predicate_id in observation.true_predicates:
-            true_bucket[predicate_id] = \
-                true_bucket.get(predicate_id, 0) + 1
+            true_bucket.setdefault(predicate_id, []).append(run_id)
         for site_id in observation.observed_sites:
             obs_bucket[site_id] = obs_bucket.get(site_id, 0) + 1
 
     scored = []
     for predicate_id, info in predicate_info.items():
         site_id, function, line, detail = info
-        f_p = f_true.get(predicate_id, 0)
-        s_p = s_true.get(predicate_id, 0)
+        supported_by = supporting.get(predicate_id, ())
+        opposed_by = opposing.get(predicate_id, ())
+        f_p = len(supported_by)
+        s_p = len(opposed_by)
         f_o = f_obs.get(site_id, 0)
         s_o = s_obs.get(site_id, 0)
         if f_p + s_p == 0 or f_o + s_o == 0:
@@ -95,6 +107,13 @@ def liblit_rank(observations, predicate_info):
             failure_true=f_p, success_true=s_p,
             failure_observed=f_o, success_observed=s_o,
             increase=increase, importance=importance,
+            provenance=EventProvenance(
+                failure_hits=f_p,
+                success_hits=s_p,
+                total_failures=total_failures,
+                supporting_runs=tuple(supported_by),
+                opposing_runs=tuple(opposed_by),
+            ),
         ))
     scored.sort(key=lambda p: (-p.importance, -p.increase,
                                p.predicate_id))
@@ -134,6 +153,7 @@ def _dense_rank(scored):
             increase=predicate.increase,
             importance=predicate.importance,
             rank=rank,
+            provenance=predicate.provenance,
         ))
     return ranked
 

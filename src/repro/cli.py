@@ -10,7 +10,16 @@ Commands:
 * ``experiment <name>``          — regenerate one paper table/figure;
 * ``experiment all``             — regenerate every table/figure;
 * ``experiments``                — list available experiment names;
-* ``obs report <trace.jsonl>``   — per-phase breakdown of a trace.
+* ``ledger path``                — resolved run-ledger location;
+* ``obs report <trace.jsonl>``   — per-phase breakdown of a trace;
+* ``obs flame <trace.jsonl>``    — folded-stack text flame view;
+* ``obs explain <report.json>``  — per-event provenance of a diagnosis;
+* ``obs trends``                 — quality/latency deltas per ledger
+  series (non-zero exit on regression);
+* ``obs compare <A> <B>``        — structured diff of two ledger
+  entries (``@N`` sequence refs or entry-id prefixes);
+* ``obs conformance [table...]`` — re-run experiment drivers and check
+  their output against the pinned paper-table values.
 
 ``diagnose`` and ``experiment`` accept ``--jobs N`` (fan campaign runs
 out over N worker processes), ``--cache``/``--no-cache`` (content-
@@ -24,6 +33,11 @@ parallelism and caching change wall-clock time only.
 is then enabled for the invocation and the span trace / metric totals
 are written on exit (see :mod:`repro.obs`; render traces with
 ``repro obs report``).
+
+``diagnose`` and ``experiment`` also append to the persistent run
+ledger (:mod:`repro.obs.ledger`) under ``--ledger-dir`` (default
+``.repro-ledger/``, overridable via ``$REPRO_LEDGER_DIR``); pass
+``--no-ledger`` to skip recording.
 """
 
 import argparse
@@ -31,6 +45,15 @@ import contextlib
 import sys
 
 from repro.bugs.registry import bug_names, get_bug
+
+
+def _version():
+    try:
+        from importlib import metadata
+        return metadata.version("repro")
+    except Exception:
+        import repro
+        return repro.__version__
 
 
 def _experiment_registry():
@@ -93,6 +116,18 @@ def _write_stats(executor, out):
     stats = executor_stats_result(executor)
     if stats is not None:
         out.write("\n" + stats.format() + "\n")
+
+
+@contextlib.contextmanager
+def _ledger_session(args):
+    """Install a persistent run ledger unless ``--no-ledger`` was given."""
+    from repro.obs.ledger import Ledger, use
+
+    if not getattr(args, "ledger", True):
+        yield
+        return
+    with use(Ledger(getattr(args, "ledger_dir", None))):
+        yield
 
 
 @contextlib.contextmanager
@@ -178,12 +213,16 @@ def _cmd_diagnose(args, out):
         options["scheme"] = args.scheme
     executor = _build_executor(args)
     try:
-        with _obs_session(args, out):
+        with _ledger_session(args), _obs_session(args, out):
             report = get_tool(name)(bug, executor=executor, **options) \
                 .diagnose(args.runs, args.runs)
             out.write(report.describe(n=args.top) + "\n")
             if args.json:
                 out.write(report.to_json() + "\n")
+            if args.json_out:
+                with open(args.json_out, "w") as handle:
+                    handle.write(report.to_json() + "\n")
+                out.write("report written to %s\n" % args.json_out)
     except (DiagnosisError, BaselineUnsupportedError) as exc:
         out.write("diagnosis failed: %s\n" % exc)
         return 1
@@ -209,7 +248,7 @@ def _cmd_experiment(args, out):
     names = sorted(registry) if args.name == "all" else [args.name]
     executor = _build_executor(args)
     try:
-        with _obs_session(args, out):
+        with _ledger_session(args), _obs_session(args, out):
             for index, name in enumerate(names):
                 result = registry[name](executor=executor)
                 if index:
@@ -222,15 +261,130 @@ def _cmd_experiment(args, out):
     return 0
 
 
+def _cmd_ledger(args, out):
+    import os
+
+    from repro.obs.ledger import Ledger, resolve_ledger_dir
+
+    if args.ledger_command == "path":
+        directory = resolve_ledger_dir(args.ledger_dir)
+        entries = Ledger(directory).entries()
+        out.write("%s\n" % os.path.abspath(directory))
+        out.write("%d entries recorded\n" % len(entries))
+        return 0
+    return 1                        # pragma: no cover (argparse gates)
+
+
 def _cmd_obs(args, out):
-    from repro.obs.report import render_report_file
+    handlers = {
+        "report": _cmd_obs_report,
+        "flame": _cmd_obs_flame,
+        "explain": _cmd_obs_explain,
+        "trends": _cmd_obs_trends,
+        "compare": _cmd_obs_compare,
+        "conformance": _cmd_obs_conformance,
+    }
+    return handlers[args.obs_command](args, out)
+
+
+def _cmd_obs_report(args, out):
+    import json
+
+    from repro.obs.report import NotASpanTrace, render_report_file
 
     try:
         out.write(render_report_file(args.trace_file, top=args.top) + "\n")
     except FileNotFoundError:
         out.write("no such trace file: %s\n" % args.trace_file)
         return 1
+    except json.JSONDecodeError as exc:
+        out.write("not a span trace: %s is not JSON Lines (%s)\n"
+                  % (args.trace_file, exc))
+        return 2
+    except NotASpanTrace as exc:
+        out.write("%s\n" % exc)
+        return 2
     return 0
+
+
+def _cmd_obs_flame(args, out):
+    import json
+
+    from repro.obs.flame import render_flame_file
+    from repro.obs.report import NotASpanTrace
+
+    try:
+        out.write(render_flame_file(args.trace_file, width=args.width,
+                                    folded_out=args.folded) + "\n")
+    except FileNotFoundError:
+        out.write("no such trace file: %s\n" % args.trace_file)
+        return 1
+    except json.JSONDecodeError as exc:
+        out.write("not a span trace: %s is not JSON Lines (%s)\n"
+                  % (args.trace_file, exc))
+        return 2
+    except NotASpanTrace as exc:
+        out.write("%s\n" % exc)
+        return 2
+    if args.folded:
+        out.write("folded stacks written to %s\n" % args.folded)
+    return 0
+
+
+def _cmd_obs_explain(args, out):
+    from repro.obs.provenance import NotADiagnosisReport, explain_file
+
+    try:
+        out.write(explain_file(args.report_file, top=args.top) + "\n")
+    except FileNotFoundError:
+        out.write("no such report file: %s\n" % args.report_file)
+        return 1
+    except NotADiagnosisReport as exc:
+        out.write("%s\n" % exc)
+        return 2
+    return 0
+
+
+def _cmd_obs_trends(args, out):
+    from repro.obs.ledger import Ledger, render_trends
+
+    text, code = render_trends(
+        Ledger(args.ledger_dir),
+        rank_threshold=args.rank_threshold,
+        latency_threshold=args.latency_threshold,
+    )
+    out.write(text + "\n")
+    return code
+
+
+def _cmd_obs_compare(args, out):
+    from repro.obs.ledger import Ledger, LedgerError, render_compare
+
+    try:
+        out.write(render_compare(Ledger(args.ledger_dir), args.entry_a,
+                                 args.entry_b,
+                                 show_same=args.show_same) + "\n")
+    except LedgerError as exc:
+        out.write("%s\n" % exc)
+        return 1
+    return 0
+
+
+def _cmd_obs_conformance(args, out):
+    from repro.experiments.expected import run_conformance
+
+    executor = _build_executor(args)
+    try:
+        with _ledger_session(args):
+            text, code = run_conformance(args.names, executor=executor)
+    except ValueError as exc:
+        out.write("%s\n" % exc)
+        return 1
+    finally:
+        if executor is not None:
+            executor.shutdown()
+    out.write(text + "\n")
+    return code
 
 
 def _add_executor_flags(parser):
@@ -262,12 +416,27 @@ def _add_obs_flags(parser):
     )
 
 
+def _add_ledger_flags(parser):
+    parser.add_argument(
+        "--ledger", action=argparse.BooleanOptionalAction, default=True,
+        help="append this invocation to the persistent run ledger "
+             "(default: on)",
+    )
+    parser.add_argument(
+        "--ledger-dir", default=None, metavar="DIR",
+        help="run-ledger location (default: $REPRO_LEDGER_DIR or "
+             ".repro-ledger/)",
+    )
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Short-term-memory failure diagnosis (ASPLOS 2014 "
                     "reproduction)",
     )
+    parser.add_argument("--version", action="version",
+                        version="repro " + _version())
     commands = parser.add_subparsers(dest="command", required=True)
 
     commands.add_parser("bugs", help="list benchmark failures")
@@ -305,8 +474,14 @@ def build_parser():
     diag_parser.add_argument("--top", type=int, default=5)
     diag_parser.add_argument("--json", action="store_true",
                              help="also print the report as JSON")
+    diag_parser.add_argument(
+        "--json-out", metavar="FILE.json", default=None,
+        help="write the report as pure JSON (render with "
+             "`repro obs explain`)",
+    )
     _add_executor_flags(diag_parser)
     _add_obs_flags(diag_parser)
+    _add_ledger_flags(diag_parser)
 
     commands.add_parser("experiments", help="list experiment names")
     exp_parser = commands.add_parser(
@@ -316,6 +491,18 @@ def build_parser():
     exp_parser.add_argument("name")
     _add_executor_flags(exp_parser)
     _add_obs_flags(exp_parser)
+    _add_ledger_flags(exp_parser)
+
+    ledger_parser = commands.add_parser(
+        "ledger", help="inspect the persistent run ledger"
+    )
+    ledger_commands = ledger_parser.add_subparsers(dest="ledger_command",
+                                                   required=True)
+    ledger_path_parser = ledger_commands.add_parser(
+        "path", help="print the resolved ledger location and entry count"
+    )
+    ledger_path_parser.add_argument("--ledger-dir", default=None,
+                                    metavar="DIR")
 
     obs_parser = commands.add_parser(
         "obs", help="inspect observability output"
@@ -328,6 +515,66 @@ def build_parser():
     report_parser.add_argument("trace_file", metavar="trace.jsonl")
     report_parser.add_argument("--top", type=int, default=None,
                                help="show only the N slowest phases")
+
+    flame_parser = obs_commands.add_parser(
+        "flame", help="folded-stack text flame view of a --trace file"
+    )
+    flame_parser.add_argument("trace_file", metavar="trace.jsonl")
+    flame_parser.add_argument("--width", type=int, default=60,
+                              help="bar width in characters "
+                                   "(default: %(default)s)")
+    flame_parser.add_argument(
+        "--folded", metavar="FILE", default=None,
+        help="also write canonical folded 'stack value' lines to FILE",
+    )
+
+    explain_parser = obs_commands.add_parser(
+        "explain", help="per-event provenance of a diagnosis report "
+                        "(produce one with `repro diagnose --json-out`)"
+    )
+    explain_parser.add_argument("report_file", metavar="report.json")
+    explain_parser.add_argument("--top", type=int, default=None,
+                                help="show only the N best events")
+
+    trends_parser = obs_commands.add_parser(
+        "trends", help="quality/latency deltas across ledger entries "
+                       "(non-zero exit on regression)"
+    )
+    trends_parser.add_argument("--ledger-dir", default=None,
+                               metavar="DIR")
+    trends_parser.add_argument(
+        "--rank-threshold", type=int, default=0, metavar="N",
+        help="tolerate the root-cause rank worsening by up to N "
+             "(default: %(default)s)",
+    )
+    trends_parser.add_argument(
+        "--latency-threshold", type=float, default=None, metavar="PCT",
+        help="also flag wall time grown by more than PCT%% "
+             "(default: latency never gates)",
+    )
+
+    compare_parser = obs_commands.add_parser(
+        "compare", help="structured diff of two ledger entries"
+    )
+    compare_parser.add_argument("entry_a", metavar="A",
+                                help="@N sequence ref or entry-id prefix")
+    compare_parser.add_argument("entry_b", metavar="B")
+    compare_parser.add_argument("--ledger-dir", default=None,
+                                metavar="DIR")
+    compare_parser.add_argument("--show-same", action="store_true",
+                                help="also list identical fields")
+
+    conformance_parser = obs_commands.add_parser(
+        "conformance", help="re-run experiment drivers and check their "
+                            "output against the pinned paper tables"
+    )
+    conformance_parser.add_argument(
+        "names", nargs="*", default=["table5"], metavar="table",
+        help="drivers to check: table5, table6, table7 "
+             "(default: table5)",
+    )
+    _add_executor_flags(conformance_parser)
+    _add_ledger_flags(conformance_parser)
     return parser
 
 
@@ -341,6 +588,7 @@ def main(argv=None, out=None):
         "diagnose": _cmd_diagnose,
         "experiments": _cmd_experiments,
         "experiment": _cmd_experiment,
+        "ledger": _cmd_ledger,
         "obs": _cmd_obs,
     }
     try:

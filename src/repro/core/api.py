@@ -65,12 +65,18 @@ def validate_options(tool_name, accepted, options):
 # ----------------------------------------------------------------------
 
 def _normalize_ranked(ranked):
-    """Ranked rows (PredictorScore or ScoredPredicate) as plain dicts."""
+    """Ranked rows (PredictorScore or ScoredPredicate) as plain dicts.
+
+    Every row carries its ``provenance`` dict (supporting/opposing run
+    ids and the precision/recall component pairs, see
+    :mod:`repro.obs.provenance`) when the scorer recorded one.
+    """
     rows = []
     for score in ranked:
         event = getattr(score, "event", None)
+        provenance = getattr(score, "provenance", None)
         if event is not None:            # core PredictorScore
-            rows.append({
+            row = {
                 "rank": score.rank,
                 "event_id": event.event_id,
                 "kind": event.kind,
@@ -82,9 +88,9 @@ def _normalize_ranked(ranked):
                 "f_score": score.f_score,
                 "failure_hits": score.failure_hits,
                 "success_hits": score.success_hits,
-            })
+            }
         else:                            # baseline ScoredPredicate
-            rows.append({
+            row = {
                 "rank": score.rank,
                 "predicate_id": score.predicate_id,
                 "site": score.site_id,
@@ -95,7 +101,10 @@ def _normalize_ranked(ranked):
                 "increase": score.increase,
                 "failure_true": score.failure_true,
                 "success_true": score.success_true,
-            })
+            }
+        row["provenance"] = provenance.to_dict() if provenance is not None \
+            else None
+        rows.append(row)
     return rows
 
 

@@ -14,6 +14,7 @@ precision and recall.  Both success-profiling schemes are implemented:
   locations (segfaults), exactly as the paper notes.
 """
 
+import time
 import warnings
 from dataclasses import dataclass, field
 
@@ -21,6 +22,7 @@ from repro.compiler.frontend import compile_module
 from repro.lang.transform import ReactiveTarget, enhance_logging
 from repro.machine.cpu import MachineConfig
 from repro.obs import get_obs, use
+from repro.obs.ledger import get_ledger
 from repro.runtime.process import run_program
 from repro.core.api import deprecated_alias, validate_options
 from repro.core.profiles import (
@@ -269,14 +271,29 @@ class DiagnosisToolBase:
         alias).  Runs under this tool's ``obs`` when one was given, the
         currently installed one otherwise, tagging the phases
         ``diagnose.<tool>`` → ``collect.failures`` / ``collect.successes``
-        / ``rank``.
+        / ``rank``.  The finished diagnosis is recorded in the current
+        run ledger (:mod:`repro.obs.ledger`; a no-op unless one is
+        installed).
         """
         obs = self.obs if self.obs is not None else get_obs()
+        started = time.perf_counter()
         with use(obs), obs.span("diagnose." + self.tool_name,
                                 workload=self.workload.name,
                                 scheme=self.scheme):
-            return self._run_diagnosis(obs, n_failures, n_successes,
-                                       max_attempts)
+            diagnosis = self._run_diagnosis(obs, n_failures, n_successes,
+                                            max_attempts)
+        get_ledger().record_diagnosis(
+            tool=self.tool_name,
+            workload=self.workload,
+            raw=diagnosis,
+            seed=self.seed,
+            params={"scheme": self.scheme, "toggling": self.toggling,
+                    "n_failures": n_failures, "n_successes": n_successes},
+            wall_seconds=time.perf_counter() - started,
+            executor=self.executor,
+            obs=obs,
+        )
+        return diagnosis
 
     def diagnose(self, n_failures=10, n_successes=10, max_attempts=None):
         """Deprecated alias of :meth:`run_diagnosis`."""

@@ -11,9 +11,17 @@ and events are ranked by the harmonic mean of the two.  Ties share a
 dense rank: several events can legitimately be perfect predictors (the
 branch guarding the failure-logging call always is), and the paper's
 "top-1 predictor" claim is interpreted over that tied set.
+
+Each score also carries its *provenance* — an
+:class:`~repro.obs.provenance.EventProvenance` naming the failure runs
+that supported the event and the success runs that opposed it, plus the
+numerator/denominator pairs behind precision and recall — so a report
+can show the evidence trail, not just the rank.
 """
 
 from dataclasses import dataclass
+
+from repro.obs.provenance import EventProvenance
 
 
 @dataclass(frozen=True)
@@ -27,6 +35,7 @@ class PredictorScore:
     failure_hits: int
     success_hits: int
     rank: int = 0        # dense rank, 1 = best
+    provenance: object = None     # EventProvenance (or None)
 
     def __str__(self):
         return "#%d %s (f=%.3f p=%.3f r=%.3f F=%d S=%d)" % (
@@ -50,24 +59,26 @@ def rank_predictors(failure_profiles, success_profiles):
     ranks assigned (equal scores share a rank).
     """
     total_failures = len(failure_profiles)
-    failure_hits = {}
-    success_hits = {}
+    supporting = {}               # event_id -> ["F<run>", ...]
+    opposing = {}                 # event_id -> ["S<run>", ...]
     events = {}
     for profile in failure_profiles:
         for event in profile.event_set:
             events[event.event_id] = event
-            failure_hits[event.event_id] = \
-                failure_hits.get(event.event_id, 0) + 1
+            supporting.setdefault(event.event_id, []) \
+                .append("F%d" % profile.run_index)
     for profile in success_profiles:
         for event in profile.event_set:
             events[event.event_id] = event
-            success_hits[event.event_id] = \
-                success_hits.get(event.event_id, 0) + 1
+            opposing.setdefault(event.event_id, []) \
+                .append("S%d" % profile.run_index)
 
     scores = []
     for event_id, event in events.items():
-        f_hits = failure_hits.get(event_id, 0)
-        s_hits = success_hits.get(event_id, 0)
+        supported_by = supporting.get(event_id, ())
+        opposed_by = opposing.get(event_id, ())
+        f_hits = len(supported_by)
+        s_hits = len(opposed_by)
         observed = f_hits + s_hits
         precision = f_hits / observed if observed else 0.0
         recall = f_hits / total_failures if total_failures else 0.0
@@ -78,6 +89,13 @@ def rank_predictors(failure_profiles, success_profiles):
             f_score=harmonic_mean(precision, recall),
             failure_hits=f_hits,
             success_hits=s_hits,
+            provenance=EventProvenance(
+                failure_hits=f_hits,
+                success_hits=s_hits,
+                total_failures=total_failures,
+                supporting_runs=tuple(supported_by),
+                opposing_runs=tuple(opposed_by),
+            ),
         ))
     scores.sort(key=lambda s: (-s.f_score, -s.precision, -s.recall,
                                s.event.event_id))
@@ -102,6 +120,7 @@ def _assign_dense_ranks(scores):
             failure_hits=score.failure_hits,
             success_hits=score.success_hits,
             rank=rank,
+            provenance=score.provenance,
         ))
     return ranked
 

@@ -12,6 +12,7 @@ process, or was replayed from the content-addressed run cache.
 """
 
 import functools
+import time
 from dataclasses import dataclass, field
 
 from repro.obs import get_obs
@@ -22,14 +23,24 @@ def traced(name):
 
     Every driver's ``run()`` is wrapped in ``experiment.<name>``, so a
     trace of a full invocation breaks down by experiment, then by
-    campaign, then by run (``repro obs report trace.jsonl``).  Costs one
-    no-op context manager per driver call when observability is off.
+    campaign, then by run (``repro obs report trace.jsonl``).  The
+    finished result is also recorded in the current run ledger
+    (:mod:`repro.obs.ledger`), giving ``repro obs trends`` an
+    invocation history per driver.  Costs one no-op context manager and
+    one no-op ledger call per driver call when both are off.
     """
     def wrap(fn):
         @functools.wraps(fn)
         def inner(*args, **kwargs):
+            from repro.obs.ledger import get_ledger
+
+            started = time.perf_counter()
             with get_obs().span(name):
-                return fn(*args, **kwargs)
+                result = fn(*args, **kwargs)
+            get_ledger().record_experiment(
+                name, result, time.perf_counter() - started,
+            )
+            return result
         return inner
     return wrap
 

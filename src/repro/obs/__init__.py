@@ -34,7 +34,15 @@ Design rules:
 * **One payload format.**  :meth:`Observability.to_payload` /
   :meth:`Observability.merge_payload` is the single serialization used
   for worker round-trips; JSONL traces and JSON metric dumps are the
-  at-rest formats (``repro obs report`` renders the former).
+  at-rest formats (``repro obs report`` renders the former, ``repro
+  obs flame`` collapses it into a folded-stack flame view).
+
+Three sibling submodules extend the in-process buffers to at-rest
+history and evidence: :mod:`repro.obs.ledger` (the persistent,
+content-keyed run ledger behind ``repro obs trends`` / ``compare``),
+:mod:`repro.obs.provenance` (per-ranked-event evidence records and
+``repro obs explain``), and :mod:`repro.obs.flame` (folded-stack
+collapsing of traces and sampled profiles).
 """
 
 import contextlib

@@ -1,0 +1,659 @@
+"""The diagnosis flight recorder: a persistent, append-only run ledger.
+
+Every telemetry buffer PR 2 introduced dies with its process; the
+ledger is the at-rest complement.  One directory (``.repro-ledger/`` by
+default, ``REPRO_LEDGER_DIR`` overrides) holds:
+
+* ``ledger.jsonl`` — one JSON object per recorded invocation, append
+  only, in invocation order;
+* ``index.json`` — a small acceleration index (sequence numbers and
+  entry ids), rebuilt from the JSONL when missing or corrupt.
+
+Entries are **content-keyed like the run cache**: ``entry_id`` is the
+sha256 of the entry's deterministic fields — kind, tool, workload,
+seed, params, quality, run counts, and the provenance digest — and
+never of its timing fields (wall time, executor activity, metric
+totals, timestamp).  Two executions of one diagnosis therefore produce
+entries with the *same id* no matter the ``--jobs`` value or cache
+state, which is how ``tests/obs/test_ledger.py`` pins ledger
+determinism.
+
+Recording follows the observability pattern: a module-level *current
+ledger* starts as the no-op :data:`NULL_LEDGER`; install a real one
+with :func:`use` (the CLI does this for ``diagnose`` and ``experiment``
+unless ``--no-ledger``).  The hooks live on the shared paths — both
+``run_diagnosis`` implementations, :func:`~repro.runtime.harness
+.run_campaign`, and the ``traced`` decorator every experiment driver
+wears — so one installation covers the whole pipeline.
+
+Analytics over the ledger (``repro obs trends`` / ``repro obs
+compare``) live here too; the paper-conformance checks live in
+:mod:`repro.experiments.expected`.
+"""
+
+import contextlib
+import datetime
+import hashlib
+import json
+import os
+import tempfile
+
+from repro.obs.provenance import provenance_digest
+
+#: Bump when the entry layout changes incompatibly.
+LEDGER_FORMAT_VERSION = 1
+
+#: Default on-disk location, relative to the working directory.
+DEFAULT_LEDGER_DIR = ".repro-ledger"
+
+#: Environment override for the ledger directory.
+LEDGER_DIR_ENV = "REPRO_LEDGER_DIR"
+
+#: Entry fields excluded from the content key (observational only).
+TIMING_FIELDS = ("timings", "executor", "obs", "created_at", "seq",
+                 "entry_id")
+
+
+def resolve_ledger_dir(directory=None):
+    """The ledger directory: explicit > ``$REPRO_LEDGER_DIR`` > default."""
+    if directory:
+        return os.fspath(directory)
+    return os.environ.get(LEDGER_DIR_ENV) or DEFAULT_LEDGER_DIR
+
+
+def content_key(entry):
+    """The sha256 content key over an entry's deterministic fields."""
+    keyed = {name: value for name, value in entry.items()
+             if name not in TIMING_FIELDS}
+    canonical = json.dumps(keyed, sort_keys=True, separators=(",", ":"),
+                           default=str)
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+def _sanitize(value):
+    """Coerce *value* into something JSON-serializable, recursively."""
+    if isinstance(value, dict):
+        return {str(k): _sanitize(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_sanitize(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+class LedgerError(Exception):
+    """Raised for unresolvable entry references and malformed ledgers."""
+
+
+class Ledger:
+    """Append-only JSONL ledger with a content-keyed index."""
+
+    def __init__(self, directory=None):
+        self.directory = resolve_ledger_dir(directory)
+
+    # -- paths ----------------------------------------------------------
+
+    @property
+    def ledger_path(self):
+        return os.path.join(self.directory, "ledger.jsonl")
+
+    @property
+    def index_path(self):
+        return os.path.join(self.directory, "index.json")
+
+    # -- writing --------------------------------------------------------
+
+    def append(self, *, kind, tool=None, workload=None, seed=None,
+               params=None, quality=None, runs=None,
+               provenance_digest=None, timings=None, executor=None,
+               obs=None):
+        """Append one entry; returns the full entry dict (with id/seq).
+
+        Only the keyword surface is public — the entry layout is the
+        schema documented in ``docs/ledger.md``.
+        """
+        entry = {
+            "version": LEDGER_FORMAT_VERSION,
+            "kind": kind,
+            "tool": tool,
+            "workload": workload,
+            "seed": seed,
+            "params": _sanitize(params or {}),
+            "quality": _sanitize(quality) if quality is not None else None,
+            "runs": _sanitize(runs or {}),
+            "provenance_digest": provenance_digest,
+        }
+        entry["entry_id"] = content_key(entry)
+        entry["timings"] = _sanitize(timings or {})
+        entry["executor"] = _sanitize(executor) if executor else None
+        entry["obs"] = _sanitize(obs) if obs else None
+        entry["created_at"] = datetime.datetime.now(
+            datetime.timezone.utc).isoformat()
+        entry["seq"] = self._append_line(entry)
+        self._index_add(entry)
+        return entry
+
+    def _append_line(self, entry):
+        os.makedirs(self.directory, exist_ok=True)
+        seq = self._next_seq()
+        record = dict(entry, seq=seq)
+        with open(self.ledger_path, "a") as handle:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+        return seq
+
+    def _next_seq(self):
+        index = self._read_index()
+        if index is not None:
+            return index.get("next_seq", len(index.get("entries", ())))
+        try:
+            with open(self.ledger_path) as handle:
+                return sum(1 for line in handle if line.strip())
+        except FileNotFoundError:
+            return 0
+
+    # -- the index ------------------------------------------------------
+
+    def _read_index(self):
+        try:
+            with open(self.index_path) as handle:
+                index = json.load(handle)
+            if index.get("version") != LEDGER_FORMAT_VERSION:
+                return None
+            return index
+        except (FileNotFoundError, json.JSONDecodeError, OSError):
+            return None
+
+    def _index_add(self, entry):
+        index = self._read_index()
+        if index is None:
+            index = self._rebuild_index(upto_seq=entry["seq"])
+        else:
+            index["entries"].append(self._index_row(entry))
+            index["next_seq"] = entry["seq"] + 1
+        self._write_index(index)
+
+    @staticmethod
+    def _index_row(entry):
+        return {"seq": entry["seq"], "entry_id": entry["entry_id"],
+                "kind": entry["kind"], "tool": entry["tool"],
+                "workload": entry["workload"]}
+
+    def _rebuild_index(self, upto_seq=None):
+        rows = [self._index_row(e) for e in self._read_entries()]
+        return {"version": LEDGER_FORMAT_VERSION,
+                "next_seq": (rows[-1]["seq"] + 1) if rows else
+                (upto_seq + 1 if upto_seq is not None else 0),
+                "entries": rows}
+
+    def _write_index(self, index):
+        # Atomic replace, same discipline as the run cache's disk layer;
+        # best-effort — the JSONL file remains the source of truth.
+        try:
+            fd, temp_path = tempfile.mkstemp(dir=self.directory,
+                                             suffix=".tmp")
+            with os.fdopen(fd, "w") as handle:
+                json.dump(index, handle, sort_keys=True)
+            os.replace(temp_path, self.index_path)
+        except OSError:
+            pass
+
+    # -- reading --------------------------------------------------------
+
+    def _read_entries(self):
+        try:
+            with open(self.ledger_path) as handle:
+                lines = [line for line in handle if line.strip()]
+        except FileNotFoundError:
+            return []
+        entries = []
+        for line in lines:
+            try:
+                entries.append(json.loads(line))
+            except json.JSONDecodeError:
+                continue              # torn tail write: skip, don't crash
+        return entries
+
+    def entries(self, kind=None, tool=None, workload=None):
+        """All entries in append order, optionally filtered."""
+        out = []
+        for entry in self._read_entries():
+            if kind is not None and entry.get("kind") != kind:
+                continue
+            if tool is not None and entry.get("tool") != tool:
+                continue
+            if workload is not None and entry.get("workload") != workload:
+                continue
+            out.append(entry)
+        return out
+
+    def resolve(self, reference):
+        """Resolve ``@<seq>`` (negative = from the end) or an id prefix."""
+        entries = self._read_entries()
+        if not entries:
+            raise LedgerError("ledger at %s is empty" % self.directory)
+        if reference.startswith("@"):
+            try:
+                position = int(reference[1:])
+            except ValueError:
+                raise LedgerError(
+                    "bad entry reference %r (expected @<seq>)"
+                    % reference) from None
+            for entry in entries:
+                if entry.get("seq") == position:
+                    return entry
+            try:
+                return entries[position]
+            except IndexError:
+                raise LedgerError("no entry %s (ledger has %d entries)"
+                                  % (reference, len(entries))) from None
+        matches = [e for e in entries
+                   if e.get("entry_id", "").startswith(reference)]
+        if not matches:
+            raise LedgerError("no entry id starts with %r" % reference)
+        if len({e["entry_id"] for e in matches}) > 1:
+            raise LedgerError("entry reference %r is ambiguous (%d ids)"
+                              % (reference, len(matches)))
+        return matches[-1]             # latest entry with that id
+
+    # -- recording hooks ------------------------------------------------
+
+    def record_diagnosis(self, *, tool, workload, raw, seed=0,
+                         params=None, wall_seconds=0.0, executor=None,
+                         obs=None):
+        """Record one finished diagnosis campaign.
+
+        *raw* is the tool's native result (a core ``Diagnosis`` or a
+        ``BaselineDiagnosis``); quality is the dense rank of the
+        workload's ground-truth root cause (``None`` when the workload
+        has no registered root cause, or the diagnosis missed it).
+        """
+        from repro.core.api import _normalize_ranked
+
+        ranked = _normalize_ranked(raw.ranked)
+        return self.append(
+            kind="diagnosis",
+            tool=tool,
+            workload=getattr(workload, "name", str(workload)),
+            seed=seed,
+            params=params,
+            quality=diagnosis_quality(raw, workload),
+            runs={
+                "failures": getattr(raw, "n_failure_profiles",
+                                    getattr(raw, "n_failures", 0)),
+                "successes": getattr(raw, "n_success_profiles",
+                                     getattr(raw, "n_successes", 0)),
+            },
+            provenance_digest=provenance_digest(ranked),
+            timings={"wall_seconds": wall_seconds},
+            executor=_executor_record(executor),
+            obs=_obs_record(obs),
+        )
+
+    def record_campaign(self, *, workload, result):
+        """Record one :func:`~repro.runtime.harness.run_campaign` call."""
+        return self.append(
+            kind="campaign",
+            workload=getattr(workload, "name", str(workload)),
+            runs={
+                "failures": len(result.failures),
+                "successes": len(result.successes),
+                "attempts": result.attempts,
+                "met_quotas": result.met_quotas,
+            },
+            executor=_executor_record_from_stats(result.executor_stats),
+        )
+
+    def record_experiment(self, name, result, wall_seconds):
+        """Record one experiment driver invocation.
+
+        ``quality`` holds the rendered table's shape and a content
+        digest of its rows, so ``repro obs trends`` can flag an
+        experiment whose output changed between invocations.
+        """
+        rows = getattr(result, "rows", None)
+        headers = getattr(result, "headers", None)
+        quality = None
+        if rows is not None:
+            canonical = json.dumps(
+                {"headers": _sanitize(headers),
+                 "rows": [[str(cell) for cell in row] for row in rows]},
+                sort_keys=True, separators=(",", ":"),
+            )
+            quality = {
+                "n_rows": len(rows),
+                "rows_digest":
+                    hashlib.sha256(canonical.encode()).hexdigest(),
+            }
+        return self.append(
+            kind="experiment",
+            tool=getattr(result, "name", None) or name,
+            workload=name,
+            quality=quality,
+            timings={"wall_seconds": wall_seconds},
+        )
+
+
+def diagnosis_quality(raw, workload):
+    """Ground-truth quality of one diagnosis, from the bug registry.
+
+    The rank is the dense rank of the workload's registered root-cause
+    event — a branch on ``root_cause_lines`` for the LBR-based tools
+    and baselines, a coherence event filtered by ``fpe_state_tags`` for
+    LCRA (exactly the Table 6/7 accessors).
+    """
+    lines = tuple(getattr(workload, "root_cause_lines", ()) or ())
+    related = tuple(getattr(workload, "related_lines", ()) or ())
+    rank = related_rank = None
+    if lines:
+        if (getattr(workload, "category", "sequential") == "concurrency"
+                and hasattr(raw, "rank_of_coherence")):
+            tags = tuple(getattr(workload, "fpe_state_tags", ()) or ()) \
+                or None
+            rank = raw.rank_of_coherence(lines, tags)
+            if related:
+                related_rank = raw.rank_of_coherence(related, tags)
+        else:
+            rank = raw.rank_of_line(lines)
+            if related:
+                related_rank = raw.rank_of_line(related)
+    best = raw.ranked[0] if raw.ranked else None
+    quality = {
+        "root_cause_rank": rank,
+        "related_rank": related_rank,
+        "n_ranked": len(raw.ranked),
+        "best_event": None,
+        "best_score": None,
+    }
+    if best is not None:
+        event = getattr(best, "event", None)
+        quality["best_event"] = event.event_id if event is not None \
+            else best.predicate_id
+        quality["best_score"] = getattr(best, "f_score",
+                                        getattr(best, "importance", None))
+    return quality
+
+
+def _executor_record(executor):
+    return _executor_record_from_stats(getattr(executor, "stats", None))
+
+
+def _executor_record_from_stats(stats):
+    if stats is None:
+        return None
+    return {
+        "jobs": stats.jobs,
+        "attempts": stats.attempts,
+        "pool_runs": stats.pool_runs,
+        "inline_runs": stats.inline_runs,
+        "cache_hits": stats.cache_hits,
+        "cache_misses": stats.cache_misses,
+        "workers_used": stats.workers_used,
+    }
+
+
+def _obs_record(obs):
+    """Counter totals of an enabled obs bundle (None when disabled).
+
+    Executor-dispatch counters are left to the ``executor`` bucket —
+    everything recorded here is jobs-invariant by the obs merge
+    contract, keeping the bucket comparable across execution modes.
+    """
+    if obs is None or not getattr(obs, "enabled", False):
+        return None
+    counters = {
+        name: value
+        for name, value in obs.metrics.to_dict()["counters"].items()
+        if not name.startswith("executor.")
+    }
+    return {"counters": counters}
+
+
+# ----------------------------------------------------------------------
+# The current ledger (observability pattern)
+# ----------------------------------------------------------------------
+
+class NullLedger:
+    """No-op ledger installed by default: recording costs ~nothing."""
+
+    directory = None
+
+    def append(self, **_kwargs):
+        return None
+
+    def record_diagnosis(self, **_kwargs):
+        return None
+
+    def record_campaign(self, **_kwargs):
+        return None
+
+    def record_experiment(self, _name, _result, _wall_seconds):
+        return None
+
+    def entries(self, **_kwargs):
+        return []
+
+
+NULL_LEDGER = NullLedger()
+
+_current = NULL_LEDGER
+
+
+def get_ledger():
+    """The currently installed ledger (the no-op one by default)."""
+    return _current
+
+
+def set_ledger(ledger):
+    """Install *ledger* as current; returns the previous one."""
+    global _current
+    previous = _current
+    _current = ledger if ledger is not None else NULL_LEDGER
+    return previous
+
+
+@contextlib.contextmanager
+def use(ledger):
+    """Temporarily install *ledger* as the current run ledger."""
+    previous = set_ledger(ledger)
+    try:
+        yield ledger
+    finally:
+        set_ledger(previous)
+
+
+# ----------------------------------------------------------------------
+# Analytics: trends and entry comparison
+# ----------------------------------------------------------------------
+
+def _group_key(entry):
+    return (entry.get("kind"), entry.get("tool"), entry.get("workload"),
+            json.dumps(entry.get("params", {}), sort_keys=True),
+            entry.get("seed"))
+
+
+def _worse_rank(latest, previous, threshold):
+    """True when *latest* regressed past *threshold* ranks vs *previous*.
+
+    ``None`` means "root cause not ranked at all" — strictly worse than
+    any rank, and never a regression to recover from it.
+    """
+    if previous is None:
+        return False
+    if latest is None:
+        return True
+    return latest - previous > threshold
+
+
+def compute_trends(entries, rank_threshold=0, latency_threshold=None):
+    """Latest-vs-previous deltas per (kind, tool, workload, params) group.
+
+    Returns ``(rows, regressions)``: one row per group with at least
+    two entries, and the list of human-readable regression findings.  A
+    *quality* regression is a root-cause rank that worsened by more
+    than *rank_threshold* (or a changed experiment rows-digest); a
+    *latency* regression is wall time grown by more than
+    *latency_threshold* percent (``None`` disables the latency gate).
+    """
+    groups = {}
+    for entry in entries:
+        groups.setdefault(_group_key(entry), []).append(entry)
+    rows = []
+    regressions = []
+    for key in sorted(groups, key=lambda k: tuple(str(p) for p in k)):
+        history = groups[key]
+        if len(history) < 2:
+            continue
+        previous, latest = history[-2], history[-1]
+        label = "%s %s/%s" % (latest.get("kind"), latest.get("tool"),
+                              latest.get("workload"))
+        prev_quality = previous.get("quality") or {}
+        last_quality = latest.get("quality") or {}
+        prev_rank = prev_quality.get("root_cause_rank")
+        last_rank = last_quality.get("root_cause_rank")
+        prev_wall = (previous.get("timings") or {}).get("wall_seconds")
+        last_wall = (latest.get("timings") or {}).get("wall_seconds")
+        wall_delta = ""
+        if prev_wall and last_wall is not None:
+            pct = 100.0 * (last_wall - prev_wall) / prev_wall
+            wall_delta = "%+.1f%%" % pct
+            if latency_threshold is not None and pct > latency_threshold:
+                regressions.append(
+                    "%s: wall time %+.1f%% (%.3fs -> %.3fs, threshold "
+                    "+%.0f%%)" % (label, pct, prev_wall, last_wall,
+                                  latency_threshold)
+                )
+        if latest.get("kind") == "experiment":
+            prev_digest = prev_quality.get("rows_digest")
+            last_digest = last_quality.get("rows_digest")
+            changed = prev_digest != last_digest
+            if changed:
+                regressions.append(
+                    "%s: experiment output changed (rows digest %s -> %s)"
+                    % (label, (prev_digest or "?")[:12],
+                       (last_digest or "?")[:12])
+                )
+            quality_cell = "changed" if changed else "stable"
+        else:
+            if _worse_rank(last_rank, prev_rank, rank_threshold):
+                regressions.append(
+                    "%s: root-cause rank regressed %s -> %s (threshold "
+                    "+%d)" % (label, prev_rank, last_rank, rank_threshold)
+                )
+            quality_cell = "%s -> %s" % (prev_rank, last_rank)
+        rows.append((
+            label,
+            len(history),
+            quality_cell,
+            "-" if prev_wall is None else "%.3f" % prev_wall,
+            "-" if last_wall is None else "%.3f" % last_wall,
+            wall_delta or "-",
+        ))
+    return rows, regressions
+
+
+def render_trends(ledger, rank_threshold=0, latency_threshold=None):
+    """Render the trends table; returns ``(text, exit_code)``."""
+    from repro.experiments.report import format_table
+
+    entries = ledger.entries()
+    if not entries:
+        return ("ledger at %s is empty (nothing recorded yet)"
+                % ledger.directory), 0
+    rows, regressions = compute_trends(
+        entries, rank_threshold=rank_threshold,
+        latency_threshold=latency_threshold,
+    )
+    if not rows:
+        return ("%d ledger entries, but no group has two or more "
+                "invocations to compare yet" % len(entries)), 0
+    text = format_table(
+        ["series", "entries", "root-cause rank", "prev s", "last s",
+         "Δwall"],
+        rows,
+        title="Ledger trends (%d entries, latest vs previous per series)"
+              % len(entries),
+    )
+    if regressions:
+        text += "\n" + "\n".join("REGRESSION: %s" % r
+                                 for r in regressions)
+        return text, 1
+    text += "\nno regressions detected"
+    return text, 0
+
+
+def diff_entries(a, b):
+    """Structured field-by-field diff of two ledger entries.
+
+    Returns rows ``(field, value_a, value_b, same?)`` flattened one
+    level deep (nested dicts become dotted field names); timing fields
+    are included but marked so callers can render them dimmed.
+    """
+    rows = []
+
+    def flatten(entry):
+        flat = {}
+        for name, value in entry.items():
+            if isinstance(value, dict):
+                for sub, sub_value in value.items():
+                    flat["%s.%s" % (name, sub)] = sub_value
+            else:
+                flat[name] = value
+        return flat
+
+    flat_a, flat_b = flatten(a), flatten(b)
+    for field in sorted(set(flat_a) | set(flat_b)):
+        value_a = flat_a.get(field, "<absent>")
+        value_b = flat_b.get(field, "<absent>")
+        rows.append((field, value_a, value_b, value_a == value_b))
+    return rows
+
+
+def _clip(value, limit=48):
+    text = str(value)
+    return text if len(text) <= limit else text[:limit - 3] + "..."
+
+
+def render_compare(ledger, ref_a, ref_b, show_same=False):
+    """Render the entry diff behind ``repro obs compare A B``."""
+    from repro.experiments.report import format_table
+
+    a = ledger.resolve(ref_a)
+    b = ledger.resolve(ref_b)
+    rows = []
+    for field, value_a, value_b, same in diff_entries(a, b):
+        if same and not show_same:
+            continue
+        timing = field.split(".")[0] in TIMING_FIELDS
+        marker = "=" if same else ("~" if timing else "!")
+        rows.append((marker, field, _clip(value_a), _clip(value_b)))
+    title = "Ledger compare: @%s (%s) vs @%s (%s)" % (
+        a.get("seq"), a.get("entry_id", "")[:12],
+        b.get("seq"), b.get("entry_id", "")[:12],
+    )
+    if not rows:
+        return title + "\nentries are identical"
+    text = format_table(["", "field", "A", "B"], rows, title=title)
+    legend = ("\n(!: deterministic field differs, ~: timing/observational "
+              "field differs%s)" % (", =: identical" if show_same else ""))
+    return text + legend
+
+
+__all__ = [
+    "DEFAULT_LEDGER_DIR",
+    "LEDGER_DIR_ENV",
+    "LEDGER_FORMAT_VERSION",
+    "Ledger",
+    "LedgerError",
+    "NULL_LEDGER",
+    "NullLedger",
+    "compute_trends",
+    "content_key",
+    "diagnosis_quality",
+    "diff_entries",
+    "get_ledger",
+    "render_compare",
+    "render_trends",
+    "resolve_ledger_dir",
+    "set_ledger",
+    "use",
+]

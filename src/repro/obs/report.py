@@ -11,12 +11,44 @@ from a worker pool whose span buffers were merged back.
 
 from repro.obs.tracer import read_jsonl
 
+#: keys every span record must carry (see repro.obs.tracer.Tracer)
+SPAN_KEYS = ("name", "path", "start", "dur")
+
+
+class NotASpanTrace(ValueError):
+    """The given records are not span records from a Tracer export."""
+
+
+def validate_trace(records):
+    """Raise :class:`NotASpanTrace` unless *records* are span records.
+
+    A span record is a dict carrying at least the :data:`SPAN_KEYS`;
+    anything else (an arbitrary JSON file, a metrics export, a ledger)
+    fails with a one-line diagnosis instead of a downstream KeyError.
+    """
+    for index, record in enumerate(records):
+        if not isinstance(record, dict):
+            raise NotASpanTrace(
+                "not a span trace: record %d is %s, not an object"
+                % (index, type(record).__name__)
+            )
+        missing = [key for key in SPAN_KEYS if key not in record]
+        if missing:
+            raise NotASpanTrace(
+                "not a span trace: record %d lacks key(s) %s (expected "
+                "spans exported by --trace)"
+                % (index, ", ".join(repr(k) for k in missing))
+            )
+    return records
+
 
 def aggregate(records):
     """Aggregate span records by path.
 
-    Returns ``{path: {"name", "count", "total", "min", "max"}}``.
+    Returns ``{path: {"name", "count", "total", "min", "max"}}``;
+    raises :class:`NotASpanTrace` for records that are not spans.
     """
+    validate_trace(records)
     phases = {}
     for record in records:
         path = record["path"]
@@ -121,5 +153,5 @@ def tree_shape(records):
     return {(path, entry["count"]) for path, entry in phases.items()}
 
 
-__all__ = ["aggregate", "render_report", "render_report_file",
-           "tree_shape"]
+__all__ = ["NotASpanTrace", "SPAN_KEYS", "aggregate", "render_report",
+           "render_report_file", "tree_shape", "validate_trace"]

@@ -39,6 +39,7 @@ from dataclasses import dataclass
 
 from repro.machine.cpu import MachineConfig
 from repro.obs import get_obs, use
+from repro.obs.ledger import get_ledger
 from repro.runtime.process import run_program
 
 
@@ -215,7 +216,7 @@ def run_campaign(program, workload, *, want_failures, want_successes,
             warnings.warn(CampaignShortfallWarning(*_astuple(shortfall)),
                           stacklevel=2)
 
-    return CampaignResult(
+    result = CampaignResult(
         failures=failures[:want_failures] if want_failures else failures,
         successes=successes[:want_successes] if want_successes
         else successes,
@@ -224,6 +225,8 @@ def run_campaign(program, workload, *, want_failures, want_successes,
         executor_stats=getattr(executor, "stats", None),
         obs=obs,
     )
+    get_ledger().record_campaign(workload=workload, result=result)
+    return result
 
 
 def _astuple(info):

@@ -1,0 +1,15 @@
+"""Shared fixtures for the whole test suite."""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _isolated_ledger_dir(tmp_path, monkeypatch):
+    """Point the run ledger at a per-test directory.
+
+    The CLI records to the persistent ledger by default
+    (``.repro-ledger/``); without this, CLI-driven tests would append
+    entries to the working tree.  Tests that care about the location
+    override ``--ledger-dir`` or the env var themselves.
+    """
+    monkeypatch.setenv("REPRO_LEDGER_DIR", str(tmp_path / "ledger"))

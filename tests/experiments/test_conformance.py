@@ -1,0 +1,99 @@
+"""Tests for the paper-conformance checks (repro.experiments.expected)."""
+
+import pytest
+
+from repro.bugs.registry import get_bug
+from repro.experiments import table5, table6, table7
+from repro.experiments.expected import (
+    TABLE5_RATIOS,
+    TABLE6_CELLS,
+    TABLE7_CELLS,
+    check_table5,
+    check_table6,
+    check_table7,
+    run_conformance,
+)
+
+
+def test_table5_conforms():
+    result = table5.run()
+    assert check_table5(result) == []
+
+
+def test_table5_detects_drift():
+    result = table5.run()
+    rows = [list(row) for row in result.rows]
+    rows[0][1] = "0.10"                 # also outside the paper range
+    result.rows = [tuple(row) for row in rows]
+    problems = check_table5(result)
+    assert any("expected" in p for p in problems)
+    assert any("outside the paper's" in p for p in problems)
+
+
+def test_table5_detects_missing_application():
+    result = table5.run()
+    result.rows = result.rows[:-1]
+    problems = check_table5(result)
+    assert any("missing from the result" in p for p in problems)
+
+
+def test_table7_conforms():
+    result = table7.run()
+    assert check_table7(result) == []
+
+
+def test_table7_detects_capability_drift():
+    result = table7.run()
+    result.raw[0]["lcra"] = 99
+    problems = check_table7(result)
+    assert any("lcra cell" in p for p in problems)
+
+
+def test_table6_conforms_on_subset():
+    bugs = [get_bug("apache1"), get_bug("cp"), get_bug("tac")]
+    result = table6.run(cbi_runs=30, overhead_runs=1, bugs=bugs)
+    assert check_table6(result) == []
+    checked = {row["name"] for row in result.raw}
+    assert checked == {"Apache1", "cp", "tac"}
+    assert checked <= set(TABLE6_CELLS)
+
+
+def test_table6_detects_drift():
+    bugs = [get_bug("apache1")]
+    result = table6.run(cbi_runs=30, overhead_runs=1, bugs=bugs)
+    result.raw[0]["lbra"] = "X 9"
+    problems = check_table6(result)
+    assert problems == [
+        "table6 Apache1: lbra cell X 9, expected X 1",
+    ]
+
+
+def test_table6_rejects_unknown_failure():
+    result = table6.run(cbi_runs=30, overhead_runs=1,
+                        bugs=[get_bug("apache1")])
+    result.raw[0]["name"] = "NotABug"
+    problems = check_table6(result)
+    assert any("unexpected failure" in p for p in problems)
+    assert any("no known failures" in p for p in problems)
+
+
+def test_expected_tables_cover_the_registry():
+    from repro.bugs.registry import concurrency_bugs, sequential_bugs
+
+    assert {bug.paper_name for bug in sequential_bugs()} \
+        == set(TABLE6_CELLS)
+    assert {bug.paper_name for bug in concurrency_bugs()} \
+        == set(TABLE7_CELLS)
+    assert len(TABLE5_RATIOS) == 13
+
+
+def test_run_conformance_reports_and_exit_code():
+    text, code = run_conformance(["table5"])
+    assert code == 0
+    assert "ok   table5" in text
+    assert "all checked values match" in text
+
+
+def test_run_conformance_unknown_name():
+    with pytest.raises(ValueError):
+        run_conformance(["table99"])

@@ -1,0 +1,123 @@
+"""Tests for ranked-event provenance (repro.obs.provenance)."""
+
+import json
+
+import pytest
+
+from repro.bugs.registry import get_bug
+from repro.core.api import get_tool
+from repro.obs.provenance import (
+    EventProvenance,
+    NotADiagnosisReport,
+    explain_file,
+    provenance_digest,
+    render_explain,
+)
+
+
+def test_event_provenance_fractions():
+    prov = EventProvenance(
+        failure_hits=3, success_hits=1, total_failures=4,
+        supporting_runs=("F0", "F1", "F2"), opposing_runs=("S5",),
+    )
+    assert prov.observed == 4
+    assert prov.precision == pytest.approx(0.75)
+    assert prov.recall == pytest.approx(0.75)
+    data = prov.to_dict()
+    assert data["precision"] == [3, 4]
+    assert data["recall"] == [3, 4]
+    assert data["supporting_runs"] == ["F0", "F1", "F2"]
+    assert data["opposing_runs"] == ["S5"]
+
+
+def test_event_provenance_zero_denominators():
+    prov = EventProvenance(0, 0, 0, (), ())
+    assert prov.precision == 0.0
+    assert prov.recall == 0.0
+
+
+def test_core_ranked_rows_carry_provenance():
+    bug = get_bug("apache1")
+    report = get_tool("lbra")(bug).diagnose(n_failures=4, n_successes=4)
+    assert report.ranked
+    for row in report.ranked:
+        prov = row["provenance"]
+        assert prov is not None
+        # The provenance re-derives the row's own hit counts.
+        assert len(prov["supporting_runs"]) == row["failure_hits"]
+        assert len(prov["opposing_runs"]) == row["success_hits"]
+        assert prov["precision"][0] == row["failure_hits"]
+        assert all(r.startswith("F") for r in prov["supporting_runs"])
+        assert all(r.startswith("S") for r in prov["opposing_runs"])
+
+
+def test_baseline_ranked_rows_carry_provenance():
+    bug = get_bug("rm")
+    report = get_tool("cbi")(bug).diagnose(n_failures=100,
+                                           n_successes=100)
+    assert report.ranked
+    for row in report.ranked:
+        prov = row["provenance"]
+        assert prov is not None
+        assert len(prov["supporting_runs"]) == row["failure_true"]
+        assert len(prov["opposing_runs"]) == row["success_true"]
+
+
+def test_provenance_survives_json_round_trip():
+    bug = get_bug("apache1")
+    report = get_tool("lbra")(bug).diagnose(n_failures=3, n_successes=3)
+    decoded = json.loads(report.to_json())
+    assert decoded["ranked"][0]["provenance"]["supporting_runs"]
+
+
+def test_provenance_digest_stable_and_sensitive():
+    rows = [{"rank": 1, "event_id": "f:1=T",
+             "provenance": {"supporting_runs": ["F0"]}}]
+    assert provenance_digest(rows) == provenance_digest(list(rows))
+    changed = [dict(rows[0], rank=2)]
+    assert provenance_digest(changed) != provenance_digest(rows)
+
+
+def test_render_explain_contents():
+    bug = get_bug("apache1")
+    report = get_tool("lbra")(bug).diagnose(n_failures=4, n_successes=4)
+    text = render_explain(report.to_dict(), top=3)
+    assert "lbra diagnosis of 'apache1'" in text
+    assert "supported by: F0" in text
+    assert "precision 4/4" in text
+
+
+def test_render_explain_caps_run_ids():
+    rows = [{"rank": 1, "event_id": "e", "function": "f", "line": 1,
+             "f_score": 1.0,
+             "provenance": {
+                 "supporting_runs": ["F%d" % k for k in range(20)],
+                 "opposing_runs": [],
+                 "precision": [20, 20], "recall": [20, 20],
+             }}]
+    text = render_explain({"tool": "lbra", "workload": "w",
+                           "ranked": rows})
+    assert "+8 more" in text
+
+
+def test_render_explain_rejects_non_report():
+    with pytest.raises(NotADiagnosisReport):
+        render_explain({"hello": 1})
+    with pytest.raises(NotADiagnosisReport):
+        render_explain([1, 2, 3])
+
+
+def test_explain_file_rejects_invalid_json(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text("{not json")
+    with pytest.raises(NotADiagnosisReport):
+        explain_file(str(path))
+
+
+def test_explain_file_renders_report(tmp_path):
+    bug = get_bug("apache1")
+    report = get_tool("lbra")(bug).diagnose(n_failures=3, n_successes=3)
+    path = tmp_path / "report.json"
+    path.write_text(report.to_json())
+    text = explain_file(str(path), top=1)
+    assert "#1" in text

@@ -1,0 +1,102 @@
+"""Edge-case tests for SampledProfiler and the machine profile hook."""
+
+import pytest
+
+from repro.bugs.registry import get_bug
+from repro.core.lbrlog import LbrLogTool
+from repro.machine.cpu import Machine
+from repro.obs.sampling import SampledProfiler
+
+
+def _fresh_machine(tool, plan):
+    machine = Machine(tool.program, config=tool.machine_config,
+                      scheduler=plan.make_scheduler())
+    machine.load(args=plan.args)
+    return machine
+
+
+@pytest.fixture()
+def tool_and_plan():
+    bug = get_bug("sort")
+    return LbrLogTool(bug), bug.passing_run_plan(0)
+
+
+def test_period_zero_rejected():
+    with pytest.raises(ValueError):
+        SampledProfiler(period=0)
+
+
+def test_period_negative_rejected():
+    with pytest.raises(ValueError):
+        SampledProfiler(period=-5)
+
+
+def test_hook_period_zero_rejected_on_machine(tool_and_plan):
+    tool, plan = tool_and_plan
+    machine = _fresh_machine(tool, plan)
+    with pytest.raises(ValueError):
+        machine.set_profile_hook(lambda m, t, s: None, every=0)
+
+
+def test_fresh_machine_has_no_hook(tool_and_plan):
+    tool, plan = tool_and_plan
+    machine = _fresh_machine(tool, plan)
+    assert machine._profile_hook is None
+    assert machine._profile_every is None
+
+
+def test_detach_with_none_stops_sampling(tool_and_plan):
+    tool, plan = tool_and_plan
+    machine = _fresh_machine(tool, plan)
+    profiler = SampledProfiler(period=1)
+    profiler.install(machine)
+    machine.set_profile_hook(None)
+    assert machine._profile_hook is None
+    assert machine._profile_every is None
+    machine.run(max_steps=plan.max_steps)
+    assert profiler.sample_count == 0
+
+
+def test_detach_accepts_any_every_value(tool_and_plan):
+    tool, plan = tool_and_plan
+    machine = _fresh_machine(tool, plan)
+    # Detaching must not validate the (ignored) period.
+    machine.set_profile_hook(None, every=0)
+    assert machine._profile_every is None
+
+
+def test_sample_count_every_instruction(tool_and_plan):
+    tool, plan = tool_and_plan
+    machine = _fresh_machine(tool, plan)
+    profiler = SampledProfiler(period=1)
+    profiler.install(machine)
+    status = machine.run(max_steps=plan.max_steps)
+    assert profiler.sample_count == status.retired
+    assert sum(profiler.samples.values()) == profiler.sample_count
+
+
+def test_sample_count_at_period_boundaries(tool_and_plan):
+    """The hook fires at steps p, 2p, ... — exactly steps // p times."""
+    tool, plan = tool_and_plan
+
+    def run_with_period(period):
+        machine = _fresh_machine(tool, plan)
+        profiler = SampledProfiler(period=period)
+        profiler.install(machine)
+        status = machine.run(max_steps=plan.max_steps)
+        return profiler, status
+
+    # period=1 samples every step: its count IS the run's step total.
+    baseline, status = run_with_period(1)
+    total = baseline.sample_count
+    assert total > 1
+
+    for period in (7, total, total + 1):
+        profiler, repeat = run_with_period(period)
+        assert repeat.retired == status.retired   # deterministic replay
+        assert profiler.sample_count == total // period
+
+    exact, _status = run_with_period(total)
+    assert exact.sample_count == 1
+    past, _status = run_with_period(total + 1)
+    assert past.sample_count == 0

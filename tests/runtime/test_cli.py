@@ -76,3 +76,162 @@ def test_experiment_unknown():
 def test_unknown_bug_rejected():
     with pytest.raises(SystemExit):
         run_cli("run", "not-a-bug")
+
+
+def test_version_flag(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        run_cli("--version")
+    assert excinfo.value.code == 0
+    assert capsys.readouterr().out.startswith("repro ")
+
+
+def test_ledger_path_reports_location_and_count(tmp_path):
+    ledger_dir = tmp_path / "flight"
+    code, text = run_cli("ledger", "path", "--ledger-dir",
+                         str(ledger_dir))
+    assert code == 0
+    assert str(ledger_dir) in text
+    assert "0 entries" in text
+
+
+def test_diagnose_records_to_ledger(tmp_path):
+    from repro.obs.ledger import Ledger
+
+    ledger_dir = tmp_path / "led"
+    code, _text = run_cli("diagnose", "apache3", "--runs", "4",
+                          "--ledger-dir", str(ledger_dir))
+    assert code == 0
+    entries = Ledger(str(ledger_dir)).entries(kind="diagnosis")
+    assert len(entries) == 1
+    assert entries[0]["workload"] == "apache3"
+
+
+def test_diagnose_no_ledger_skips_recording(monkeypatch, tmp_path):
+    from repro.obs.ledger import Ledger, resolve_ledger_dir
+
+    monkeypatch.setenv("REPRO_LEDGER_DIR", str(tmp_path / "led"))
+    code, _text = run_cli("diagnose", "apache3", "--runs", "4",
+                          "--no-ledger")
+    assert code == 0
+    assert Ledger(resolve_ledger_dir()).entries() == []
+
+
+def test_diagnose_json_has_provenance_and_explain_renders(tmp_path):
+    import json
+
+    report_path = tmp_path / "report.json"
+    code, _text = run_cli("diagnose", "apache3", "--runs", "4",
+                          "--json-out", str(report_path))
+    assert code == 0
+    report = json.loads(report_path.read_text())
+    assert all(row["provenance"] is not None for row in report["ranked"])
+    assert report["ranked"][0]["provenance"]["supporting_runs"]
+
+    code, text = run_cli("obs", "explain", str(report_path), "--top", "2")
+    assert code == 0
+    assert "supported by:" in text
+    assert "precision" in text
+
+
+def test_obs_report_rejects_non_trace(tmp_path):
+    bad = tmp_path / "metrics.json"
+    bad.write_text('{"counters": {"a": 1}}\n')
+    code, text = run_cli("obs", "report", str(bad))
+    assert code == 2
+    assert "not a span trace" in text
+    assert len(text.strip().splitlines()) == 1
+
+
+def test_obs_report_rejects_non_json(tmp_path):
+    bad = tmp_path / "garbage.jsonl"
+    bad.write_text("definitely not json\n")
+    code, text = run_cli("obs", "report", str(bad))
+    assert code == 2
+    assert "not a span trace" in text
+
+
+def test_obs_explain_rejects_non_report(tmp_path):
+    bad = tmp_path / "other.json"
+    bad.write_text('{"counters": {}}\n')
+    code, text = run_cli("obs", "explain", str(bad))
+    assert code == 2
+    assert "not a diagnosis report" in text
+
+
+def test_obs_flame_renders_trace(tmp_path):
+    trace = tmp_path / "trace.jsonl"
+    folded = tmp_path / "out.folded"
+    code, _text = run_cli("run", "sort", "--trace", str(trace))
+    assert code == 0
+    code, text = run_cli("obs", "flame", str(trace), "--folded",
+                         str(folded))
+    assert code == 0
+    assert "Flame view" in text
+    assert "#" in text
+    assert folded.read_text().strip()
+
+
+def test_obs_flame_rejects_non_trace(tmp_path):
+    bad = tmp_path / "nope.jsonl"
+    bad.write_text('{"x": 1}\n')
+    code, text = run_cli("obs", "flame", str(bad))
+    assert code == 2
+    assert "not a span trace" in text
+
+
+def test_obs_trends_flags_injected_regression(tmp_path):
+    from repro.obs.ledger import Ledger
+
+    ledger_dir = str(tmp_path / "led")
+    code, _text = run_cli("diagnose", "apache3", "--runs", "4",
+                          "--ledger-dir", ledger_dir)
+    assert code == 0
+    ledger = Ledger(ledger_dir)
+    good = ledger.entries()[-1]
+    ledger.append(
+        kind=good["kind"], tool=good["tool"], workload=good["workload"],
+        seed=good["seed"], params=good["params"],
+        quality=dict(good["quality"], root_cause_rank=7),
+        runs=good["runs"],
+        provenance_digest=good["provenance_digest"],
+        timings=good["timings"],
+    )
+    code, text = run_cli("obs", "trends", "--ledger-dir", ledger_dir)
+    assert code == 1
+    assert "REGRESSION" in text
+
+    code, _text = run_cli("obs", "trends", "--ledger-dir", ledger_dir,
+                          "--rank-threshold", "10")
+    assert code == 0
+
+
+def test_obs_compare_two_entries(tmp_path):
+    ledger_dir = str(tmp_path / "led")
+    for runs in ("4", "6"):
+        code, _text = run_cli("diagnose", "apache3", "--runs", runs,
+                              "--ledger-dir", ledger_dir)
+        assert code == 0
+    code, text = run_cli("obs", "compare", "@0", "@1", "--ledger-dir",
+                         ledger_dir)
+    assert code == 0
+    assert "Ledger compare" in text
+    assert "params.n_failures" in text
+
+
+def test_obs_compare_bad_reference(tmp_path):
+    code, text = run_cli("obs", "compare", "@0", "@1", "--ledger-dir",
+                         str(tmp_path / "empty"))
+    assert code == 1
+    assert "empty" in text
+
+
+def test_obs_conformance_table5():
+    code, text = run_cli("obs", "conformance", "table5", "--no-ledger")
+    assert code == 0
+    assert "ok   table5" in text
+
+
+def test_obs_conformance_unknown_table():
+    code, text = run_cli("obs", "conformance", "table99", "--no-ledger")
+    assert code == 1
+    assert "unknown conformance driver" in text
