@@ -38,6 +38,16 @@ are written on exit (see :mod:`repro.obs`; render traces with
 ledger (:mod:`repro.obs.ledger`) under ``--ledger-dir`` (default
 ``.repro-ledger/``, overridable via ``$REPRO_LEDGER_DIR``); pass
 ``--no-ledger`` to skip recording.
+
+``diagnose``, ``experiment``, and ``obs conformance`` accept
+``--inject-faults SPEC`` (plus ``--fault-seed N``): a deterministic
+chaos schedule — ``site[:times[:skip]]``, comma-separated — injected
+at the named sites of the executor/cache/ledger stack (see
+:mod:`repro.runtime.resilience` and ``docs/resilience.md``).  Arrival
+counts are shared across the whole process tree of the invocation, so
+``worker-crash:1`` means exactly one crash.  Output must be identical
+to the fault-free run; that is the resilience contract the chaos tests
+pin.
 """
 
 import argparse
@@ -116,6 +126,40 @@ def _write_stats(executor, out):
     stats = executor_stats_result(executor)
     if stats is not None:
         out.write("\n" + stats.format() + "\n")
+
+
+@contextlib.contextmanager
+def _fault_session(args, out):
+    """Activate the ``--inject-faults`` chaos schedule, if any.
+
+    The plan gets a fresh shared state directory so arrival counts are
+    global across the invocation's process tree — ``worker-crash:1``
+    fires exactly once no matter how many workers the pool spawns.
+    Removing the directory on exit retires the plan (arrivals at a
+    retired plan never fire), so commands must shut their worker pool
+    down *inside* this session: the directory has to outlive every
+    process that inherited the plan.
+    """
+    spec = getattr(args, "inject_faults", None)
+    if not spec:
+        yield
+        return
+    import shutil
+    import tempfile
+
+    from repro.runtime import resilience
+
+    state_dir = tempfile.mkdtemp(prefix="repro-faults-")
+    plan = resilience.FaultPlan.parse(
+        spec, seed=getattr(args, "fault_seed", 0), state_dir=state_dir,
+    )
+    out.write("fault injection active: %s (seed %d)\n"
+              % (plan.describe_spec(), plan.seed))
+    try:
+        with resilience.use_plan(plan):
+            yield
+    finally:
+        shutil.rmtree(state_dir, ignore_errors=True)
 
 
 @contextlib.contextmanager
@@ -213,22 +257,28 @@ def _cmd_diagnose(args, out):
         options["scheme"] = args.scheme
     executor = _build_executor(args)
     try:
-        with _ledger_session(args), _obs_session(args, out):
-            report = get_tool(name)(bug, executor=executor, **options) \
-                .diagnose(args.runs, args.runs)
-            out.write(report.describe(n=args.top) + "\n")
-            if args.json:
-                out.write(report.to_json() + "\n")
-            if args.json_out:
-                with open(args.json_out, "w") as handle:
-                    handle.write(report.to_json() + "\n")
-                out.write("report written to %s\n" % args.json_out)
+        with _fault_session(args, out), _ledger_session(args), \
+                _obs_session(args, out):
+            # The pool must drain before the fault session ends: the
+            # chaos state directory has to outlive every worker, or a
+            # straggling speculative batch would restart the schedule.
+            try:
+                report = get_tool(name)(bug, executor=executor,
+                                        **options) \
+                    .diagnose(args.runs, args.runs)
+                out.write(report.describe(n=args.top) + "\n")
+                if args.json:
+                    out.write(report.to_json() + "\n")
+                if args.json_out:
+                    with open(args.json_out, "w") as handle:
+                        handle.write(report.to_json() + "\n")
+                    out.write("report written to %s\n" % args.json_out)
+            finally:
+                if executor is not None:
+                    executor.shutdown()
     except (DiagnosisError, BaselineUnsupportedError) as exc:
         out.write("diagnosis failed: %s\n" % exc)
         return 1
-    finally:
-        if executor is not None:
-            executor.shutdown()
     _write_stats(executor, out)
     return 0
 
@@ -247,16 +297,18 @@ def _cmd_experiment(args, out):
         return 1
     names = sorted(registry) if args.name == "all" else [args.name]
     executor = _build_executor(args)
-    try:
-        with _ledger_session(args), _obs_session(args, out):
+    with _fault_session(args, out), _ledger_session(args), \
+            _obs_session(args, out):
+        # Shut the pool down inside the fault session (see _cmd_diagnose).
+        try:
             for index, name in enumerate(names):
                 result = registry[name](executor=executor)
                 if index:
                     out.write("\n")
                 out.write(result.format() + "\n")
-    finally:
-        if executor is not None:
-            executor.shutdown()
+        finally:
+            if executor is not None:
+                executor.shutdown()
     _write_stats(executor, out)
     return 0
 
@@ -375,14 +427,18 @@ def _cmd_obs_conformance(args, out):
 
     executor = _build_executor(args)
     try:
-        with _ledger_session(args):
-            text, code = run_conformance(args.names, executor=executor)
+        with _fault_session(args, out), _ledger_session(args):
+            # Shut the pool down inside the fault session (see
+            # _cmd_diagnose).
+            try:
+                text, code = run_conformance(args.names,
+                                             executor=executor)
+            finally:
+                if executor is not None:
+                    executor.shutdown()
     except ValueError as exc:
         out.write("%s\n" % exc)
         return 1
-    finally:
-        if executor is not None:
-            executor.shutdown()
     out.write(text + "\n")
     return code
 
@@ -402,6 +458,19 @@ def _add_executor_flags(parser):
     parser.add_argument(
         "--cache-dir", default=DEFAULT_CACHE_DIR, metavar="DIR",
         help="on-disk cache location (default: %(default)s)",
+    )
+
+
+def _add_fault_flags(parser):
+    parser.add_argument(
+        "--inject-faults", metavar="SPEC", default=None,
+        help="deterministic chaos schedule: comma-separated "
+             "site[:times[:skip]] specs (e.g. worker-crash:1); see "
+             "docs/resilience.md for the site registry",
+    )
+    parser.add_argument(
+        "--fault-seed", type=int, default=0, metavar="N",
+        help="seed for '?' skips in --inject-faults (default: 0)",
     )
 
 
@@ -482,6 +551,7 @@ def build_parser():
     _add_executor_flags(diag_parser)
     _add_obs_flags(diag_parser)
     _add_ledger_flags(diag_parser)
+    _add_fault_flags(diag_parser)
 
     commands.add_parser("experiments", help="list experiment names")
     exp_parser = commands.add_parser(
@@ -492,6 +562,7 @@ def build_parser():
     _add_executor_flags(exp_parser)
     _add_obs_flags(exp_parser)
     _add_ledger_flags(exp_parser)
+    _add_fault_flags(exp_parser)
 
     ledger_parser = commands.add_parser(
         "ledger", help="inspect the persistent run ledger"
@@ -575,6 +646,7 @@ def build_parser():
     )
     _add_executor_flags(conformance_parser)
     _add_ledger_flags(conformance_parser)
+    _add_fault_flags(conformance_parser)
     return parser
 
 
@@ -591,8 +663,13 @@ def main(argv=None, out=None):
         "ledger": _cmd_ledger,
         "obs": _cmd_obs,
     }
+    from repro.runtime.resilience import FaultSpecError
+
     try:
         return handlers[args.command](args, out)
+    except FaultSpecError as exc:
+        out.write("bad --inject-faults spec: %s\n" % exc)
+        return 2
     except BrokenPipeError:          # piped into head etc.
         return 0
 

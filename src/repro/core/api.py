@@ -216,6 +216,9 @@ class DiagnosisTool:
                 "cache_hits": executor.stats.cache_hits,
                 "pool_runs": executor.stats.pool_runs,
             }
+            resilience = executor.stats.resilience
+            if resilience.activity:
+                campaign["executor"]["resilience"] = resilience.to_dict()
         return DiagnosisReport(
             tool=self.name,
             workload=self.workload.name,

@@ -36,9 +36,22 @@ import datetime
 import hashlib
 import json
 import os
+import sys
 import tempfile
 
+from repro.obs import get_obs
 from repro.obs.provenance import provenance_digest
+
+
+def _resilience():
+    """The crash-safety toolbox, imported lazily.
+
+    A module-level import would be circular: ``repro.runtime``'s
+    package init imports :mod:`repro.runtime.harness`, which imports
+    this module.
+    """
+    from repro.runtime import resilience
+    return resilience
 
 #: Bump when the entry layout changes incompatibly.
 LEDGER_FORMAT_VERSION = 1
@@ -86,10 +99,21 @@ class LedgerError(Exception):
 
 
 class Ledger:
-    """Append-only JSONL ledger with a content-keyed index."""
+    """Append-only JSONL ledger with a content-keyed index.
+
+    Crash-consistency contract: every append happens under an advisory
+    file lock (so concurrent invocations interleave whole lines, never
+    interleaved bytes), and before appending, a torn trailing line —
+    the footprint of a process killed mid-write — is moved to
+    ``quarantine.jsonl`` and truncated away.  Interior lines that fail
+    to parse are skipped (and counted) on read; the JSONL file, not
+    the index, is always the source of truth.
+    """
 
     def __init__(self, directory=None):
         self.directory = resolve_ledger_dir(directory)
+        self._lock = None
+        self._warned_index = False
 
     # -- paths ----------------------------------------------------------
 
@@ -100,6 +124,17 @@ class Ledger:
     @property
     def index_path(self):
         return os.path.join(self.directory, "index.json")
+
+    @property
+    def quarantine_path(self):
+        return os.path.join(self.directory, "quarantine.jsonl")
+
+    def _locked(self):
+        """The directory's advisory lock (created on first use)."""
+        if self._lock is None:
+            self._lock = _resilience().FileLock(
+                os.path.join(self.directory, ".lock"))
+        return self._lock
 
     # -- writing --------------------------------------------------------
 
@@ -129,17 +164,73 @@ class Ledger:
         entry["obs"] = _sanitize(obs) if obs else None
         entry["created_at"] = datetime.datetime.now(
             datetime.timezone.utc).isoformat()
-        entry["seq"] = self._append_line(entry)
-        self._index_add(entry)
+        # Recording is best-effort: a full disk or an injected fault must
+        # never take the diagnosis down with it.  ``seq`` stays None when
+        # the append did not land.
+        try:
+            os.makedirs(self.directory, exist_ok=True)
+            with self._locked():
+                self._recover_tail()
+                entry["seq"] = self._append_line(entry)
+                self._index_add(entry)
+        except OSError as exc:
+            entry["seq"] = None
+            get_obs().counter("ledger.append_errors").inc()
+            print("repro: warning: ledger append failed (%s: %s); entry "
+                  "dropped" % (type(exc).__name__, exc), file=sys.stderr)
         return entry
 
     def _append_line(self, entry):
-        os.makedirs(self.directory, exist_ok=True)
+        resilience = _resilience()
+        resilience.fault_point("ledger-write-error")
         seq = self._next_seq()
         record = dict(entry, seq=seq)
+        line = json.dumps(record, sort_keys=True) + "\n"
+        if resilience.fault_point("ledger-write-torn"):
+            # Simulate a kill -9 mid-write: half a line lands, then the
+            # "process" dies before the index update.
+            with open(self.ledger_path, "a") as handle:
+                handle.write(line[:max(1, len(line) // 2)])
+            raise resilience.FaultError("ledger-write-torn")
         with open(self.ledger_path, "a") as handle:
-            handle.write(json.dumps(record, sort_keys=True) + "\n")
+            handle.write(line)
         return seq
+
+    def _recover_tail(self):
+        """Quarantine a torn trailing line left by a killed writer.
+
+        Only the *last* line can be torn — appends are whole-line under
+        the lock — so we scan a bounded tail chunk, find the last
+        newline, and check that whatever follows it (and the final
+        complete line itself) parses.  Corrupt bytes move to
+        ``quarantine.jsonl`` rather than being destroyed.
+        """
+        try:
+            with open(self.ledger_path, "rb+") as handle:
+                handle.seek(0, os.SEEK_END)
+                size = handle.tell()
+                if size == 0:
+                    return
+                chunk = min(size, 1 << 16)
+                handle.seek(size - chunk)
+                data = handle.read(chunk)
+                if data.endswith(b"\n"):
+                    return
+                cut = data.rfind(b"\n") + 1   # 0 when no newline in chunk
+                fragment = data[cut:]
+                new_size = size - len(data) + cut
+                self._quarantine(fragment)
+                handle.truncate(new_size)
+        except FileNotFoundError:
+            return
+
+    def _quarantine(self, fragment):
+        with open(self.quarantine_path, "ab") as handle:
+            handle.write(fragment.rstrip(b"\n") + b"\n")
+        get_obs().counter("ledger.quarantined").inc()
+        print("repro: warning: quarantined %d bytes of torn ledger tail "
+              "to %s" % (len(fragment), self.quarantine_path),
+              file=sys.stderr)
 
     def _next_seq(self):
         index = self._read_index()
@@ -160,7 +251,18 @@ class Ledger:
             if index.get("version") != LEDGER_FORMAT_VERSION:
                 return None
             return index
-        except (FileNotFoundError, json.JSONDecodeError, OSError):
+        except FileNotFoundError:
+            return None
+        except (json.JSONDecodeError, OSError) as exc:
+            # A missing index is normal; a *corrupt* one means something
+            # went wrong on disk — rebuild, but leave a trace.
+            get_obs().counter("ledger.index_rebuilds").inc()
+            if not self._warned_index:
+                self._warned_index = True
+                print("repro: warning: ledger index %s is unreadable "
+                      "(%s: %s); rebuilding from the JSONL"
+                      % (self.index_path, type(exc).__name__, exc),
+                      file=sys.stderr)
             return None
 
     def _index_add(self, entry):
@@ -188,14 +290,23 @@ class Ledger:
     def _write_index(self, index):
         # Atomic replace, same discipline as the run cache's disk layer;
         # best-effort — the JSONL file remains the source of truth.
+        temp_path = None
         try:
+            _resilience().fault_point("index-write-error")
             fd, temp_path = tempfile.mkstemp(dir=self.directory,
                                              suffix=".tmp")
             with os.fdopen(fd, "w") as handle:
                 json.dump(index, handle, sort_keys=True)
             os.replace(temp_path, self.index_path)
+            temp_path = None
         except OSError:
             pass
+        finally:
+            if temp_path is not None:
+                try:
+                    os.unlink(temp_path)
+                except OSError:
+                    pass
 
     # -- reading --------------------------------------------------------
 
@@ -210,7 +321,9 @@ class Ledger:
             try:
                 entries.append(json.loads(line))
             except json.JSONDecodeError:
-                continue              # torn tail write: skip, don't crash
+                # Torn or corrupt line: skip, don't crash — but count it
+                # so corruption is observable.
+                get_obs().counter("ledger.corrupt_lines_skipped").inc()
         return entries
 
     def entries(self, kind=None, tool=None, workload=None):
@@ -380,7 +493,7 @@ def _executor_record(executor):
 def _executor_record_from_stats(stats):
     if stats is None:
         return None
-    return {
+    record = {
         "jobs": stats.jobs,
         "attempts": stats.attempts,
         "pool_runs": stats.pool_runs,
@@ -389,6 +502,10 @@ def _executor_record_from_stats(stats):
         "cache_misses": stats.cache_misses,
         "workers_used": stats.workers_used,
     }
+    resilience = getattr(stats, "resilience", None)
+    if resilience is not None and resilience.activity:
+        record["resilience"] = resilience.to_dict()
+    return record
 
 
 def _obs_record(obs):

@@ -7,7 +7,9 @@
 * :mod:`repro.runtime.harness` — run campaigns (N failing + M passing
   runs) and collect statuses/profiles;
 * :mod:`repro.runtime.executor` — fan campaign attempts out across a
-  process pool and memoize finished runs in a content-addressed cache.
+  process pool and memoize finished runs in a content-addressed cache;
+* :mod:`repro.runtime.resilience` — the fault-injection harness and the
+  retry/recovery policy that keep the pipeline alive under crashes.
 """
 
 from repro.runtime.process import PlanOutcome, execute_plan, run_program
@@ -26,6 +28,16 @@ from repro.runtime.executor import (
     RunCache,
     build_executor,
 )
+from repro.runtime.resilience import (
+    FaultError,
+    FaultPlan,
+    FaultSpecError,
+    FileLock,
+    ResiliencePolicy,
+    ResilienceStats,
+    fault_point,
+    use_plan,
+)
 
 __all__ = [
     "CampaignExecutor",
@@ -33,7 +45,13 @@ __all__ = [
     "CampaignShortfallError",
     "CampaignShortfallWarning",
     "ExecutorStats",
+    "FaultError",
+    "FaultPlan",
+    "FaultSpecError",
+    "FileLock",
     "PlanOutcome",
+    "ResiliencePolicy",
+    "ResilienceStats",
     "RunCache",
     "RunPlan",
     "RunRecord",
@@ -41,6 +59,8 @@ __all__ = [
     "Workload",
     "build_executor",
     "execute_plan",
+    "fault_point",
     "run_campaign",
     "run_program",
+    "use_plan",
 ]

@@ -35,21 +35,43 @@ Plans whose scheduler factory cannot be fingerprinted (an arbitrary
 closure) bypass the cache, and tasks that cannot be pickled fall back
 to in-process execution — behaviour, not performance, is preserved in
 every degraded mode.
+
+Failure handling (see :mod:`repro.runtime.resilience`): every pool
+dispatch runs under a per-task timeout and a bounded retry/backoff
+loop; a crashed or hung worker pool is replaced, and after the policy's
+restart budget is spent the executor *degrades to serial execution*
+rather than failing the campaign.  Because runs are deterministic,
+retried and inline-fallback attempts produce byte-identical results —
+resilience changes wall-clock time and :class:`ResilienceStats`, never
+outcomes.  The disk cache layer validates entries on read, evicts
+anything corrupt, and publishes under an advisory file lock so
+concurrent invocations sharing ``.repro-cache/`` interleave safely.
 """
 
 import hashlib
 import io
 import os
 import pickle
+import sys
 import tempfile
 import time
+import traceback as traceback_module
 from collections import OrderedDict, deque
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 
 from repro.machine.cpu import MachineConfig
 from repro.obs import Observability, get_obs, use
+from repro.runtime import resilience
 from repro.runtime.process import execute_plan
+from repro.runtime.resilience import (
+    FileLock,
+    ResiliencePolicy,
+    ResilienceStats,
+    fault_point,
+)
 
 #: Bump when the cached value layout changes; stale entries then miss.
 CACHE_FORMAT_VERSION = 2
@@ -155,6 +177,9 @@ class RunResult:
     that executed a fresh run (``None`` for in-process execution).
     ``duration`` is the run's own execution time, preserved across cache
     replays so the stats report can estimate the sequential cost.
+    ``error``/``traceback`` describe a non-fatal degradation the run
+    survived (a task that could not be pickled for pool dispatch) —
+    the run itself still executed and its outcome is authoritative.
     """
 
     status: object                 # ExitStatus
@@ -163,6 +188,8 @@ class RunResult:
     duration: float = 0.0
     worker_pid: int = None
     cached: bool = False
+    error: str = None
+    traceback: str = None
 
 
 @dataclass
@@ -184,6 +211,8 @@ class BaselineRunResult:
     duration: float = 0.0
     worker_pid: int = None
     cached: bool = False
+    error: str = None
+    traceback: str = None
 
 
 # ----------------------------------------------------------------------
@@ -210,6 +239,9 @@ class RunCache:
         self.misses = 0
         self.stores = 0
         self.corrupt_dropped = 0
+        self.write_errors = 0
+        self._disk_lock = (FileLock(os.path.join(directory, ".lock"))
+                           if directory is not None else None)
 
     # -- lookup ---------------------------------------------------------
 
@@ -254,6 +286,7 @@ class RunCache:
             return _MISS
         path = self._path(key)
         try:
+            fault_point("cache-read-error")
             with open(path, "rb") as handle:
                 payload = pickle.load(handle)
             if payload.get("format") != CACHE_FORMAT_VERSION:
@@ -263,8 +296,11 @@ class RunCache:
         except FileNotFoundError:
             return _MISS
         except Exception:
-            # Poisoned entry: discard it rather than crash or trust it.
+            # Poisoned or unreadable entry (torn write, stale format,
+            # I/O error): evict it rather than crash or trust it — the
+            # run re-executes and re-stores a fresh entry.
             self.corrupt_dropped += 1
+            get_obs().counter("cache.corrupt_dropped").inc()
             try:
                 os.unlink(path)
             except OSError:
@@ -278,18 +314,34 @@ class RunCache:
         payload = {"format": CACHE_FORMAT_VERSION,
                    "value": entry["value"],
                    "duration": entry["duration"]}
+        temp_path = None
         try:
+            fault_point("cache-write-error")
+            blob = pickle.dumps(payload,
+                                protocol=pickle.HIGHEST_PROTOCOL)
+            if fault_point("cache-write-torn"):
+                blob = blob[:max(1, len(blob) // 2)]
             os.makedirs(os.path.dirname(path), exist_ok=True)
             fd, temp_path = tempfile.mkstemp(
                 dir=os.path.dirname(path), suffix=".tmp"
             )
             with os.fdopen(fd, "wb") as handle:
-                pickle.dump(payload, handle,
-                            protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(temp_path, path)
+                handle.write(blob)
+            # Publish under the advisory lock: concurrent invocations
+            # sharing this directory serialize their (atomic) renames.
+            with self._disk_lock:
+                os.replace(temp_path, path)
+            temp_path = None
         except (OSError, pickle.PicklingError):
             # Disk layer is best-effort; memory layer already holds it.
-            pass
+            self.write_errors += 1
+            get_obs().counter("cache.disk_write_errors").inc()
+        finally:
+            if temp_path is not None:
+                try:
+                    os.unlink(temp_path)
+                except OSError:
+                    pass
 
 
 # ----------------------------------------------------------------------
@@ -332,6 +384,7 @@ def _worker_run_plans(program_fp, program_blob, config_blob, collect_obs,
     short runs; per-run results keep their own durations (and, when
     *collect_obs* is set, their own span/metric payloads).
     """
+    resilience.worker_entry_faults()
     program = _WORKER_PROGRAMS.get(program_fp)
     if program is None:
         program = pickle.loads(program_blob)
@@ -387,6 +440,7 @@ def _worker_run_baselines(tool_fp, tool_blob, collect_obs, calls):
     deltas and rolls the predicate registry back after each attempt —
     every attempt's contribution is independent of its batch-mates.
     """
+    resilience.worker_entry_faults()
     tool = _WORKER_TOOLS.get(tool_fp)
     if tool is None:
         tool_class, workload, kwargs = pickle.loads(tool_blob)
@@ -429,6 +483,7 @@ class ExecutorStats:
     busy_seconds: float = 0.0
     saved_seconds: float = 0.0
     started_at: float = field(default_factory=time.perf_counter)
+    resilience: ResilienceStats = field(default_factory=ResilienceStats)
 
     @property
     def attempts(self):
@@ -476,7 +531,27 @@ class ExecutorStats:
             ("sequential estimate (s)", "%.2f" % estimate),
             ("wall clock (s)", "%.2f" % wall),
             ("estimated speedup", "%.2fx" % speedup),
+        ] + self._resilience_rows()
+
+    def _resilience_rows(self):
+        """Failure-handling rows, shown only when something happened."""
+        r = self.resilience
+        if not r.activity:
+            return []
+        rows = [
+            ("task retries", r.retries),
+            ("task timeouts", r.timeouts),
+            ("worker pools broken", r.broken_pools),
+            ("worker pool restarts", r.pool_restarts),
+            ("batches run inline after pool failure",
+             r.inline_fallbacks),
+            ("degraded to serial execution",
+             "yes" if r.degraded_serial else "no"),
+            ("task errors recorded", len(r.task_errors)),
         ]
+        if r.task_errors:
+            rows.append(("last task error", r.task_errors[-1]["error"]))
+        return rows
 
 
 # ----------------------------------------------------------------------
@@ -504,9 +579,15 @@ class _Task:
 
 
 class _Batch:
-    """A group of batchable tasks submitted as one pool call."""
+    """A group of batchable tasks submitted as one pool call.
 
-    __slots__ = ("fn", "group", "header", "items", "future")
+    ``result`` memoizes the resolved ``(pid, results)`` payload so the
+    retry logic in :meth:`CampaignExecutor._batch_result` runs at most
+    once per batch, however many tasks consume it.
+    """
+
+    __slots__ = ("fn", "group", "header", "items", "future", "result",
+                 "pool")
 
     def __init__(self, fn, group, header):
         self.fn = fn
@@ -514,6 +595,8 @@ class _Batch:
         self.header = header
         self.items = []
         self.future = None
+        self.result = None
+        self.pool = None               # the pool the future belongs to
 
 
 class CampaignExecutor:
@@ -540,7 +623,8 @@ class CampaignExecutor:
     """
 
     def __init__(self, jobs=1, cache=True, cache_dir=None,
-                 memory_capacity=4096, speculation=2, batch=16):
+                 memory_capacity=4096, speculation=2, batch=16,
+                 resilience_policy=None):
         self.jobs = max(1, int(jobs))
         self.cache = None
         if cache:
@@ -551,8 +635,11 @@ class CampaignExecutor:
                                   memory_capacity=memory_capacity)
         self.speculation = max(1, int(speculation))
         self.batch = max(1, int(batch))
+        self.resilience = resilience_policy if resilience_policy \
+            is not None else ResiliencePolicy.from_env()
         self.stats = ExecutorStats(jobs=self.jobs)
         self._pool = None
+        self._degraded = False
 
     # -- lifecycle ------------------------------------------------------
 
@@ -575,11 +662,125 @@ class CampaignExecutor:
             self._pool = None
 
     def _pool_handle(self):
-        if self.jobs <= 1:
+        if self.jobs <= 1 or self._degraded:
             return None
         if self._pool is None:
-            self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.jobs,
+                initializer=resilience.mark_worker_process,
+            )
         return self._pool
+
+    # -- failure handling ------------------------------------------------
+
+    def _recycle_pool(self, kill=False, only_if=None):
+        """Discard the current pool (terminating workers when *kill*).
+
+        ``only_if`` guards against double recycling: when the failure
+        came from a batch of an *older* pool that was already replaced,
+        the current (healthy) pool is left alone.
+
+        Counts against the policy's restart budget; once that budget is
+        spent the executor degrades to serial execution — every
+        subsequent task dispatches inline, and in-flight batches fall
+        back the same way when they resolve.
+        """
+        if only_if is not None and self._pool is not only_if:
+            return
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            if kill:
+                # A hung worker never returns; shutdown(wait=True)
+                # would block on it forever.  Terminating the worker
+                # processes is best-effort and reaches into pool
+                # internals, so it is wrapped defensively.
+                try:
+                    for process in getattr(pool, "_processes",
+                                           {}).values():
+                        process.terminate()
+                except Exception:
+                    pass
+            try:
+                pool.shutdown(wait=False, cancel_futures=True)
+            except Exception:
+                pass
+            self.stats.resilience.pool_restarts += 1
+            get_obs().counter("executor.pool_restarts").inc()
+        if (self.stats.resilience.pool_restarts
+                > self.resilience.max_pool_restarts
+                and not self._degraded):
+            self._degraded = True
+            self.stats.resilience.degraded_serial = True
+            get_obs().counter("executor.degraded_serial").inc()
+            print(
+                "repro: worker pool failed %d times; degrading to "
+                "serial execution"
+                % self.stats.resilience.pool_restarts,
+                file=sys.stderr,
+            )
+
+    def _batch_result(self, batch):
+        """The batch's ``(pid, results)``, surviving worker failures.
+
+        Waits under the policy's per-task timeout (scaled by batch
+        size), retries failed dispatches with exponential backoff on a
+        (possibly replaced) pool, and finally executes the batch
+        in-process — the entry functions are plain module functions, so
+        the parent can run them directly.  Deterministic runs make
+        every path produce identical results.
+        """
+        if batch.result is not None:
+            return batch.result
+        rstats = self.stats.resilience
+        timeout = None
+        if self.resilience.task_timeout:
+            timeout = self.resilience.task_timeout \
+                * max(1, len(batch.items))
+        attempt = 0
+        while batch.future is not None:
+            try:
+                batch.result = batch.future.result(timeout=timeout)
+                return batch.result
+            except FuturesTimeoutError as exc:
+                rstats.timeouts += 1
+                get_obs().counter("executor.task_timeouts").inc()
+                self._note_batch_error("timeout", exc)
+                self._recycle_pool(kill=True, only_if=batch.pool)
+            except BrokenProcessPool as exc:
+                rstats.broken_pools += 1
+                get_obs().counter("executor.broken_pools").inc()
+                self._note_batch_error("worker-crash", exc)
+                self._recycle_pool(kill=False, only_if=batch.pool)
+            except Exception as exc:
+                # The task itself raised on the worker; the pool is
+                # healthy.  Retry in case the failure was transient
+                # (an injected or environmental error).
+                self._note_batch_error("task", exc)
+            attempt += 1
+            batch.future = None
+            if attempt <= self.resilience.max_retries:
+                time.sleep(self.resilience.backoff_seconds(attempt))
+                pool = self._pool_handle()
+                if pool is not None:
+                    try:
+                        batch.future = pool.submit(
+                            batch.fn, *batch.header, batch.items)
+                        batch.pool = pool
+                        rstats.retries += 1
+                        get_obs().counter("executor.task_retries").inc()
+                    except Exception:
+                        batch.future = None
+        # Out of retries (or no usable pool): run the batch here.
+        rstats.inline_fallbacks += 1
+        get_obs().counter("executor.batch_inline_fallbacks").inc()
+        batch.result = batch.fn(*batch.header, batch.items)
+        return batch.result
+
+    def _note_batch_error(self, stage, exc):
+        self.stats.resilience.note_task_error(
+            stage, "%s: %s" % (type(exc).__name__, exc),
+            traceback_module.format_exc(),
+        )
 
     # -- public API -----------------------------------------------------
 
@@ -631,12 +832,27 @@ class CampaignExecutor:
             memo_holder.__dict__[attr] = blob
         return blob
 
+    def _note_unpicklable(self, stage, exc, note):
+        """Record a pickling failure, keeping its traceback observable.
+
+        The task still executes in-process and its outcome stands; the
+        error/traceback ride along on the run result and in
+        ``ResilienceStats.task_errors`` instead of being discarded.
+        """
+        self.stats.unpicklable_tasks += 1
+        note["error"] = "%s: %s" % (type(exc).__name__, exc)
+        note["traceback"] = traceback_module.format_exc()
+        self.stats.resilience.note_task_error(
+            stage, note["error"], note["traceback"])
+        get_obs().counter("executor.unpicklable_tasks").inc()
+
     def _run_task(self, program, plan, config):
         key = None
         if self.cache is not None:
             key = _run_key(program, plan, config)
         collect_obs = get_obs().enabled
         batch_fn = batch_group = batch_header = batch_item = None
+        note = {"error": None, "traceback": None}
         if self.jobs > 1:
             try:
                 program_fp = fingerprint_program(program)
@@ -654,8 +870,8 @@ class CampaignExecutor:
                                collect_obs)
                 batch_header = (program_fp, program_blob, config_blob,
                                 collect_obs)
-            except Exception:
-                self.stats.unpicklable_tasks += 1
+            except Exception as exc:
+                self._note_unpicklable("pickle:run", exc, note)
                 batch_fn = None
 
         def inline_call():
@@ -667,6 +883,7 @@ class CampaignExecutor:
                 hwop_counts=value.hwop_counts,
                 hwop_broadcast=value.hwop_broadcast,
                 duration=duration, worker_pid=pid, cached=cached,
+                error=note["error"], traceback=note["traceback"],
             )
 
         return _Task(tag=plan, key=key, batch_fn=batch_fn,
@@ -708,6 +925,7 @@ class CampaignExecutor:
             key = _baseline_key(tool_fp, plan, run_seed)
         collect_obs = get_obs().enabled
         batch_fn = batch_group = batch_header = batch_item = None
+        note = {"error": None, "traceback": None}
         if self.jobs > 1:
             try:
                 tool_blob = self._pickle_blob(
@@ -721,8 +939,8 @@ class CampaignExecutor:
                 batch_group = ("baseline", tool_fp, collect_obs)
                 batch_header = (tool_fp, tool_blob, collect_obs)
                 batch_item = (plan_blob, run_seed)
-            except Exception:
-                self.stats.unpicklable_tasks += 1
+            except Exception as exc:
+                self._note_unpicklable("pickle:baseline", exc, note)
                 batch_fn = None
 
         def inline_call():
@@ -739,6 +957,7 @@ class CampaignExecutor:
                 retired=value["retired"],
                 new_predicates=value["predicates"],
                 duration=duration, worker_pid=pid, cached=cached,
+                error=note["error"], traceback=note["traceback"],
             )
 
         return _Task(tag=run_seed, key=key, batch_fn=batch_fn,
@@ -761,7 +980,6 @@ class CampaignExecutor:
         ``jobs=1`` the window is one and tasks execute lazily, so no
         speculative work happens at all.
         """
-        pool = self._pool_handle()
         obs = get_obs()
         pending = deque()
         tasks = iter(tasks)
@@ -772,6 +990,10 @@ class CampaignExecutor:
         consumed = 0
         try:
             while True:
+                # Re-read the handle every round: a mid-campaign pool
+                # restart (or degradation to serial) must steer new
+                # dispatches, not just retries.
+                pool = self._pool_handle()
                 window = (self.jobs * self.speculation * batch_size
                           if pool is not None else 1)
                 while not exhausted and len(pending) < window:
@@ -784,7 +1006,7 @@ class CampaignExecutor:
                     )
                     pending.append(entry)
                 if open_batch is not None:
-                    self._submit_batch(pool, open_batch)
+                    self._submit_batch(open_batch)
                     open_batch = None
                 if not pending:
                     return
@@ -826,7 +1048,7 @@ class CampaignExecutor:
             if open_batch is not None and (
                     open_batch.group != task.batch_group
                     or len(open_batch.items) >= batch_size):
-                self._submit_batch(pool, open_batch)
+                self._submit_batch(open_batch)
                 open_batch = None
             if open_batch is None:
                 open_batch = _Batch(task.batch_fn, task.batch_group,
@@ -836,9 +1058,25 @@ class CampaignExecutor:
             return ("batch", task, open_batch, index), open_batch
         return ("inline", task, None, None), open_batch
 
-    @staticmethod
-    def _submit_batch(pool, batch):
-        batch.future = pool.submit(batch.fn, *batch.header, batch.items)
+    def _submit_batch(self, batch):
+        """Ship *batch* to the pool; a failed submit resolves inline.
+
+        Submission can fail when the pool broke since dispatch (worker
+        crash) — the batch then carries no future and
+        :meth:`_batch_result` executes it in-process when consumed.
+        """
+        pool = self._pool_handle()
+        if pool is None:
+            batch.future = None
+            return
+        try:
+            batch.future = pool.submit(batch.fn, *batch.header,
+                                       batch.items)
+            batch.pool = pool
+        except Exception as exc:
+            batch.future = None
+            self._note_batch_error("submit", exc)
+            self._recycle_pool(kill=False, only_if=pool)
 
     def _resolve(self, entry, inflight=(), obs=None):
         if obs is None:
@@ -861,7 +1099,7 @@ class CampaignExecutor:
                                        {"cached": True})
             return task.wrap(payload["value"], duration, None, True)
         if kind == "batch":
-            pid, results = payload.future.result()
+            pid, results = self._batch_result(payload)
             duration, value, obs_payload = results[index]
             self.stats.pool_runs += 1
             self.stats.worker_pids.add(pid)

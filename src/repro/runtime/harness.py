@@ -106,10 +106,17 @@ class CampaignResult:
 
 
 class _CampaignShortfall:
-    """Mixin carrying the structured shortfall description."""
+    """Mixin carrying the structured shortfall description.
+
+    ``detail`` optionally appends execution-layer context to the
+    message — e.g. "the executor recorded N task errors" — so a
+    shortfall caused by infrastructure failures, not workload behaviour,
+    says so.
+    """
 
     def __init__(self, workload_name, want_failures, got_failures,
-                 want_successes, got_successes, attempts, limit):
+                 want_successes, got_successes, attempts, limit,
+                 detail=None):
         self.info = ShortfallInfo(
             workload_name, want_failures, got_failures,
             want_successes, got_successes, attempts, limit,
@@ -121,7 +128,11 @@ class _CampaignShortfall:
         self.got_successes = got_successes
         self.attempts = attempts
         self.limit = limit
-        super().__init__(self.info.describe())
+        self.detail = detail
+        message = self.info.describe()
+        if detail:
+            message += "; " + detail
+        super().__init__(message)
 
 
 class CampaignShortfallError(_CampaignShortfall, RuntimeError):
@@ -210,11 +221,15 @@ def run_campaign(program, workload, *, want_failures, want_successes,
             workload.name, want_failures, len(failures),
             want_successes, len(successes), attempts, limit,
         )
+        detail = _executor_detail(executor)
         if on_shortfall == "raise":
-            raise CampaignShortfallError(*_astuple(shortfall))
+            raise CampaignShortfallError(*_astuple(shortfall),
+                                         detail=detail)
         if on_shortfall == "warn":
-            warnings.warn(CampaignShortfallWarning(*_astuple(shortfall)),
-                          stacklevel=2)
+            warnings.warn(
+                CampaignShortfallWarning(*_astuple(shortfall),
+                                         detail=detail),
+                stacklevel=2)
 
     result = CampaignResult(
         failures=failures[:want_failures] if want_failures else failures,
@@ -233,6 +248,22 @@ def _astuple(info):
     return (info.workload_name, info.want_failures, info.got_failures,
             info.want_successes, info.got_successes, info.attempts,
             info.limit)
+
+
+def _executor_detail(executor):
+    """Execution-layer context for a shortfall message, or ``None``.
+
+    When the executor recorded task errors, a shortfall is likely
+    infrastructure, not workload behaviour — say so and show the last
+    preserved error so nobody has to rerun with a debugger attached.
+    """
+    stats = getattr(executor, "stats", None)
+    resilience = getattr(stats, "resilience", None)
+    if resilience is None or not resilience.task_errors:
+        return None
+    last = resilience.task_errors[-1]
+    return ("%d executor task error(s) recorded; last (%s): %s"
+            % (len(resilience.task_errors), last["stage"], last["error"]))
 
 
 def _counter():
