@@ -116,7 +116,8 @@ class BaselineToolBase:
                     machine.set_global(name, value)
             finish = self.attach(machine, run_seed)
             status = machine.run(max_steps=plan.max_steps)
-            span.set(retired=status.retired, outcome=status.describe())
+            span.set(retired=status.retired, outcome=status.describe(),
+                     backend=machine.config.backend)
         self.retired_total += status.retired
         failed = self.workload.is_failure(status)
         return failed, finish(failed)
@@ -161,6 +162,7 @@ class BaselineToolBase:
             wall_seconds=time.perf_counter() - started,
             executor=self.executor,
             obs=obs,
+            backend=self.machine_config.backend,
         )
         return diagnosis
 

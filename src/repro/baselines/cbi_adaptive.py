@@ -182,7 +182,8 @@ class CbiAdaptiveTool(BaselineToolBase):
                 machine.set_global(name, value)
             finish = self.attach(machine, run_seed)
             status = machine.run(max_steps=plan.max_steps)
-            span.set(retired=status.retired, outcome=status.describe())
+            span.set(retired=status.retired, outcome=status.describe(),
+                     backend=machine.config.backend)
         self._last_status = status
         self.retired_total += status.retired
         failed = self.workload.is_failure(status)

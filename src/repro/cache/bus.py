@@ -26,10 +26,47 @@ class CoherenceBus:
         self.snoop_count = 0
         #: remote lines invalidated by read-for-ownership upgrades
         self.invalidation_count = 0
+        #: line address -> sole accessing core id, or -1 once shared;
+        #: ``None`` until :meth:`enable_private_tracking` opts in
+        self._line_users = None
+        self._line_size = 1
 
     def attach(self, cache):
         """Register a cache with the bus."""
         self._caches.append(cache)
+
+    def enable_private_tracking(self):
+        """Opt in to the private-line fast path (threaded backend).
+
+        Tracks, per cache line, the single core that has ever accessed
+        it (or -1 once a second core touches it).  Under machine
+        control a cache only gains lines through its own core's bus
+        accesses, so a line with one-ever user cannot be resident in any
+        remote cache: its snoops find nothing, making the full snoop
+        loop's effect exactly ``snoop_count += len(caches) - 1`` with an
+        Exclusive fill (loads) or zero invalidations (stores).  The
+        tracking is monotone ("ever accessed"), so evictions and flushes
+        never invalidate the claim.  Must not be enabled for buses whose
+        caches are driven directly (e.g. unit tests calling
+        ``install``).
+        """
+        self._line_users = {}
+        self._line_size = self._caches[0].config.line_size \
+            if self._caches else 1
+
+    def _still_private(self, core_id, address):
+        """Record this access; return True if the line has only ever
+        been touched by *core_id* (the fast path is then exact)."""
+        line_address = address - address % self._line_size
+        users = self._line_users
+        user = users.get(line_address)
+        if user is None:
+            users[line_address] = core_id
+            return True
+        if user == core_id:
+            return True
+        users[line_address] = -1
+        return False
 
     @property
     def caches(self):
@@ -42,13 +79,24 @@ class CoherenceBus:
     def load(self, core_id, address):
         """Perform a load from *core_id*; return the observed MESI state."""
         cache = self._caches[core_id]
-        observed = cache.state_of(address)
-        if observed.is_valid():
-            cache.touch(address)
+        # Hit path: one lookup serves both the state observation and the
+        # LRU touch (equivalent to state_of + touch, which is measurably
+        # slower on this, the hottest path in the simulator).
+        line = cache.lookup(address)
+        if line is not None and line.state is not MesiState.INVALID:
+            cache._tick += 1
+            line.last_use = cache._tick
             self.hit_count += 1
-            return observed
+            return line.state
         # Miss: observed state is Invalid; fill from the bus.
         self.transaction_count += 1
+        if self._line_users is not None \
+                and self._still_private(core_id, address):
+            # No remote cache can hold the line; the snoop loop below
+            # would find nothing and fill Exclusive.
+            self.snoop_count += len(self._caches) - 1
+            cache.install(address, MesiState.EXCLUSIVE)
+            return MesiState.INVALID
         fill_state = MesiState.EXCLUSIVE
         for other in self._caches:
             if other.core_id == core_id:
@@ -65,12 +113,23 @@ class CoherenceBus:
     def store(self, core_id, address):
         """Perform a store from *core_id*; return the observed MESI state."""
         cache = self._caches[core_id]
-        observed = cache.state_of(address)
+        line = cache.lookup(address)
+        observed = MesiState.INVALID if line is None \
+            else line.state
         if observed is MesiState.MODIFIED:
-            cache.touch(address)
+            cache._tick += 1
+            line.last_use = cache._tick
             self.hit_count += 1
             return observed
         self.transaction_count += 1
+        if self._line_users is not None \
+                and self._still_private(core_id, address):
+            # No remote copies exist: the RFO snoop would invalidate
+            # nothing.  E upgrades silently (no snoop), as below.
+            if observed is not MesiState.EXCLUSIVE:
+                self.snoop_count += len(self._caches) - 1
+            cache.install(address, MesiState.MODIFIED)
+            return observed
         # E upgrades silently; S and I must invalidate remote copies (RFO).
         if observed is not MesiState.EXCLUSIVE:
             for other in self._caches:

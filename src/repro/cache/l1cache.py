@@ -59,6 +59,11 @@ class L1Cache:
         self._sets = [dict() for _ in range(self.config.num_sets)]
         self._tick = 0
         self.eviction_count = 0
+        # Geometry snapshot: every simulated access computes a line
+        # address and set index, and ``num_sets`` is a dividing property
+        # — far too expensive to recompute per access.
+        self._line_size = self.config.line_size
+        self._num_sets = self.config.num_sets
 
     # ------------------------------------------------------------------
     # Lookup and state manipulation
@@ -66,8 +71,10 @@ class L1Cache:
 
     def lookup(self, address):
         """Return the resident :class:`CacheLine` for *address*, or ``None``."""
-        line_address = self.config.line_address(address)
-        return self._sets[self.config.set_index(line_address)].get(line_address)
+        line_size = self._line_size
+        line_address = address - address % line_size
+        return self._sets[line_address // line_size % self._num_sets] \
+            .get(line_address)
 
     def state_of(self, address):
         """Return the MESI state observed for *address* (I when absent)."""
@@ -88,8 +95,9 @@ class L1Cache:
 
         Returns the evicted line address, or ``None``.
         """
-        line_address = self.config.line_address(address)
-        cache_set = self._sets[self.config.set_index(line_address)]
+        line_size = self._line_size
+        line_address = address - address % line_size
+        cache_set = self._sets[line_address // line_size % self._num_sets]
         self._tick += 1
         existing = cache_set.get(line_address)
         if existing is not None:
@@ -115,8 +123,10 @@ class L1Cache:
         if line is None:
             return
         if state is MesiState.INVALID:
-            line_address = self.config.line_address(address)
-            del self._sets[self.config.set_index(line_address)][line_address]
+            line_size = self._line_size
+            line_address = address - address % line_size
+            del self._sets[line_address // line_size % self._num_sets] \
+                [line_address]
         else:
             line.state = state
 

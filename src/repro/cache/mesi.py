@@ -3,6 +3,22 @@
 The coherence state a load or store *observes* right before accessing the
 L1 data cache is the primitive event recorded by hardware performance
 counters (Table 2 of the paper) and by the proposed LCR.
+
+Coherence invariants (the execution-backend contract relies on these):
+
+* The observed state is always the **pre-access** state: a miss (line
+  absent or :attr:`MesiState.INVALID`) observes I even though the access
+  itself will install the line in E, S, or M.
+* State transitions are driven solely by the bus
+  (:mod:`repro.cache.bus`): local hits upgrade/downgrade lines, remote
+  accesses snoop and invalidate.  Snoop and invalidation *counts* are
+  part of the observable machine state, so any fast path that skips bus
+  broadcasts (e.g. for lines never shared across cores) must prove the
+  skipped broadcasts would not have changed a counter or a remote line.
+* A line's sharing history is monotone within one run — once a second
+  core has touched a line it can never again qualify for a
+  private-line fast path — which is what makes the never-shared check a
+  safe one-way gate.
 """
 
 import enum
@@ -20,6 +36,11 @@ class MesiState(enum.Enum):
     EXCLUSIVE = "E"
     SHARED = "S"
     INVALID = "I"
+
+    # Members are singletons compared by identity, so the id-based hash
+    # is consistent with equality and much cheaper than Enum's default
+    # (performance-counter dicts hash these on every simulated access).
+    __hash__ = object.__hash__
 
     @property
     def letter(self):

@@ -21,6 +21,13 @@ Commands:
 * ``obs conformance [table...]`` — re-run experiment drivers and check
   their output against the pinned paper-table values.
 
+``run``, ``log``, ``diagnose``, ``experiment``, and ``obs
+conformance`` accept ``--backend {reference,threaded}``, selecting the
+VM execution backend for every machine the invocation builds
+(default: threaded).  Backends produce bit-identical results — the
+threaded one is simply faster; see ``docs/performance.md`` for the
+performance model and :mod:`repro.machine.backends` for the contract.
+
 ``diagnose`` and ``experiment`` accept ``--jobs N`` (fan campaign runs
 out over N worker processes), ``--cache``/``--no-cache`` (content-
 addressed run cache under ``--cache-dir``, default ``.repro-cache/``),
@@ -163,6 +170,25 @@ def _fault_session(args, out):
 
 
 @contextlib.contextmanager
+def _backend_session(args):
+    """Install the ``--backend`` choice as the process-wide default.
+
+    Every ``MachineConfig()`` built while the session is active — in
+    this process and in worker processes forked from it — resolves to
+    the chosen execution backend.  Without the flag the default
+    (threaded) stays in force.
+    """
+    name = getattr(args, "backend", None)
+    if not name:
+        yield
+        return
+    from repro.machine.backends import use_backend
+
+    with use_backend(name):
+        yield
+
+
+@contextlib.contextmanager
 def _ledger_session(args):
     """Install a persistent run ledger unless ``--no-ledger`` was given."""
     from repro.obs.ledger import Ledger, use
@@ -203,7 +229,7 @@ def _cmd_bugs(_args, out):
 
 def _cmd_run(args, out):
     bug = get_bug(args.bug)
-    with _obs_session(args, out):
+    with _backend_session(args), _obs_session(args, out):
         tool = _log_tool(bug, toggling=True)
         if args.passing:
             status = tool.run_passing(0)
@@ -227,7 +253,7 @@ def _log_tool(bug, toggling, executor=None, name="auto"):
 
 def _cmd_log(args, out):
     bug = get_bug(args.bug)
-    with _obs_session(args, out):
+    with _backend_session(args), _obs_session(args, out):
         tool = _log_tool(bug, toggling=not args.no_toggling,
                          name=args.tool)
         report = tool.report(tool.run_failing(0))
@@ -255,27 +281,32 @@ def _cmd_diagnose(args, out):
     options = {}
     if name in ("lbra", "lcra"):
         options["scheme"] = args.scheme
-    executor = _build_executor(args)
     try:
-        with _fault_session(args, out), _ledger_session(args), \
-                _obs_session(args, out):
-            # The pool must drain before the fault session ends: the
-            # chaos state directory has to outlive every worker, or a
-            # straggling speculative batch would restart the schedule.
-            try:
-                report = get_tool(name)(bug, executor=executor,
-                                        **options) \
-                    .diagnose(args.runs, args.runs)
-                out.write(report.describe(n=args.top) + "\n")
-                if args.json:
-                    out.write(report.to_json() + "\n")
-                if args.json_out:
-                    with open(args.json_out, "w") as handle:
-                        handle.write(report.to_json() + "\n")
-                    out.write("report written to %s\n" % args.json_out)
-            finally:
-                if executor is not None:
-                    executor.shutdown()
+        # The backend session opens before the executor is built so
+        # forked workers inherit the chosen process default.
+        with _backend_session(args):
+            executor = _build_executor(args)
+            with _fault_session(args, out), _ledger_session(args), \
+                    _obs_session(args, out):
+                # The pool must drain before the fault session ends:
+                # the chaos state directory has to outlive every
+                # worker, or a straggling speculative batch would
+                # restart the schedule.
+                try:
+                    report = get_tool(name)(bug, executor=executor,
+                                            **options) \
+                        .diagnose(args.runs, args.runs)
+                    out.write(report.describe(n=args.top) + "\n")
+                    if args.json:
+                        out.write(report.to_json() + "\n")
+                    if args.json_out:
+                        with open(args.json_out, "w") as handle:
+                            handle.write(report.to_json() + "\n")
+                        out.write("report written to %s\n"
+                                  % args.json_out)
+                finally:
+                    if executor is not None:
+                        executor.shutdown()
     except (DiagnosisError, BaselineUnsupportedError) as exc:
         out.write("diagnosis failed: %s\n" % exc)
         return 1
@@ -296,9 +327,12 @@ def _cmd_experiment(args, out):
                   % (args.name, ", ".join(sorted(registry))))
         return 1
     names = sorted(registry) if args.name == "all" else [args.name]
-    executor = _build_executor(args)
-    with _fault_session(args, out), _ledger_session(args), \
-            _obs_session(args, out):
+    with contextlib.ExitStack() as sessions:
+        sessions.enter_context(_backend_session(args))
+        executor = _build_executor(args)
+        sessions.enter_context(_fault_session(args, out))
+        sessions.enter_context(_ledger_session(args))
+        sessions.enter_context(_obs_session(args, out))
         # Shut the pool down inside the fault session (see _cmd_diagnose).
         try:
             for index, name in enumerate(names):
@@ -425,17 +459,18 @@ def _cmd_obs_compare(args, out):
 def _cmd_obs_conformance(args, out):
     from repro.experiments.expected import run_conformance
 
-    executor = _build_executor(args)
     try:
-        with _fault_session(args, out), _ledger_session(args):
-            # Shut the pool down inside the fault session (see
-            # _cmd_diagnose).
-            try:
-                text, code = run_conformance(args.names,
-                                             executor=executor)
-            finally:
-                if executor is not None:
-                    executor.shutdown()
+        with _backend_session(args):
+            executor = _build_executor(args)
+            with _fault_session(args, out), _ledger_session(args):
+                # Shut the pool down inside the fault session (see
+                # _cmd_diagnose).
+                try:
+                    text, code = run_conformance(args.names,
+                                                 executor=executor)
+                finally:
+                    if executor is not None:
+                        executor.shutdown()
     except ValueError as exc:
         out.write("%s\n" % exc)
         return 1
@@ -458,6 +493,17 @@ def _add_executor_flags(parser):
     parser.add_argument(
         "--cache-dir", default=DEFAULT_CACHE_DIR, metavar="DIR",
         help="on-disk cache location (default: %(default)s)",
+    )
+
+
+def _add_backend_flag(parser):
+    from repro.machine.backends import BACKEND_NAMES, DEFAULT_BACKEND
+
+    parser.add_argument(
+        "--backend", default=None, choices=BACKEND_NAMES,
+        help="VM execution backend (default: %s); results are "
+             "bit-identical either way, the threaded backend is just "
+             "faster — see docs/performance.md" % DEFAULT_BACKEND,
     )
 
 
@@ -514,6 +560,7 @@ def build_parser():
     run_parser.add_argument("bug", choices=sorted(bug_names()))
     run_parser.add_argument("--passing", action="store_true",
                             help="use the passing plan")
+    _add_backend_flag(run_parser)
     _add_obs_flags(run_parser)
 
     log_parser = commands.add_parser(
@@ -525,6 +572,7 @@ def build_parser():
         "--tool", default="auto", choices=("auto", "lbrlog", "lcrlog"),
         help="log tool ('auto' picks by bug category; default)",
     )
+    _add_backend_flag(log_parser)
     _add_obs_flags(log_parser)
 
     diag_parser = commands.add_parser(
@@ -548,6 +596,7 @@ def build_parser():
         help="write the report as pure JSON (render with "
              "`repro obs explain`)",
     )
+    _add_backend_flag(diag_parser)
     _add_executor_flags(diag_parser)
     _add_obs_flags(diag_parser)
     _add_ledger_flags(diag_parser)
@@ -559,6 +608,7 @@ def build_parser():
                            "every one)"
     )
     exp_parser.add_argument("name")
+    _add_backend_flag(exp_parser)
     _add_executor_flags(exp_parser)
     _add_obs_flags(exp_parser)
     _add_ledger_flags(exp_parser)
@@ -644,6 +694,7 @@ def build_parser():
         help="drivers to check: table5, table6, table7 "
              "(default: table5)",
     )
+    _add_backend_flag(conformance_parser)
     _add_executor_flags(conformance_parser)
     _add_ledger_flags(conformance_parser)
     _add_fault_flags(conformance_parser)

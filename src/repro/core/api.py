@@ -209,6 +209,12 @@ class DiagnosisTool:
             value = getattr(raw, attr, None)
             if value is not None:
                 campaign[attr] = value
+        machine_config = getattr(self.tool, "machine_config", None)
+        if machine_config is not None:
+            # Which VM execution backend ran the campaign (see
+            # repro.machine.backends).  Informational: the ranked rows
+            # are backend-invariant by the equivalence contract.
+            campaign["backend"] = machine_config.backend
         executor = getattr(self.tool, "executor", None)
         if executor is not None:
             campaign["executor"] = {

@@ -292,6 +292,7 @@ class DiagnosisToolBase:
             wall_seconds=time.perf_counter() - started,
             executor=self.executor,
             obs=obs,
+            backend=self.machine_config.backend,
         )
         return diagnosis
 

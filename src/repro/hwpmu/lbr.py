@@ -6,6 +6,22 @@ instructions (from-address and to-address).  Recording is enabled through
 ``LBR_SELECT``, following Table 1 of the paper.  The default capacity of 16
 matches Intel Nehalem, the microarchitecture all the paper's experiments
 ran on.
+
+Ring invariants (the execution-backend contract relies on these):
+
+* The ring holds the **last** ``capacity`` recorded branches;
+  ``recorded_count`` counts every branch ever recorded, including those
+  already rotated out.  Both are observable through the MSR file and in
+  diagnosis profiles.
+* Filtering (``should_record``) is decided at *retire time* from the
+  branch kind, privilege ring, and the ``LBR_SELECT`` mask in force at
+  that moment — so a backend deferring appends must evaluate filters
+  eagerly and may only defer the already-filtered entries.
+* :meth:`LastBranchRecord.bulk_append` is the deferred-write primitive:
+  appending a batch must leave ``entries()`` and ``recorded_count``
+  exactly as if each entry had been :meth:`record`-ed individually, and
+  batches must be flushed before any read of the ring (profile snapshot,
+  MSR read, observer callback, end of run).
 """
 
 import enum
@@ -179,6 +195,23 @@ class LastBranchRecord:
         )
         self.recorded_count += 1
         return True
+
+    def bulk_append(self, entries):
+        """Append pre-filtered entries (oldest-first) in one batch.
+
+        The threaded execution backend evaluates the enable/filter state
+        eagerly at retire time and defers only the append (see
+        :mod:`repro.machine.backends`), so *entries* are
+        :class:`LbrEntry` objects that have already passed
+        :meth:`should_record` while enabled.  Ring contents and
+        ``recorded_count`` end up exactly as if each entry had been
+        :meth:`record`-ed individually; batches longer than the capacity
+        only materialize the surviving suffix.
+        """
+        self.recorded_count += len(entries)
+        if len(entries) > self.capacity:
+            entries = entries[len(entries) - self.capacity:]
+        self._ring.extend(entries)
 
     # ------------------------------------------------------------------
     # Inspection

@@ -14,6 +14,20 @@ Two configurations from Section 4.2.2 are provided:
 * :data:`CONF_SPACE_CONSUMING` — invalid loads, invalid stores, exclusive
   loads ("Conf2" in Table 7; noisier because stack and read-mostly-global
   loads often observe the Exclusive state).
+
+Ring invariants (the execution-backend contract relies on these):
+
+* Every recorded entry pairs a program counter with the MESI state the
+  access **observed before** touching the cache — the same pre-access
+  state the performance counters classify, so LCR contents and counter
+  totals always agree.
+* Event-set matching happens at access time against the configuration
+  in force at that moment; a backend deferring ring writes must match
+  eagerly and defer only accepted ``(pc, state)`` pairs.
+* ``recorded_count`` counts every accepted access ever recorded, while
+  the ring keeps only the last ``capacity``; ``bulk_append`` must be
+  indistinguishable from the equivalent sequence of single records and
+  must be flushed before any ring read (profiles, MSRs, end of run).
 """
 
 import enum
@@ -30,6 +44,10 @@ class AccessType(enum.Enum):
 
     LOAD = "load"
     STORE = "store"
+
+    # Identity hash: members are singletons, and these are hashed in the
+    # per-access performance-counter hot path (see MesiState).
+    __hash__ = object.__hash__
 
     @property
     def event_code(self):
@@ -288,6 +306,25 @@ class LastCacheCoherenceRecord:
         )
         self.recorded_count += 1
         return True
+
+    def bulk_append(self, items):
+        """Append pre-filtered ``(pc, state, access, ring)`` tuples.
+
+        The threaded execution backend evaluates enable + config
+        matching eagerly at retire time and defers only the append (see
+        :mod:`repro.machine.backends`); *items* arrive oldest-first and
+        have already passed :meth:`LcrConfig.matches` while enabled.
+        Ring contents and ``recorded_count`` match per-item
+        :meth:`record` calls exactly; only the last ``capacity`` items
+        are materialized into :class:`LcrEntry` objects.
+        """
+        self.recorded_count += len(items)
+        if len(items) > self.capacity:
+            items = items[len(items) - self.capacity:]
+        self._ring.extend(
+            LcrEntry(pc=pc, state=state, access=access, ring=ring)
+            for pc, state, access, ring in items
+        )
 
     # ------------------------------------------------------------------
     # Inspection

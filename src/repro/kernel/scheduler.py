@@ -44,6 +44,41 @@ class RoundRobinScheduler:
         self._remaining = self.quantum - 1
         return chosen
 
+    # -- slice lease protocol (see repro.machine.backends) -------------
+
+    def lease(self, machine):
+        """Pick a thread and promise how many consecutive picks it gets.
+
+        The threaded execution backend batches that many instructions
+        into one slice and fast-forwards the quantum with
+        :meth:`consume`; results are identical to per-instruction
+        ``pick()`` calls because slices end whenever the runnable set
+        could change.
+        """
+        thread = self.pick(machine)
+        if thread is None:
+            return None
+        for other in machine.threads:
+            if other.runnable and other is not thread:
+                return thread, self._remaining + 1
+        return thread, 1 << 30
+
+    def consume(self, extra):
+        """Fast-forward the quantum by *extra* replicated same-thread
+        picks."""
+        remaining = self._remaining
+        if extra <= remaining:
+            self._remaining = remaining - extra
+            return
+        # Only reachable under the sole-runnable-thread lease: each
+        # block of ``quantum`` picks past the drained remainder is one
+        # fresh re-pick of the same thread (resetting the quantum)
+        # followed by decrements; switches and yielded flags are
+        # untouched, exactly as the replicated picks would leave them.
+        quantum = self.quantum
+        extra -= remaining
+        self._remaining = quantum - 1 - ((extra - 1) % quantum)
+
     @staticmethod
     def _thread_by_tid(machine, tid):
         if tid is None or tid >= len(machine.threads):
@@ -120,6 +155,7 @@ class ScriptedScheduler:
         self._remaining = self._segments[0][1] if self._segments else 0
         self._last_tid = None
         self._switches = 0
+        self._lease_scripted = False
 
     @property
     def switches(self):
@@ -145,3 +181,31 @@ class ScriptedScheduler:
         self._position += 1
         if self._position < len(self._segments):
             self._remaining = self._segments[self._position][1]
+
+    # -- slice lease protocol (see repro.machine.backends) -------------
+
+    def lease(self, machine):
+        """Pick a thread and promise how many consecutive picks it gets.
+
+        While the script is live, the promise is the rest of the current
+        segment (whose thread is pinned); afterwards the arithmetic is
+        delegated to the round-robin fallback.
+        """
+        thread = self.pick(machine)
+        if thread is None:
+            return None
+        if self._position < len(self._segments):
+            self._lease_scripted = True
+            return thread, self._remaining + 1
+        self._lease_scripted = False
+        for other in machine.threads:
+            if other.runnable and other is not thread:
+                return thread, self._fallback._remaining + 1
+        return thread, 1 << 30
+
+    def consume(self, extra):
+        """Fast-forward by *extra* replicated same-thread picks."""
+        if self._lease_scripted:
+            self._remaining -= extra
+        else:
+            self._fallback.consume(extra)

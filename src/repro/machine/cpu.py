@@ -31,6 +31,11 @@ from repro.isa.layout import (
     WORD_SIZE,
     stack_bounds_for_thread,
 )
+from repro.machine.backends import (
+    BACKEND_NAMES,
+    get_backend,
+    get_default_backend,
+)
 from repro.machine.core import Core
 from repro.machine.faults import FaultInfo, FaultKind, MachineFault
 from repro.machine.interp import (
@@ -59,6 +64,20 @@ class MachineConfig:
     #: model the profiling ioctls' own cache accesses (Section 4.3);
     #: disabling this is the pollution ablation
     lcr_ioctl_pollution: bool = True
+    #: execution backend ("reference" or "threaded"); ``None`` resolves
+    #: to the process default at construction time, so the concrete name
+    #: always lands in ``repr(config)`` — and therefore in the run-cache
+    #: key and ledger entries (see :mod:`repro.machine.backends`)
+    backend: str = None
+
+    def __post_init__(self):
+        if self.backend is None:
+            self.backend = get_default_backend()
+        elif self.backend not in BACKEND_NAMES:
+            raise ValueError(
+                "unknown backend %r (choose from %s)"
+                % (self.backend, ", ".join(BACKEND_NAMES))
+            )
 
 
 @dataclass(frozen=True)
@@ -136,6 +155,38 @@ class _RoundRobinScheduler:
         self._remaining = self.quantum - 1
         return chosen
 
+    # -- slice lease protocol (see repro.machine.backends) -------------
+
+    def lease(self, machine):
+        """Pick a thread and promise how many consecutive picks it gets.
+
+        Returns ``(thread, n)``: the next ``n`` ``pick()`` calls would
+        all return *thread* as long as the runnable set does not change.
+        With a single runnable thread the promise is effectively
+        unbounded (round robin re-picks it forever).
+        """
+        thread = self.pick(machine)
+        if thread is None:
+            return None
+        for other in machine.threads:
+            if other.runnable and other is not thread:
+                return thread, self._remaining + 1
+        return thread, 1 << 30
+
+    def consume(self, extra):
+        """Fast-forward the quantum by *extra* replicated same-thread
+        picks (the slice executed ``extra + 1`` instructions)."""
+        remaining = self._remaining
+        if extra <= remaining:
+            self._remaining = remaining - extra
+            return
+        # Only reachable under the sole-runnable-thread lease: each
+        # block of ``quantum`` picks past the drained remainder is one
+        # fresh re-pick (resetting to quantum - 1) plus decrements.
+        quantum = self.quantum
+        extra -= remaining
+        self._remaining = quantum - 1 - ((extra - 1) % quantum)
+
 
 class _Mutex:
     """Bookkeeping for one mutex address."""
@@ -207,6 +258,19 @@ class Machine:
         self._profile_hook = None
         self._profile_every = None
         self._loaded = False
+        #: the execution backend driving :meth:`run` (see
+        #: :mod:`repro.machine.backends`)
+        self._backend = get_backend(self.config.backend)
+        #: deferred per-core LBR/LCR appends (threaded backend only);
+        #: drained by :meth:`flush_ring_buffers`
+        self._lbr_pending = [[] for _ in range(self.config.num_cores)]
+        self._lcr_pending = [[] for _ in range(self.config.num_cores)]
+        if self.config.backend == "threaded":
+            # The private-line fast path is proven equivalent only for
+            # buses whose caches gain lines exclusively through their
+            # own core's accesses — true under machine control, not
+            # necessarily for tests driving caches directly.
+            self.bus.enable_private_tracking()
 
     # ------------------------------------------------------------------
     # Loading
@@ -280,50 +344,39 @@ class Machine:
         self._profile_every = every if hook is not None else None
 
     def run(self, args=(), max_steps=None):
-        """Load (if needed) and run to completion; return an ExitStatus."""
+        """Load (if needed) and run to completion; return an ExitStatus.
+
+        The loop itself lives in the configured execution backend (see
+        :mod:`repro.machine.backends`); every backend produces identical
+        results, differing only in wall-clock time.
+        """
         if not self._loaded:
             self.load(args=args)
         started = time.perf_counter()
         budget = max_steps if max_steps is not None else self.config.max_steps
-        steps = 0
-        hang_delivered = False
-        # Hot loop: the profiling hook and switch tracking are local
-        # reads so the disabled path stays within the obs overhead
-        # budget (see benchmarks/test_obs_overhead.py).
-        profile_every = self._profile_every
-        profile_hook = self._profile_hook
-        last_thread = None
-        while self.running:
-            thread = self.scheduler.pick(self)
-            if thread is None:
-                self._handle_no_runnable()
-                break
-            if thread is not last_thread:
-                self.context_switches += 1
-                last_thread = thread
-            self.step(thread)
-            steps += 1
-            if profile_every and steps % profile_every == 0:
-                profile_hook(self, thread, steps)
-            if steps >= budget and self.running:
-                info = FaultInfo(
-                    kind=FaultKind.HANG, pc=thread.pc,
-                    thread_id=thread.tid,
-                    message="step budget exhausted (%d)" % budget,
-                )
-                if hang_delivered:
-                    self._terminate_with_fault(info)
-                else:
-                    # A watchdog (SIGALRM-style) interrupts the hung
-                    # thread; a registered handler may profile the rings
-                    # before the process is killed.
-                    hang_delivered = True
-                    self._deliver_fault(thread, info)
-                    budget += 20_000
+        self._backend.exec_loop(self, budget)
+        self.flush_ring_buffers()
         obs = get_obs()
         if obs.enabled:
             obs.record_run(self, time.perf_counter() - started)
         return self.exit_status()
+
+    def flush_ring_buffers(self):
+        """Drain deferred LBR/LCR appends into the per-core rings.
+
+        A no-op under the reference backend (the pending lists stay
+        empty).  The threaded backend calls this before every ring
+        observation point; flushing early is always safe.
+        """
+        cores = self.cores
+        for core_id, pending in enumerate(self._lbr_pending):
+            if pending:
+                cores[core_id].lbr.bulk_append(pending)
+                del pending[:]
+        for core_id, pending in enumerate(self._lcr_pending):
+            if pending:
+                cores[core_id].lcr.bulk_append(pending)
+                del pending[:]
 
     def step(self, thread):
         """Retire one instruction on *thread*."""

@@ -1,9 +1,29 @@
-"""Instruction semantics.
+"""Instruction semantics — the reference definition of "one step".
 
 :func:`execute_instruction` retires exactly one instruction on behalf of a
 thread, updating machine state and emitting the hardware events (taken
 branches, coherence-classified cache accesses) that feed the LBR, the LCR,
 the performance counters, and any registered software observers.
+
+This module is the behavioural ground truth that every execution backend
+(:mod:`repro.machine.backends`) must reproduce bit-for-bit.  The
+invariants a backend may rely on — and must preserve:
+
+* **Event order within a step.**  A step emits its events in a fixed
+  order: data accesses (and their coherence classification/counter
+  updates) happen when the operand is touched, the branch record is
+  emitted only when a branch *retires taken*, and faults abort the step
+  before any subsequent event.  Untaken branches emit nothing to the LBR.
+* **Ring feeding.**  Each taken branch appends at most one
+  ``(from, to)`` pair to the executing core's LBR, already filtered by
+  ``LBR_SELECT``; each L1-D access whose pre-access MESI state matches
+  the configured event set appends one ``(pc, state)`` pair to the LCR.
+  Ring contents at any observation boundary are a pure function of the
+  retired-instruction prefix — which is what makes deferred bulk
+  appends (the threaded backend) legal.
+* **Determinism.**  Given the same program, scheduler decisions, and
+  initial state, the sequence of retired instructions and emitted
+  events is fully deterministic; there is no hidden global state.
 """
 
 from repro.isa.instructions import BinaryOperator, Opcode, UnaryOperator

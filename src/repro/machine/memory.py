@@ -26,6 +26,11 @@ class Memory:
     def __init__(self):
         self._words = {}
         self._regions = []
+        # Most consecutive accesses hit the same region (a thread works
+        # its own stack or the globals); remembering the last hit turns
+        # the common case into one range check.  Regions are only ever
+        # added, never unmapped, so the cached region stays valid.
+        self._last_region = None
 
     def map_region(self, base, size, name=""):
         """Map ``[base, base + size)`` as accessible."""
@@ -35,8 +40,12 @@ class Memory:
 
     def is_mapped(self, address):
         """Return True if *address* lies in a mapped region."""
-        for low, high, _name in self._regions:
-            if low <= address < high:
+        last = self._last_region
+        if last is not None and last[0] <= address < last[1]:
+            return True
+        for region in self._regions:
+            if region[0] <= address < region[1]:
+                self._last_region = region
                 return True
         return False
 

@@ -140,12 +140,17 @@ class Ledger:
 
     def append(self, *, kind, tool=None, workload=None, seed=None,
                params=None, quality=None, runs=None,
-               provenance_digest=None, timings=None, executor=None,
-               obs=None):
+               provenance_digest=None, backend=None, timings=None,
+               executor=None, obs=None):
         """Append one entry; returns the full entry dict (with id/seq).
 
         Only the keyword surface is public — the entry layout is the
-        schema documented in ``docs/ledger.md``.
+        schema documented in ``docs/ledger.md``.  ``backend`` names the
+        VM execution backend the runs used (see
+        :mod:`repro.machine.backends`); it is a deterministic field —
+        part of the content key — because backends promise identical
+        *results* but not identical *timings*, and an entry must say
+        which engine produced it.
         """
         entry = {
             "version": LEDGER_FORMAT_VERSION,
@@ -157,6 +162,7 @@ class Ledger:
             "quality": _sanitize(quality) if quality is not None else None,
             "runs": _sanitize(runs or {}),
             "provenance_digest": provenance_digest,
+            "backend": backend,
         }
         entry["entry_id"] = content_key(entry)
         entry["timings"] = _sanitize(timings or {})
@@ -372,7 +378,7 @@ class Ledger:
 
     def record_diagnosis(self, *, tool, workload, raw, seed=0,
                          params=None, wall_seconds=0.0, executor=None,
-                         obs=None):
+                         obs=None, backend=None):
         """Record one finished diagnosis campaign.
 
         *raw* is the tool's native result (a core ``Diagnosis`` or a
@@ -397,12 +403,13 @@ class Ledger:
                                      getattr(raw, "n_successes", 0)),
             },
             provenance_digest=provenance_digest(ranked),
+            backend=backend,
             timings={"wall_seconds": wall_seconds},
             executor=_executor_record(executor),
             obs=_obs_record(obs),
         )
 
-    def record_campaign(self, *, workload, result):
+    def record_campaign(self, *, workload, result, backend=None):
         """Record one :func:`~repro.runtime.harness.run_campaign` call."""
         return self.append(
             kind="campaign",
@@ -413,10 +420,12 @@ class Ledger:
                 "attempts": result.attempts,
                 "met_quotas": result.met_quotas,
             },
+            backend=backend,
             executor=_executor_record_from_stats(result.executor_stats),
         )
 
-    def record_experiment(self, name, result, wall_seconds):
+    def record_experiment(self, name, result, wall_seconds,
+                          backend=None):
         """Record one experiment driver invocation.
 
         ``quality`` holds the rendered table's shape and a content
@@ -437,11 +446,15 @@ class Ledger:
                 "rows_digest":
                     hashlib.sha256(canonical.encode()).hexdigest(),
             }
+        if backend is None:
+            from repro.machine.backends import get_default_backend
+            backend = get_default_backend()
         return self.append(
             kind="experiment",
             tool=getattr(result, "name", None) or name,
             workload=name,
             quality=quality,
+            backend=backend,
             timings={"wall_seconds": wall_seconds},
         )
 
@@ -543,7 +556,8 @@ class NullLedger:
     def record_campaign(self, **_kwargs):
         return None
 
-    def record_experiment(self, _name, _result, _wall_seconds):
+    def record_experiment(self, _name, _result, _wall_seconds,
+                          backend=None):
         return None
 
     def entries(self, **_kwargs):

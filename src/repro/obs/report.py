@@ -47,15 +47,26 @@ def aggregate(records):
 
     Returns ``{path: {"name", "count", "total", "min", "max"}}``;
     raises :class:`NotASpanTrace` for records that are not spans.
+
+    Spans tagged with a ``backend`` attribute (the VM execution engine
+    that ran them, see :mod:`repro.machine.backends`) aggregate under a
+    ``path [backend]`` key so a trace mixing reference and threaded
+    runs reports them as separate phases instead of averaging engines
+    with very different per-run costs together.
     """
     validate_trace(records)
     phases = {}
     for record in records:
         path = record["path"]
+        name = record["name"]
+        backend = (record.get("attrs") or {}).get("backend")
+        if backend:
+            path = "%s [%s]" % (path, backend)
+            name = "%s [%s]" % (name, backend)
         dur = record["dur"]
         entry = phases.get(path)
         if entry is None:
-            phases[path] = {"name": record["name"], "count": 1,
+            phases[path] = {"name": name, "count": 1,
                             "total": dur, "min": dur, "max": dur}
         else:
             entry["count"] += 1

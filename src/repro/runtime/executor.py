@@ -74,7 +74,8 @@ from repro.runtime.resilience import (
 )
 
 #: Bump when the cached value layout changes; stale entries then miss.
-CACHE_FORMAT_VERSION = 2
+#: (3: run keys cover MachineConfig.backend — see repro.machine.backends.)
+CACHE_FORMAT_VERSION = 3
 
 #: Default on-disk cache location, relative to the working directory.
 DEFAULT_CACHE_DIR = ".repro-cache"
@@ -576,6 +577,7 @@ class _Task:
     batch_item: object = None      # this task's per-run argument
     inline_call: object = None     # () -> value, runs in-process
     wrap: object = None            # value, duration, pid, cached -> result
+    backend: str = None            # VM execution backend of the run
 
 
 class _Batch:
@@ -889,7 +891,7 @@ class CampaignExecutor:
         return _Task(tag=plan, key=key, batch_fn=batch_fn,
                      batch_group=batch_group, batch_header=batch_header,
                      batch_item=batch_item, inline_call=inline_call,
-                     wrap=wrap)
+                     wrap=wrap, backend=config.backend)
 
     def _baseline_fingerprint(self, tool):
         cached = tool.__dict__.get("_content_fingerprint")
@@ -899,6 +901,7 @@ class CampaignExecutor:
         fingerprint = hashlib.sha256(repr((
             tool_class.__module__, tool_class.__qualname__,
             fingerprint_workload(workload), sorted(kwargs.items()),
+            fingerprint_config(tool.machine_config),
         )).encode()).hexdigest()
         tool.__dict__["_content_fingerprint"] = fingerprint
         return fingerprint
@@ -963,7 +966,7 @@ class CampaignExecutor:
         return _Task(tag=run_seed, key=key, batch_fn=batch_fn,
                      batch_group=batch_group, batch_header=batch_header,
                      batch_item=batch_item, inline_call=inline_call,
-                     wrap=wrap)
+                     wrap=wrap, backend=tool.machine_config.backend)
 
     # -- the ordered pipeline -------------------------------------------
 
@@ -1095,8 +1098,9 @@ class CampaignExecutor:
             obs.counter("executor.cache_hits").inc()
             # The cache stores no span buffer; synthesize the run span so
             # the trace keeps one per consumed run either way.
-            obs.tracer.record_complete("interp.run", duration,
-                                       {"cached": True})
+            obs.tracer.record_complete(
+                "interp.run", duration,
+                {"cached": True, "backend": task.backend})
             return task.wrap(payload["value"], duration, None, True)
         if kind == "batch":
             pid, results = self._batch_result(payload)

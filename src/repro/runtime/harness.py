@@ -240,7 +240,8 @@ def run_campaign(program, workload, *, want_failures, want_successes,
         executor_stats=getattr(executor, "stats", None),
         obs=obs,
     )
-    get_ledger().record_campaign(workload=workload, result=result)
+    get_ledger().record_campaign(workload=workload, result=result,
+                                 backend=config.backend)
     return result
 
 

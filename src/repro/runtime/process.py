@@ -52,7 +52,8 @@ def execute_plan(program, plan, config=None):
         machine.load(args=plan.args)
         _apply_globals(machine, plan.globals_setup)
         status = machine.run(max_steps=plan.max_steps)
-        span.set(retired=status.retired, outcome=status.describe())
+        span.set(retired=status.retired, outcome=status.describe(),
+                 backend=machine.config.backend)
     return PlanOutcome(
         status=status,
         hwop_counts=dict(machine.hwop_counts),
@@ -74,5 +75,6 @@ def run_program(program, args=(), scheduler=None, config=None,
         machine.load(args=args)
         _apply_globals(machine, globals_setup)
         status = machine.run(max_steps=max_steps)
-        span.set(retired=status.retired, outcome=status.describe())
+        span.set(retired=status.retired, outcome=status.describe(),
+                 backend=machine.config.backend)
     return status

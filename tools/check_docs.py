@@ -1,0 +1,118 @@
+#!/usr/bin/env python
+"""Fail the build when the docs drift from the code.
+
+Markdown rots in three predictable ways; this checker catches each:
+
+* a ``--flag`` that the ``repro`` CLI no longer accepts (or never did);
+* a dotted ``repro.*`` module/attribute path that no longer imports;
+* a backticked repo file path (``src/...``, ``docs/...``, ...) that no
+  longer exists.
+
+Checked files: ``README.md``, ``DESIGN.md``, and ``docs/*.md`` — the
+documents that describe the *current* code.  ``ROADMAP.md`` (future
+work) and ``CHANGES.md`` (history) legitimately reference things that
+do not exist yet / any more, so they are exempt.
+
+Usage: ``PYTHONPATH=src python tools/check_docs.py`` (exits non-zero
+listing every stale reference).
+"""
+
+import pathlib
+import re
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+#: Flags belonging to other tools that the docs mention (pytest, pip).
+FOREIGN_FLAGS = {
+    "--benchmark-only",
+    "--benchmark-autosave",
+}
+
+#: A doc path reference must start with one of these repo directories.
+PATH_ROOTS = ("src/", "docs/", "tests/", "benchmarks/", "tools/",
+              ".github/")
+
+FLAG_RE = re.compile(r"(?<![\w-])--[a-z][a-z0-9-]*")
+MODULE_RE = re.compile(r"\brepro(?:\.[A-Za-z_][A-Za-z0-9_]*)+")
+PATH_RE = re.compile(r"`([^`\s]+/[^`\s]*)`")
+
+
+def doc_files():
+    files = [REPO / "README.md", REPO / "DESIGN.md"]
+    files.extend(sorted((REPO / "docs").glob("*.md")))
+    return [path for path in files if path.exists()]
+
+
+def cli_flags():
+    """Every option string any repro (sub)parser accepts."""
+    from repro.cli import build_parser
+
+    flags = set()
+    pending = [build_parser()]
+    while pending:
+        parser = pending.pop()
+        for action in parser._actions:
+            flags.update(action.option_strings)
+            choices = getattr(action, "choices", None)
+            if isinstance(choices, dict):
+                pending.extend(
+                    child for child in choices.values()
+                    if hasattr(child, "_actions"))
+    return flags
+
+
+def check_module(dotted):
+    """Is *dotted* an importable module, or an attribute on one?"""
+    import importlib
+
+    parts = dotted.split(".")
+    for split in range(len(parts), 0, -1):
+        try:
+            obj = importlib.import_module(".".join(parts[:split]))
+        except ImportError:
+            continue
+        for attr in parts[split:]:
+            if not hasattr(obj, attr):
+                return False
+            obj = getattr(obj, attr)
+        return True
+    return False
+
+
+def main():
+    known_flags = cli_flags() | FOREIGN_FLAGS
+    errors = []
+    for path in doc_files():
+        rel = path.relative_to(REPO)
+        for lineno, line in enumerate(path.read_text().splitlines(), 1):
+            for flag in FLAG_RE.findall(line):
+                if flag not in known_flags:
+                    errors.append("%s:%d: unknown CLI flag %s"
+                                  % (rel, lineno, flag))
+            for dotted in MODULE_RE.findall(line):
+                if not check_module(dotted):
+                    errors.append("%s:%d: stale module path %s"
+                                  % (rel, lineno, dotted))
+            for ref in PATH_RE.findall(line):
+                ref = ref.rstrip("/").split("#")[0].split("::")[0]
+                if not ref.startswith(PATH_ROOTS) or "*" in ref \
+                        or "<" in ref:
+                    continue
+                if not (REPO / ref).exists():
+                    errors.append("%s:%d: missing file %s"
+                                  % (rel, lineno, ref))
+    if errors:
+        print("doc check FAILED (%d stale reference%s):"
+              % (len(errors), "" if len(errors) == 1 else "s"))
+        for error in errors:
+            print("  " + error)
+        return 1
+    print("doc check OK: %d files, no stale flags/modules/paths"
+          % len(doc_files()))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
