@@ -5,10 +5,15 @@ from dataclasses import dataclass, field
 
 from repro.baselines.scoring import liblit_rank, rank_of_line
 from repro.compiler.frontend import compile_module
-from repro.core.api import deprecated_alias, validate_options
+from repro.core.api import (
+    confidence_summary,
+    deprecated_alias,
+    validate_options,
+)
 from repro.machine.cpu import Machine, MachineConfig
 from repro.obs import get_obs, use
 from repro.obs.ledger import get_ledger
+from repro.runtime import checkpoint as _checkpoint
 
 
 @dataclass
@@ -24,6 +29,22 @@ class BaselineDiagnosis:
     samples_taken: int = 0
     retired_total: int = 0
     notes: dict = field(default_factory=dict)
+    #: True when the campaign was stopped by a deadline/run budget
+    #: before both quotas were met (see repro.runtime.checkpoint)
+    partial: bool = False
+    stop_reason: str = None
+    n_failures_requested: int = 0
+    n_successes_requested: int = 0
+
+    def confidence(self):
+        """Evidence-quality summary (see :func:`confidence_summary`)."""
+        return confidence_summary(
+            self.n_failures,
+            self.n_failures_requested or self.n_failures,
+            self.n_successes,
+            self.n_successes_requested or self.n_successes,
+            self.ranked,
+        )
 
     def best(self):
         return self.ranked[0] if self.ranked else None
@@ -38,6 +59,18 @@ class BaselineDiagnosis:
     def describe(self, n=5):
         lines = ["%s diagnosis (%d failing, %d passing runs)"
                  % (self.tool, self.n_failures, self.n_successes)]
+        if self.partial:
+            confidence = self.confidence()
+            lines.append(
+                "  PARTIAL (%s): %d/%d failing and %d/%d passing runs "
+                "collected; confidence %s" % (
+                    self.stop_reason,
+                    self.n_failures,
+                    self.n_failures_requested or self.n_failures,
+                    self.n_successes,
+                    self.n_successes_requested or self.n_successes,
+                    confidence["level"],
+                ))
         lines.extend("  %s" % p for p in self.top(n))
         return "\n".join(lines)
 
@@ -176,10 +209,22 @@ class BaselineToolBase:
     def _run_diagnosis(self, obs, n_failures, n_successes, max_attempts):
         cap = max_attempts if max_attempts is not None else \
             (n_failures + n_successes) * 5 + 100
+        budget = _checkpoint.get_budget()
+        supervisor = _checkpoint.get_supervisor()
         observations = []
         failures = 0
         successes = 0
         attempt = 0
+        stopped = {"reason": None}
+
+        def within_budget():
+            # Checked before each fresh execution: a deadline/run-budget
+            # stop ends the campaign cleanly with a partial result.
+            reason = budget.exhausted()
+            if reason is not None:
+                stopped["reason"] = reason
+                return False
+            return True
 
         def consume(plan_of, quota_open):
             nonlocal failures, successes, attempt
@@ -193,9 +238,11 @@ class BaselineToolBase:
                     successes += 1
                     obs.counter("campaign.runs_succeeded").inc()
                 attempt += 1
+                budget.charge()
+                supervisor.beat("campaign")
 
             if self.executor is None:
-                while quota_open() and attempt < cap:
+                while quota_open() and attempt < cap and within_budget():
                     plan = plan_of(attempt + self.seed)
                     failed, observation = self._run_once(
                         plan, attempt + self.seed
@@ -212,7 +259,7 @@ class BaselineToolBase:
 
             runs = self.executor.iter_baseline_runs(self, plan_seeds())
             try:
-                while quota_open() and attempt < cap:
+                while quota_open() and attempt < cap and within_budget():
                     _seed, result = next(runs)
                     self._absorb(result)
                     observations.append(result.observation)
@@ -236,4 +283,8 @@ class BaselineToolBase:
             events_observed=self.events_observed,
             samples_taken=self.samples_taken,
             retired_total=self.retired_total,
+            partial=stopped["reason"] is not None,
+            stop_reason=stopped["reason"],
+            n_failures_requested=n_failures,
+            n_successes_requested=n_successes,
         )

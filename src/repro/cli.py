@@ -10,6 +10,8 @@ Commands:
 * ``experiment <name>``          — regenerate one paper table/figure;
 * ``experiment all``             — regenerate every table/figure;
 * ``experiments``                — list available experiment names;
+* ``resume [<session-id>]``      — resume an interrupted
+  ``--checkpoint`` invocation (omit the id to list sessions);
 * ``ledger path``                — resolved run-ledger location;
 * ``obs report <trace.jsonl>``   — per-phase breakdown of a trace;
 * ``obs flame <trace.jsonl>``    — folded-stack text flame view;
@@ -55,6 +57,18 @@ counts are shared across the whole process tree of the invocation, so
 ``worker-crash:1`` means exactly one crash.  Output must be identical
 to the fault-free run; that is the resilience contract the chaos tests
 pin.
+
+``diagnose`` and ``experiment`` also accept the durability flags
+(:mod:`repro.runtime.checkpoint`): ``--checkpoint`` journals campaign
+progress under ``--checkpoint-dir`` (default ``.repro-checkpoints/``,
+overridable via ``$REPRO_CHECKPOINT_DIR``) so a killed invocation
+resumes — via ``repro resume``, ``--resume``, or simply re-running the
+same command — with byte-identical final output; ``--deadline SECONDS``
+and ``--run-budget N`` bound the invocation, degrading gracefully to a
+``partial`` report with a confidence summary instead of raising.
+SIGINT/SIGTERM shut worker pools down, release locks, flush the
+journals, and exit with code 75 (resumable) when a checkpoint session
+is active.
 """
 
 import argparse
@@ -167,6 +181,59 @@ def _fault_session(args, out):
             yield
     finally:
         shutil.rmtree(state_dir, ignore_errors=True)
+
+
+@contextlib.contextmanager
+def _durability_session(args, out):
+    """Checkpoint session, supervisor, budget, and graceful signals.
+
+    Active for ``diagnose``/``experiment``.  Without ``--checkpoint``
+    (or ``--resume``) only the signal conversion and any
+    ``--deadline``/``--run-budget`` budget install — SIGTERM then still
+    unwinds through every ``finally`` (pools shut down, locks release)
+    before the process exits.  With checkpointing on, campaign streams
+    journal their progress under the session directory; the session is
+    removed when the invocation completes with budget to spare, and
+    kept (with a resume hint on interrupt) otherwise, so ``repro
+    resume`` — or simply re-running the same command with
+    ``--checkpoint`` — continues where it stopped.
+    """
+    from repro.runtime import checkpoint
+
+    run_budget = getattr(args, "run_budget", None)
+    deadline = getattr(args, "deadline", None)
+    budget = checkpoint.NULL_BUDGET
+    if run_budget is not None or deadline is not None:
+        budget = checkpoint.CampaignBudget(run_budget=run_budget,
+                                           deadline=deadline)
+    enabled = getattr(args, "checkpoint", False) \
+        or getattr(args, "resume", False)
+    if not enabled:
+        with checkpoint.use_budget(budget), checkpoint.graceful_signals():
+            yield
+        return
+    root = checkpoint.resolve_checkpoint_dir(
+        getattr(args, "checkpoint_dir", None))
+    session = checkpoint.CheckpointSession.create(
+        root, getattr(args, "_argv", []))
+    print("repro: checkpoint session %s under %s"
+          % (session.session_id, root), file=sys.stderr)
+    supervisor = checkpoint.CampaignSupervisor().start()
+    completed = False
+    try:
+        with checkpoint.use_session(session), \
+                checkpoint.use_budget(budget), \
+                checkpoint.use_supervisor(supervisor), \
+                checkpoint.graceful_signals():
+            yield
+            completed = True
+    finally:
+        supervisor.stop()
+        session.close()
+        if completed and budget.exhausted() is None:
+            session.mark_complete()
+        elif not completed:
+            checkpoint.note_interrupted_session(session)
 
 
 @contextlib.contextmanager
@@ -287,7 +354,8 @@ def _cmd_diagnose(args, out):
         with _backend_session(args):
             executor = _build_executor(args)
             with _fault_session(args, out), _ledger_session(args), \
-                    _obs_session(args, out):
+                    _obs_session(args, out), \
+                    _durability_session(args, out):
                 # The pool must drain before the fault session ends:
                 # the chaos state directory has to outlive every
                 # worker, or a straggling speculative batch would
@@ -333,6 +401,7 @@ def _cmd_experiment(args, out):
         sessions.enter_context(_fault_session(args, out))
         sessions.enter_context(_ledger_session(args))
         sessions.enter_context(_obs_session(args, out))
+        sessions.enter_context(_durability_session(args, out))
         # Shut the pool down inside the fault session (see _cmd_diagnose).
         try:
             for index, name in enumerate(names):
@@ -345,6 +414,53 @@ def _cmd_experiment(args, out):
                 executor.shutdown()
     _write_stats(executor, out)
     return 0
+
+
+def _cmd_resume(args, out):
+    """List or re-dispatch interrupted ``--checkpoint`` sessions.
+
+    A resumed command runs with the session's *stored* (normalized)
+    argv plus the checkpoint flags — chaos flags are deliberately not
+    stored, so the fault schedule that interrupted a run never re-arms
+    on resume.  Campaign streams then replay their journals and the
+    final output is byte-identical to an uninterrupted run.
+    """
+    from repro.runtime import checkpoint
+
+    root = checkpoint.resolve_checkpoint_dir(args.checkpoint_dir)
+    sessions = checkpoint.list_sessions(root)
+    if args.list or (not args.session and not args.last):
+        if not sessions:
+            out.write("no resumable sessions under %s\n" % root)
+            return 0 if args.list else 1
+        for info in sessions:
+            out.write("%s  %s\n" % (info["session_id"], info["command"]))
+        return 0
+    if args.last:
+        if not sessions:
+            out.write("no resumable sessions under %s\n" % root)
+            return 1
+        info = sessions[-1]
+    else:
+        matches = [item for item in sessions
+                   if item["session_id"].startswith(args.session)]
+        if not matches:
+            out.write("no checkpoint session matching %r under %s\n"
+                      % (args.session, root))
+            return 1
+        if len(matches) > 1:
+            out.write("ambiguous session %r: matches %s\n"
+                      % (args.session,
+                         ", ".join(item["session_id"]
+                                   for item in matches)))
+            return 1
+        info = matches[0]
+    print("repro: resuming session %s: repro %s"
+          % (info["session_id"], " ".join(info["argv"])),
+          file=sys.stderr)
+    argv = list(info["argv"]) + ["--checkpoint",
+                                 "--checkpoint-dir", root]
+    return main(argv, out)
 
 
 def _cmd_ledger(args, out):
@@ -531,6 +647,36 @@ def _add_obs_flags(parser):
     )
 
 
+def _add_durability_flags(parser):
+    parser.add_argument(
+        "--checkpoint", action=argparse.BooleanOptionalAction,
+        default=False,
+        help="journal campaign progress under --checkpoint-dir so an "
+             "interrupted invocation resumes where it stopped "
+             "(`repro resume`, or re-run the same command)",
+    )
+    parser.add_argument(
+        "--checkpoint-dir", default=None, metavar="DIR",
+        help="checkpoint root (default: $REPRO_CHECKPOINT_DIR or "
+             ".repro-checkpoints/)",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="resume this command's previous checkpoint session "
+             "(implies --checkpoint)",
+    )
+    parser.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="stop cleanly after SECONDS of wall time and report a "
+             "partial diagnosis with a confidence summary",
+    )
+    parser.add_argument(
+        "--run-budget", type=int, default=None, metavar="N",
+        help="stop cleanly after N fresh run executions and report a "
+             "partial diagnosis (journal replays are free)",
+    )
+
+
 def _add_ledger_flags(parser):
     parser.add_argument(
         "--ledger", action=argparse.BooleanOptionalAction, default=True,
@@ -601,6 +747,7 @@ def build_parser():
     _add_obs_flags(diag_parser)
     _add_ledger_flags(diag_parser)
     _add_fault_flags(diag_parser)
+    _add_durability_flags(diag_parser)
 
     commands.add_parser("experiments", help="list experiment names")
     exp_parser = commands.add_parser(
@@ -613,6 +760,28 @@ def build_parser():
     _add_obs_flags(exp_parser)
     _add_ledger_flags(exp_parser)
     _add_fault_flags(exp_parser)
+    _add_durability_flags(exp_parser)
+
+    resume_parser = commands.add_parser(
+        "resume", help="resume an interrupted --checkpoint invocation"
+    )
+    resume_parser.add_argument(
+        "session", nargs="?", default=None, metavar="SESSION",
+        help="session id (unique prefix ok); omit to list sessions",
+    )
+    resume_parser.add_argument(
+        "--last", action="store_true",
+        help="resume the most recently created session",
+    )
+    resume_parser.add_argument(
+        "--list", action="store_true",
+        help="list resumable sessions and exit",
+    )
+    resume_parser.add_argument(
+        "--checkpoint-dir", default=None, metavar="DIR",
+        help="checkpoint root (default: $REPRO_CHECKPOINT_DIR or "
+             ".repro-checkpoints/)",
+    )
 
     ledger_parser = commands.add_parser(
         "ledger", help="inspect the persistent run ledger"
@@ -703,7 +872,11 @@ def build_parser():
 
 def main(argv=None, out=None):
     out = out or sys.stdout
-    args = build_parser().parse_args(argv)
+    raw_argv = list(argv) if argv is not None else sys.argv[1:]
+    args = build_parser().parse_args(raw_argv)
+    # The raw command line, kept for the checkpoint-session manifest
+    # (stored normalized: chaos/checkpoint flags stripped).
+    args._argv = raw_argv
     handlers = {
         "bugs": _cmd_bugs,
         "run": _cmd_run,
@@ -711,9 +884,15 @@ def main(argv=None, out=None):
         "diagnose": _cmd_diagnose,
         "experiments": _cmd_experiments,
         "experiment": _cmd_experiment,
+        "resume": _cmd_resume,
         "ledger": _cmd_ledger,
         "obs": _cmd_obs,
     }
+    from repro.runtime.checkpoint import (
+        RESUMABLE_EXIT_CODE,
+        CampaignInterrupted,
+        pop_interrupted_session,
+    )
     from repro.runtime.resilience import FaultSpecError
 
     try:
@@ -723,6 +902,19 @@ def main(argv=None, out=None):
         return 2
     except BrokenPipeError:          # piped into head etc.
         return 0
+    except (KeyboardInterrupt, CampaignInterrupted) as exc:
+        # Ctrl-C / SIGTERM unwound through every `finally` above: pools
+        # are shut down, locks released, chaos state removed, and —
+        # with --checkpoint — the journals hold every consumed run.
+        session_id = pop_interrupted_session()
+        reason = "SIGTERM" if isinstance(exc, CampaignInterrupted) \
+            else "interrupt"
+        if session_id:
+            print("repro: %s; resume with: repro resume %s"
+                  % (reason, session_id), file=sys.stderr)
+            return RESUMABLE_EXIT_CODE
+        print("repro: %s" % reason, file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":          # pragma: no cover

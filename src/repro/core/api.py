@@ -61,6 +61,57 @@ def validate_options(tool_name, accepted, options):
 
 
 # ----------------------------------------------------------------------
+# Confidence under graceful degradation
+# ----------------------------------------------------------------------
+
+def confidence_summary(got_failures, want_failures, got_successes,
+                       want_successes, ranked):
+    """How much to trust a (possibly partial) diagnosis, as plain data.
+
+    Campaigns cut short by ``--deadline``/``--run-budget`` report the
+    evidence they did collect instead of raising (see
+    :mod:`repro.runtime.checkpoint`); this summary makes the resulting
+    trust level explicit.  ``evidence`` is the fraction of requested
+    profiles actually collected (failure/success sides averaged);
+    ``separation`` is the best event's F-score — how cleanly the top
+    predictor separates failing from passing runs with the evidence at
+    hand.  ``level`` buckets the product: "high" (≥0.75), "medium"
+    (≥0.4), "low" (>0), "none" (no ranked events at all).
+    """
+    def fraction(got, want):
+        if not want:
+            return 1.0
+        return min(1.0, got / want)
+
+    evidence = (fraction(got_failures, want_failures)
+                + fraction(got_successes, want_successes)) / 2.0
+    best = ranked[0] if ranked else None
+    separation = getattr(best, "f_score", None) if best is not None \
+        else None
+    if separation is None and best is not None:
+        separation = getattr(best, "importance", 0.0)
+    score = evidence * (separation if separation is not None else 0.0)
+    if best is None:
+        level = "none"
+    elif score >= 0.75:
+        level = "high"
+    elif score >= 0.4:
+        level = "medium"
+    else:
+        level = "low"
+    return {
+        "level": level,
+        "score": round(score, 4),
+        "evidence": round(evidence, 4),
+        "separation": round(separation, 4)
+        if separation is not None else None,
+        "failures": {"got": got_failures, "want": want_failures},
+        "successes": {"got": got_successes, "want": want_successes},
+        "events_ranked": len(ranked),
+    }
+
+
+# ----------------------------------------------------------------------
 # The unified report
 # ----------------------------------------------------------------------
 
@@ -123,10 +174,16 @@ class DiagnosisReport:
     campaign: dict = field(default_factory=dict)
     timings: dict = field(default_factory=dict)
     params: dict = field(default_factory=dict)
+    #: True when the campaign was cut short by a deadline/run budget;
+    #: ``stop_reason`` says which and ``confidence`` carries the
+    #: :func:`confidence_summary` of the evidence actually collected.
+    partial: bool = False
+    stop_reason: str = None
+    confidence: dict = None
     raw: object = None
 
     def to_dict(self):
-        return {
+        data = {
             "tool": self.tool,
             "workload": self.workload,
             "ranked": self.ranked,
@@ -135,6 +192,11 @@ class DiagnosisReport:
             "timings": self.timings,
             "params": self.params,
         }
+        if self.partial:
+            data["partial"] = True
+            data["stop_reason"] = self.stop_reason
+            data["confidence"] = self.confidence
+        return data
 
     def to_json(self, indent=2):
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
@@ -225,6 +287,7 @@ class DiagnosisTool:
             resilience = executor.stats.resilience
             if resilience.activity:
                 campaign["executor"]["resilience"] = resilience.to_dict()
+        confidence = getattr(raw, "confidence", None)
         return DiagnosisReport(
             tool=self.name,
             workload=self.workload.name,
@@ -233,6 +296,9 @@ class DiagnosisTool:
             campaign=campaign,
             timings={"diagnose_seconds": elapsed},
             params=self.params,
+            partial=bool(getattr(raw, "partial", False)),
+            stop_reason=getattr(raw, "stop_reason", None),
+            confidence=confidence() if callable(confidence) else confidence,
             raw=raw,
         )
 
@@ -328,6 +394,7 @@ __all__ = [
     "LcraDiagnosisTool",
     "PbiDiagnosisTool",
     "available_tools",
+    "confidence_summary",
     "deprecated_alias",
     "get_log_tool",
     "get_tool",

@@ -23,8 +23,13 @@ from repro.lang.transform import ReactiveTarget, enhance_logging
 from repro.machine.cpu import MachineConfig
 from repro.obs import get_obs, use
 from repro.obs.ledger import get_ledger
+from repro.runtime import checkpoint as _checkpoint
 from repro.runtime.process import run_program
-from repro.core.api import deprecated_alias, validate_options
+from repro.core.api import (
+    confidence_summary,
+    deprecated_alias,
+    validate_options,
+)
 from repro.core.profiles import (
     SUCCESS_SITE_KINDS,
     dominant_failure_site,
@@ -52,6 +57,24 @@ class Diagnosis:
     ring: str
     failing_statuses: list = field(default_factory=list)
     passing_statuses: list = field(default_factory=list)
+    #: True when the campaign was stopped by a deadline/run budget
+    #: before both quotas were met (see repro.runtime.checkpoint);
+    #: ``stop_reason`` is "deadline" or "run-budget", and the requested
+    #: counts let :meth:`confidence` grade the collected evidence.
+    partial: bool = False
+    stop_reason: str = None
+    n_failures_requested: int = 0
+    n_successes_requested: int = 0
+
+    def confidence(self):
+        """Evidence-quality summary (see :func:`confidence_summary`)."""
+        return confidence_summary(
+            self.n_failure_profiles,
+            self.n_failures_requested or self.n_failure_profiles,
+            self.n_success_profiles,
+            self.n_successes_requested or self.n_success_profiles,
+            self.ranked,
+        )
 
     def top(self, n=5):
         """Return the best *n* predictor scores."""
@@ -97,6 +120,18 @@ class Diagnosis:
         lines = ["%s diagnosis (%s scheme) @ %s" % (
             self.ring.upper() + "A", self.scheme, self.failure_site,
         )]
+        if self.partial:
+            confidence = self.confidence()
+            lines.append(
+                "  PARTIAL (%s): %d/%d failure and %d/%d success "
+                "profiles collected; confidence %s" % (
+                    self.stop_reason,
+                    self.n_failure_profiles,
+                    self.n_failures_requested or self.n_failure_profiles,
+                    self.n_success_profiles,
+                    self.n_successes_requested or self.n_success_profiles,
+                    confidence["level"],
+                ))
         lines.extend("  %s" % score for score in self.top(n))
         return "\n".join(lines)
 
@@ -150,6 +185,8 @@ class DiagnosisToolBase:
         self.obs = options["obs"]
         self.seed = options["seed"]
         self.machine_config = MachineConfig(num_cores=workload.num_cores)
+        #: stop reason when the active CampaignBudget cut a stream short
+        self._budget_stop = None
         self._module = workload.build_module()
         self.failure_program = self._build_program(
             success_scheme="proactive" if scheme == "proactive" else "none",
@@ -188,31 +225,90 @@ class DiagnosisToolBase:
             globals_setup=plan.globals_setup,
         )
 
-    def _stream_statuses(self, program, plans):
-        """Yield each plan's ExitStatus, in plan order, lazily.
+    def _stream_statuses(self, program, plan_fn, stream):
+        """Yield ``plan_fn(seed), plan_fn(seed+1), ...`` statuses lazily.
 
         The executor path speculates ahead on its pool but still yields
         in order, so consumers' stopping logic is execution-agnostic.
+
+        When a checkpoint session is active (see
+        :mod:`repro.runtime.checkpoint`), the stream journals each
+        consumed status under a fingerprint of everything outcomes
+        depend on, and replays journaled records for free on resume —
+        the plan stream is deterministic, so record k *is* the outcome
+        of ``plan_fn(k)``.  The active campaign budget is charged per
+        fresh execution only; on exhaustion the stream ends early with
+        the reason left in ``self._budget_stop``.
         """
-        if self.executor is None:
-            for plan in plans:
-                yield self._run(program, plan)
-        else:
-            for _plan, result in self.executor.iter_runs(
-                    program, plans, self.machine_config):
-                yield result.status
+        session = _checkpoint.get_session()
+        budget = _checkpoint.get_budget()
+        supervisor = _checkpoint.get_supervisor()
+        journal = None
+        cursor = self.seed
+        if session is not None:
+            from repro.runtime.executor import fingerprint_program
+            journal = session.journal(
+                "%s.%s" % (self.tool_name, stream),
+                _checkpoint.stream_fingerprint(
+                    self.tool_name, stream, fingerprint_program(program),
+                    repr(self.machine_config),
+                    _checkpoint.workload_token(self.workload),
+                    self.seed,
+                ),
+            )
+        try:
+            if journal is not None:
+                for rec in journal.replay():
+                    cursor = rec["k"] + 1
+                    supervisor.beat("campaign")
+                    yield rec["status"]
+
+            def fresh():
+                if self.executor is None:
+                    for k in _counter(cursor):
+                        yield k, self._run(program, plan_fn(k))
+                else:
+                    plans = (plan_fn(k) for k in _counter(cursor))
+                    for k, (_plan, result) in enumerate(
+                            self.executor.iter_runs(
+                                program, plans, self.machine_config),
+                            start=cursor):
+                        yield k, result.status
+
+            source = fresh()
+            try:
+                while True:
+                    reason = budget.exhausted()
+                    if reason is not None:
+                        self._budget_stop = reason
+                        return
+                    item = next(source, None)
+                    if item is None:
+                        return
+                    k, status = item
+                    budget.charge()
+                    if journal is not None:
+                        journal.append(
+                            k, self.workload.is_failure(status), status)
+                    supervisor.beat("campaign")
+                    yield status
+            finally:
+                source.close()
+        finally:
+            if journal is not None:
+                journal.close()
 
     def _collect_failures(self, program, n_failures, max_attempts):
         statuses = []
         k = 0
         obs = get_obs()
         runs = self._stream_statuses(
-            program, (self.workload.failing_run_plan(i)
-                      for i in _counter(self.seed))
-        )
+            program, self.workload.failing_run_plan, "failing")
         try:
             while len(statuses) < n_failures and k < max_attempts:
-                status = next(runs)
+                status = next(runs, None)
+                if status is None:
+                    break
                 if self.workload.is_failure(status):
                     statuses.append(status)
                     obs.counter("campaign.runs_failed").inc()
@@ -221,7 +317,7 @@ class DiagnosisToolBase:
                 k += 1
         finally:
             runs.close()
-        if len(statuses) < n_failures:
+        if len(statuses) < n_failures and self._budget_stop is None:
             raise DiagnosisError(
                 "only %d/%d failure runs manifested in %d attempts"
                 % (len(statuses), n_failures, k)
@@ -235,12 +331,12 @@ class DiagnosisToolBase:
         k = 0
         obs = get_obs()
         runs = self._stream_statuses(
-            program, (self.workload.passing_run_plan(i)
-                      for i in _counter(self.seed))
-        )
+            program, self.workload.passing_run_plan, "passing")
         try:
             while len(profiles) < n_successes and k < max_attempts:
-                status = next(runs)
+                status = next(runs, None)
+                if status is None:
+                    break
                 k += 1
                 if self.workload.is_failure(status):
                     obs.counter("campaign.runs_failed").inc()
@@ -305,6 +401,7 @@ class DiagnosisToolBase:
     def _run_diagnosis(self, obs, n_failures, n_successes, max_attempts):
         cap = max_attempts if max_attempts is not None else \
             (n_failures + n_successes) * 20 + 50
+        self._budget_stop = None
         with obs.span("collect.failures", want=n_failures):
             failing = self._collect_failures(
                 self.failure_program, n_failures, cap
@@ -317,6 +414,11 @@ class DiagnosisToolBase:
             if profile is not None:
                 failure_profiles.append(profile)
         if not failure_profiles:
+            if self._budget_stop is not None:
+                # Budget ran out before a single failure manifested:
+                # report the (empty) evidence instead of raising.
+                return self._partial_diagnosis(
+                    failing, n_failures, n_successes)
             raise DiagnosisError("no failure-site profiles collected")
         dominant = dominant_failure_site(
             self.failure_program, failing, self.ring
@@ -350,6 +452,28 @@ class DiagnosisToolBase:
             ring=self.ring,
             failing_statuses=failing,
             passing_statuses=passing,
+            partial=self._budget_stop is not None,
+            stop_reason=self._budget_stop,
+            n_failures_requested=n_failures,
+            n_successes_requested=n_successes,
+        )
+
+    def _partial_diagnosis(self, failing, n_failures, n_successes):
+        """An honest empty result for a budget-stopped campaign."""
+        return Diagnosis(
+            ranked=[],
+            failure_site=None,
+            success_site=None,
+            n_failure_profiles=0,
+            n_success_profiles=0,
+            scheme=self.scheme,
+            ring=self.ring,
+            failing_statuses=failing,
+            passing_statuses=[],
+            partial=True,
+            stop_reason=self._budget_stop,
+            n_failures_requested=n_failures,
+            n_successes_requested=n_successes,
         )
 
     def diagnose_all(self, n_failures_per_site=8, n_successes=8,
@@ -377,16 +501,17 @@ class DiagnosisToolBase:
                       max_attempts):
         cap = max_attempts if max_attempts is not None else \
             n_failures_per_site * 40 + 100
+        self._budget_stop = None
         by_site = {}
         statuses_by_site = {}
         attempts = 0
         runs = self._stream_statuses(
-            self.failure_program,
-            (self.workload.failing_run_plan(i)
-             for i in _counter(self.seed))
-        )
+            self.failure_program, self.workload.failing_run_plan,
+            "failing")
         while attempts < cap:
-            status = next(runs)
+            status = next(runs, None)
+            if status is None:
+                break
             attempts += 1
             if not self.workload.is_failure(status):
                 continue
@@ -435,6 +560,10 @@ class DiagnosisToolBase:
                 ring=self.ring,
                 failing_statuses=statuses_by_site[site_id],
                 passing_statuses=passing,
+                partial=self._budget_stop is not None,
+                stop_reason=self._budget_stop,
+                n_failures_requested=n_failures_per_site,
+                n_successes_requested=n_successes,
             )
         return diagnoses
 

@@ -90,6 +90,13 @@ class ProfileSnapshot:
     pc: int
     entries: tuple       # newest-first
 
+    def __reduce__(self):
+        # Positional-reconstruct pickling: snapshots ride along with
+        # every journaled exit status, where the generic dataclass
+        # state protocol is measurably slower and larger.
+        return (ProfileSnapshot, (self.kind, self.thread_id,
+                                  self.site_id, self.pc, self.entries))
+
     def latest(self, n):
         """Return the n-th latest entry (1 = newest), or ``None``."""
         if 1 <= n <= len(self.entries):
@@ -106,6 +113,13 @@ class ExitStatus:
     output: tuple = ()
     retired: int = 0
     profiles: tuple = ()
+
+    def __reduce__(self):
+        # Positional-reconstruct pickling keeps the per-run checkpoint
+        # append inside its overhead budget (see
+        # ``benchmarks/test_checkpoint_overhead.py``).
+        return (ExitStatus, (self.exit_code, self.fault, self.output,
+                             self.retired, self.profiles))
 
     @property
     def crashed(self):

@@ -33,6 +33,13 @@ class FaultInfo:
     address: int = None
     message: str = ""
 
+    def __reduce__(self):
+        # Positional-reconstruct pickling: faults are part of every
+        # journaled failing status; the generic dataclass state
+        # protocol costs more time and bytes than rebuilding by field.
+        return (FaultInfo, (self.kind, self.pc, self.thread_id,
+                            self.address, self.message))
+
     def __str__(self):
         where = "pc=0x%x tid=%d" % (self.pc, self.thread_id)
         if self.address is not None:

@@ -206,37 +206,16 @@ class Ledger:
         """Quarantine a torn trailing line left by a killed writer.
 
         Only the *last* line can be torn — appends are whole-line under
-        the lock — so we scan a bounded tail chunk, find the last
-        newline, and check that whatever follows it (and the final
-        complete line itself) parses.  Corrupt bytes move to
-        ``quarantine.jsonl`` rather than being destroyed.
+        the lock — so the shared recovery helper
+        (:func:`repro.runtime.resilience.recover_jsonl_tail`, also used
+        by checkpoint journals) scans a bounded tail chunk and moves
+        corrupt bytes to ``quarantine.jsonl`` rather than destroying
+        them.
         """
-        try:
-            with open(self.ledger_path, "rb+") as handle:
-                handle.seek(0, os.SEEK_END)
-                size = handle.tell()
-                if size == 0:
-                    return
-                chunk = min(size, 1 << 16)
-                handle.seek(size - chunk)
-                data = handle.read(chunk)
-                if data.endswith(b"\n"):
-                    return
-                cut = data.rfind(b"\n") + 1   # 0 when no newline in chunk
-                fragment = data[cut:]
-                new_size = size - len(data) + cut
-                self._quarantine(fragment)
-                handle.truncate(new_size)
-        except FileNotFoundError:
-            return
-
-    def _quarantine(self, fragment):
-        with open(self.quarantine_path, "ab") as handle:
-            handle.write(fragment.rstrip(b"\n") + b"\n")
-        get_obs().counter("ledger.quarantined").inc()
-        print("repro: warning: quarantined %d bytes of torn ledger tail "
-              "to %s" % (len(fragment), self.quarantine_path),
-              file=sys.stderr)
+        fragment = _resilience().recover_jsonl_tail(
+            self.ledger_path, self.quarantine_path, label="ledger")
+        if fragment:
+            get_obs().counter("ledger.quarantined").inc()
 
     def _next_seq(self):
         index = self._read_index()
@@ -389,13 +368,24 @@ class Ledger:
         from repro.core.api import _normalize_ranked
 
         ranked = _normalize_ranked(raw.ranked)
+        quality = diagnosis_quality(raw, workload)
+        if getattr(raw, "partial", False):
+            # A budget/deadline-bounded campaign: record that the
+            # evidence is partial (deterministic fields — part of the
+            # content key, so a partial run never collides with a full
+            # one) and how confident the truncated ranking is.
+            quality["partial"] = True
+            quality["stop_reason"] = getattr(raw, "stop_reason", None)
+            confidence = getattr(raw, "confidence", None)
+            if callable(confidence):
+                quality["confidence"] = confidence()
         return self.append(
             kind="diagnosis",
             tool=tool,
             workload=getattr(workload, "name", str(workload)),
             seed=seed,
             params=params,
-            quality=diagnosis_quality(raw, workload),
+            quality=quality,
             runs={
                 "failures": getattr(raw, "n_failure_profiles",
                                     getattr(raw, "n_failures", 0)),
@@ -411,15 +401,18 @@ class Ledger:
 
     def record_campaign(self, *, workload, result, backend=None):
         """Record one :func:`~repro.runtime.harness.run_campaign` call."""
+        runs = {
+            "failures": len(result.failures),
+            "successes": len(result.successes),
+            "attempts": result.attempts,
+            "met_quotas": result.met_quotas,
+        }
+        if getattr(result, "partial", None):
+            runs["partial"] = result.partial
         return self.append(
             kind="campaign",
             workload=getattr(workload, "name", str(workload)),
-            runs={
-                "failures": len(result.failures),
-                "successes": len(result.successes),
-                "attempts": result.attempts,
-                "met_quotas": result.met_quotas,
-            },
+            runs=runs,
             backend=backend,
             executor=_executor_record_from_stats(result.executor_stats),
         )
@@ -665,12 +658,25 @@ def compute_trends(entries, rank_threshold=0, latency_threshold=None):
                 )
             quality_cell = "changed" if changed else "stable"
         else:
-            if _worse_rank(last_rank, prev_rank, rank_threshold):
+            partial = bool(prev_quality.get("partial")
+                           or last_quality.get("partial"))
+            if partial:
+                # Budget/deadline-bounded invocations carry less
+                # evidence by design; a worse rank there is expected,
+                # not a regression — but say so in the table.
+                pass
+            elif _worse_rank(last_rank, prev_rank, rank_threshold):
                 regressions.append(
                     "%s: root-cause rank regressed %s -> %s (threshold "
                     "+%d)" % (label, prev_rank, last_rank, rank_threshold)
                 )
             quality_cell = "%s -> %s" % (prev_rank, last_rank)
+            if last_quality.get("partial"):
+                level = (last_quality.get("confidence") or {}).get("level")
+                quality_cell += (" [partial:%s]" % level if level
+                                 else " [partial]")
+            elif prev_quality.get("partial"):
+                quality_cell += " [prev partial]"
         rows.append((
             label,
             len(history),

@@ -9,7 +9,10 @@
 * :mod:`repro.runtime.executor` — fan campaign attempts out across a
   process pool and memoize finished runs in a content-addressed cache;
 * :mod:`repro.runtime.resilience` — the fault-injection harness and the
-  retry/recovery policy that keep the pipeline alive under crashes.
+  retry/recovery policy that keep the pipeline alive under crashes;
+* :mod:`repro.runtime.checkpoint` — durable campaigns: crash-safe
+  checkpoint journals with deterministic resume, the campaign
+  supervisor/watchdog, and deadline/run-budget graceful degradation.
 """
 
 from repro.runtime.process import PlanOutcome, execute_plan, run_program
@@ -38,18 +41,37 @@ from repro.runtime.resilience import (
     fault_point,
     use_plan,
 )
+from repro.runtime.checkpoint import (
+    RESUMABLE_EXIT_CODE,
+    CampaignBudget,
+    CampaignInterrupted,
+    CampaignSupervisor,
+    CheckpointError,
+    CheckpointJournal,
+    CheckpointSession,
+    use_budget,
+    use_session,
+    use_supervisor,
+)
 
 __all__ = [
+    "CampaignBudget",
     "CampaignExecutor",
+    "CampaignInterrupted",
     "CampaignResult",
     "CampaignShortfallError",
     "CampaignShortfallWarning",
+    "CampaignSupervisor",
+    "CheckpointError",
+    "CheckpointJournal",
+    "CheckpointSession",
     "ExecutorStats",
     "FaultError",
     "FaultPlan",
     "FaultSpecError",
     "FileLock",
     "PlanOutcome",
+    "RESUMABLE_EXIT_CODE",
     "ResiliencePolicy",
     "ResilienceStats",
     "RunCache",
@@ -62,5 +84,8 @@ __all__ = [
     "fault_point",
     "run_campaign",
     "run_program",
+    "use_budget",
     "use_plan",
+    "use_session",
+    "use_supervisor",
 ]

@@ -64,7 +64,7 @@ from dataclasses import dataclass, field
 
 from repro.machine.cpu import MachineConfig
 from repro.obs import Observability, get_obs, use
-from repro.runtime import resilience
+from repro.runtime import checkpoint, resilience
 from repro.runtime.process import execute_plan
 from repro.runtime.resilience import (
     FileLock,
@@ -101,11 +101,13 @@ def fingerprint_program(program):
     digest = hashlib.sha256()
     digest.update(program.source_name.encode())
     digest.update(program.entry.encode())
-    for instr in program.instructions:
-        digest.update(instr.describe().encode())
-        digest.update(b"\n")
-    for text in program.string_table:
-        digest.update(repr(text).encode())
+    # One bulk update per section: per-instruction update() calls cost
+    # more than the hashing itself on kilo-instruction programs.
+    digest.update("\n".join(
+        [instr.describe() for instr in program.instructions]).encode())
+    digest.update(b"\n")
+    digest.update("".join(
+        [repr(text) for text in program.string_table]).encode())
     digest.update(repr(sorted(program.globals_layout.items())).encode())
     digest.update(repr(program.globals_size).encode())
     digest.update(repr(sorted(program.global_init.items())).encode())
@@ -708,12 +710,14 @@ class CampaignExecutor:
                 pass
             self.stats.resilience.pool_restarts += 1
             get_obs().counter("executor.pool_restarts").inc()
+            checkpoint.get_supervisor().note("pool-restart")
         if (self.stats.resilience.pool_restarts
                 > self.resilience.max_pool_restarts
                 and not self._degraded):
             self._degraded = True
             self.stats.resilience.degraded_serial = True
             get_obs().counter("executor.degraded_serial").inc()
+            checkpoint.get_supervisor().note("degraded-serial")
             print(
                 "repro: worker pool failed %d times; degrading to "
                 "serial execution"
@@ -775,6 +779,7 @@ class CampaignExecutor:
         # Out of retries (or no usable pool): run the batch here.
         rstats.inline_fallbacks += 1
         get_obs().counter("executor.batch_inline_fallbacks").inc()
+        checkpoint.get_supervisor().note("inline-fallback")
         batch.result = batch.fn(*batch.header, batch.items)
         return batch.result
 
@@ -1084,6 +1089,10 @@ class CampaignExecutor:
     def _resolve(self, entry, inflight=(), obs=None):
         if obs is None:
             obs = get_obs()
+        # Liveness signal for the campaign supervisor: a stream that
+        # keeps resolving attempts is not stalled (see
+        # repro.runtime.checkpoint).
+        checkpoint.get_supervisor().beat("executor")
         kind, task, payload, index = entry
         if kind == "dup":
             # The identical in-flight predecessor resolved (and stored)

@@ -40,6 +40,7 @@ from dataclasses import dataclass
 from repro.machine.cpu import MachineConfig
 from repro.obs import get_obs, use
 from repro.obs.ledger import get_ledger
+from repro.runtime import checkpoint as _checkpoint
 from repro.runtime.process import run_program
 
 
@@ -95,6 +96,11 @@ class CampaignResult:
     shortfall: ShortfallInfo = None
     executor_stats: object = None
     obs: object = None
+    #: stop reason ("run-budget"/"deadline") when the campaign was cut
+    #: short by the active CampaignBudget, None otherwise (see
+    #: repro.runtime.checkpoint); budget stops are expected, so they
+    #: never warn/raise through ``on_shortfall``
+    partial: str = None
 
     @property
     def all_runs(self):
@@ -182,11 +188,22 @@ def run_campaign(program, workload, *, want_failures, want_successes,
     attempts = 0
     limit = max_attempts if max_attempts is not None else \
         (want_failures + want_successes) * 20 + 50
+    session = _checkpoint.get_session()
+    stopped = {"reason": None}
 
-    def consume(plan_stream, quota_reached):
+    def consume(phase, plan_fn, quota_reached):
         nonlocal attempts
-        runs = _stream_runs(program, workload, plan_stream, config,
-                            executor, obs)
+        journal = None
+        if session is not None:
+            journal = session.journal(
+                "campaign." + phase,
+                _checkpoint.stream_fingerprint(
+                    "campaign", phase, _program_token(program),
+                    repr(config), _checkpoint.workload_token(workload),
+                ),
+            )
+        runs = _stream_runs(program, workload, plan_fn, config,
+                            executor, obs, journal, stopped)
         try:
             while not quota_reached() and attempts < limit:
                 record = next(runs, None)
@@ -202,13 +219,15 @@ def run_campaign(program, workload, *, want_failures, want_successes,
                 attempts += 1
         finally:
             runs.close()
+            if journal is not None:
+                journal.close()
 
     with obs.span("campaign", workload=workload.name):
         with obs.span("campaign.failing"):
-            consume((workload.failing_run_plan(k) for k in _counter()),
+            consume("failing", workload.failing_run_plan,
                     lambda: len(failures) >= want_failures)
         with obs.span("campaign.passing"):
-            consume((workload.passing_run_plan(k) for k in _counter()),
+            consume("passing", workload.passing_run_plan,
                     lambda: len(successes) >= want_successes)
     obs.counter("campaign.attempts").inc(attempts)
 
@@ -216,20 +235,25 @@ def run_campaign(program, workload, *, want_failures, want_successes,
     short = (len(failures) < want_failures
              or len(successes) < want_successes)
     if short:
-        obs.counter("campaign.shortfalls").inc()
         shortfall = ShortfallInfo(
             workload.name, want_failures, len(failures),
             want_successes, len(successes), attempts, limit,
         )
-        detail = _executor_detail(executor)
-        if on_shortfall == "raise":
-            raise CampaignShortfallError(*_astuple(shortfall),
-                                         detail=detail)
-        if on_shortfall == "warn":
-            warnings.warn(
-                CampaignShortfallWarning(*_astuple(shortfall),
-                                         detail=detail),
-                stacklevel=2)
+        if stopped["reason"] is None:
+            # A genuine shortfall; a budget/deadline stop is expected
+            # degradation and reports through ``partial`` instead.
+            obs.counter("campaign.shortfalls").inc()
+            detail = _executor_detail(executor)
+            if on_shortfall == "raise":
+                raise CampaignShortfallError(*_astuple(shortfall),
+                                             detail=detail)
+            if on_shortfall == "warn":
+                warnings.warn(
+                    CampaignShortfallWarning(*_astuple(shortfall),
+                                             detail=detail),
+                    stacklevel=2)
+        else:
+            obs.counter("campaign.budget_stops").inc()
 
     result = CampaignResult(
         failures=failures[:want_failures] if want_failures else failures,
@@ -239,6 +263,7 @@ def run_campaign(program, workload, *, want_failures, want_successes,
         shortfall=shortfall,
         executor_stats=getattr(executor, "stats", None),
         obs=obs,
+        partial=stopped["reason"],
     )
     get_ledger().record_campaign(workload=workload, result=result,
                                  backend=config.backend)
@@ -267,33 +292,88 @@ def _executor_detail(executor):
             % (len(resilience.task_errors), last["stage"], last["error"]))
 
 
-def _counter():
-    k = 0
+def _counter(start=0):
+    k = start
     while True:
         yield k
         k += 1
 
 
-def _stream_runs(program, workload, plan_stream, config, executor, obs):
-    """Yield RunRecords for *plan_stream*, in order, lazily.
+def _program_token(program):
+    from repro.runtime.executor import fingerprint_program
+    return fingerprint_program(program)
+
+
+def _stream_runs(program, workload, plan_fn, config, executor, obs,
+                 journal=None, stopped=None):
+    """Yield RunRecords for ``plan_fn(0), plan_fn(1), ...``, lazily.
 
     The sequential path executes one plan per pull; the executor path
     speculates ahead on the pool but still yields in plan order, so the
     caller's stopping logic sees the same sequence either way.  The whole
     stream runs with *obs* installed as the current observability bundle
     so both paths record into the campaign's buffers.
+
+    When *journal* (a :class:`~repro.runtime.checkpoint.CheckpointJournal`)
+    is supplied, previously recorded outcomes replay for free — the plan
+    stream is deterministic, so record k *is* the outcome of
+    ``plan_fn(k)`` — and each fresh outcome is appended before it is
+    yielded, making the stream resumable after a crash at any point.
+    Replayed records never charge the active campaign budget; fresh ones
+    do, and when the budget reports exhaustion the stream ends early
+    with the reason left in ``stopped["reason"]``.
     """
+    budget = _checkpoint.get_budget()
+    supervisor = _checkpoint.get_supervisor()
+    cursor = 0
     with use(obs):
-        if executor is None:
-            for plan in plan_stream:
-                yield _run_one(program, workload, plan, config)
-        else:
-            for plan, result in executor.iter_runs(program, plan_stream,
-                                                   config):
+        if journal is not None:
+            for rec in journal.replay():
+                cursor = rec["k"] + 1
+                status = rec["status"]
+                supervisor.beat("campaign")
                 yield RunRecord(
-                    index=-1, status=result.status,
-                    failed=workload.is_failure(result.status), plan=plan,
+                    index=-1, status=status,
+                    failed=workload.is_failure(status),
+                    plan=plan_fn(rec["k"]),
                 )
+
+        def fresh():
+            if executor is None:
+                for k in _counter(cursor):
+                    record = _run_one(program, workload, plan_fn(k),
+                                      config)
+                    yield k, record
+            else:
+                plans = (plan_fn(k) for k in _counter(cursor))
+                for k, (plan, result) in enumerate(
+                        executor.iter_runs(program, plans, config),
+                        start=cursor):
+                    yield k, RunRecord(
+                        index=-1, status=result.status,
+                        failed=workload.is_failure(result.status),
+                        plan=plan,
+                    )
+
+        source = fresh()
+        try:
+            while True:
+                reason = budget.exhausted()
+                if reason is not None:
+                    if stopped is not None:
+                        stopped["reason"] = reason
+                    return
+                item = next(source, None)
+                if item is None:
+                    return
+                k, record = item
+                budget.charge()
+                if journal is not None:
+                    journal.append(k, record.failed, record.status)
+                supervisor.beat("campaign")
+                yield record
+        finally:
+            source.close()
 
 
 def _run_one(program, workload, plan, config):

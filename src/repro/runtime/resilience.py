@@ -68,6 +68,13 @@ FAULT_SITES = {
                          "between write and newline",
     "ledger-write-error": "ledger append raises OSError",
     "index-write-error": "ledger index write raises OSError",
+    "checkpoint-write-error": "checkpoint journal append raises OSError",
+    "checkpoint-write-torn": "checkpoint journal append stops mid-line, "
+                             "as if killed between write and newline",
+    "checkpoint-read-error": "checkpoint journal load raises OSError "
+                             "(the stream restarts from scratch)",
+    "supervisor-stall": "the campaign supervisor treats the next "
+                        "liveness sweep as stalled",
 }
 
 #: Sites that only make sense inside a pool worker process; elsewhere
@@ -141,6 +148,43 @@ class FileLock:
 
 
 # ----------------------------------------------------------------------
+# Torn-tail recovery (shared by the ledger and checkpoint journals)
+# ----------------------------------------------------------------------
+
+def recover_jsonl_tail(path, quarantine_path, label="journal"):
+    """Quarantine+truncate a torn trailing line of a JSONL file.
+
+    Appends to these files are whole-line, so only the *last* line can
+    be torn — the footprint of a process killed mid-write.  Scans a
+    bounded tail chunk; when the file does not end in a newline, the
+    fragment after the last newline moves to *quarantine_path* (never
+    destroyed) and the file is truncated to the last complete line.
+    Returns the quarantined fragment (``b""`` when the tail was clean).
+    """
+    try:
+        with open(path, "rb+") as handle:
+            handle.seek(0, os.SEEK_END)
+            size = handle.tell()
+            if size == 0:
+                return b""
+            chunk = min(size, 1 << 16)
+            handle.seek(size - chunk)
+            data = handle.read(chunk)
+            if data.endswith(b"\n"):
+                return b""
+            cut = data.rfind(b"\n") + 1   # 0 when no newline in chunk
+            fragment = data[cut:]
+            with open(quarantine_path, "ab") as quarantine:
+                quarantine.write(fragment.rstrip(b"\n") + b"\n")
+            handle.truncate(size - len(data) + cut)
+    except FileNotFoundError:
+        return b""
+    print("repro: warning: quarantined %d bytes of torn %s tail to %s"
+          % (len(fragment), label, quarantine_path), file=sys.stderr)
+    return fragment
+
+
+# ----------------------------------------------------------------------
 # Fault plans
 # ----------------------------------------------------------------------
 
@@ -148,6 +192,8 @@ class FileLock:
 class _SiteSpec:
     times: int                          # how many arrivals fire
     skip: int                           # arrivals to let pass first
+    kill: bool = False                  # hard-exit instead of the
+                                        # site's normal behaviour
 
 
 def _seeded_skip(seed, site, bound=4):
@@ -190,10 +236,14 @@ class FaultPlan:
 
     @classmethod
     def parse(cls, spec, seed=0, state_dir=None, hang_seconds=None):
-        """Parse ``"site[:times[:skip]],..."`` into a plan.
+        """Parse ``"site[!kill][:times[:skip]],..."`` into a plan.
 
         ``times`` defaults to 1; ``skip`` defaults to 0, and the
-        literal ``?`` derives it deterministically from the seed.
+        literal ``?`` derives it deterministically from the seed.  The
+        ``!kill`` modifier turns the site into a hard process exit —
+        "SIGKILL the moment execution reaches this site" — which is how
+        the resume-equivalence chaos tests die mid-campaign at every
+        registered site.
         """
         sites = {}
         for part in str(spec).split(","):
@@ -203,9 +253,13 @@ class FaultPlan:
             pieces = part.split(":")
             if len(pieces) > 3:
                 raise FaultSpecError(
-                    "bad fault spec %r (expected site[:times[:skip]])"
-                    % part)
-            name = pieces[0]
+                    "bad fault spec %r (expected site[!kill]"
+                    "[:times[:skip]])" % part)
+            name, _, modifier = pieces[0].partition("!")
+            if modifier not in ("", "kill"):
+                raise FaultSpecError(
+                    "bad fault modifier %r in %r (only '!kill' is "
+                    "recognized)" % (modifier, part))
             try:
                 times = int(pieces[1]) if len(pieces) > 1 else 1
                 skip = (_seeded_skip(seed, name)
@@ -215,7 +269,8 @@ class FaultPlan:
                 raise FaultSpecError(
                     "bad fault spec %r (times/skip must be integers, "
                     "skip may be '?')" % part) from None
-            sites[name] = _SiteSpec(times=times, skip=skip)
+            sites[name] = _SiteSpec(times=times, skip=skip,
+                                    kill=(modifier == "kill"))
         if not sites:
             raise FaultSpecError("empty fault spec %r" % (spec,))
         return cls(sites, seed=seed, state_dir=state_dir,
@@ -236,9 +291,10 @@ class FaultPlan:
         )
 
     def describe_spec(self):
-        """The ``site:times:skip`` spec string this plan round-trips to."""
+        """The ``site[!kill]:times:skip`` spec this plan round-trips to."""
         return ",".join(
-            "%s:%d:%d" % (name, spec.times, spec.skip)
+            "%s%s:%d:%d" % (name, "!kill" if spec.kill else "",
+                            spec.times, spec.skip)
             for name, spec in sorted(self.sites.items())
         )
 
@@ -364,8 +420,11 @@ def fault_point(site):
     Behaviour by site class: ``worker-crash`` exits the process hard,
     ``worker-hang`` sleeps for the plan's hang duration, ``*-error``
     sites raise :class:`FaultError`, and torn-write sites return True
-    so the caller performs the torn write itself.  With no active plan
-    this is a single global check.
+    so the caller performs the torn write itself.  A site scheduled
+    with the ``!kill`` modifier hard-exits the process the moment it
+    fires — the SIGKILL shape the resume chaos tests use at every
+    registered site.  With no active plan this is a single global
+    check.
     """
     plan = active_plan()
     if plan is None:
@@ -377,6 +436,9 @@ def fault_point(site):
     from repro.obs import get_obs
     get_obs().counter("faults.injected").inc()
     print("repro: injected fault at %r" % site, file=sys.stderr)
+    if plan.sites[site].kill:
+        sys.stderr.flush()
+        os._exit(CRASH_EXIT_CODE)
     if site == "worker-crash":
         os._exit(CRASH_EXIT_CODE)
     if site == "worker-hang":
@@ -416,6 +478,27 @@ class ResiliencePolicy:
     backoff_base: float = 0.05
     backoff_factor: float = 2.0
     max_pool_restarts: int = 3
+
+    def __post_init__(self):
+        # Validate at construction: a zero/negative timeout silently
+        # disables the hang detector, and negative retry/backoff values
+        # turn the ladder into an infinite or time-travelling loop —
+        # all far harder to debug downstream than a loud ValueError.
+        if self.task_timeout is not None and self.task_timeout <= 0:
+            raise ValueError(
+                "task_timeout must be positive seconds (or None for no "
+                "timeout), not %r" % (self.task_timeout,))
+        for name in ("max_retries", "max_pool_restarts"):
+            value = getattr(self, name)
+            if value < 0:
+                raise ValueError("%s must be >= 0, not %r"
+                                 % (name, value))
+        if self.backoff_base < 0:
+            raise ValueError("backoff_base must be >= 0 seconds, not %r"
+                             % (self.backoff_base,))
+        if self.backoff_factor < 1:
+            raise ValueError("backoff_factor must be >= 1, not %r"
+                             % (self.backoff_factor,))
 
     @classmethod
     def from_env(cls, environ=None):
@@ -498,6 +581,7 @@ __all__ = [
     "fault_point",
     "install_plan",
     "mark_worker_process",
+    "recover_jsonl_tail",
     "reset_plan_cache",
     "use_plan",
     "worker_entry_faults",

@@ -78,6 +78,41 @@ def test_fault_plan_rejects_garbage():
         FaultPlan.parse("worker-crash:1:2:3")
 
 
+def test_fault_plan_kill_modifier_parse_and_roundtrip():
+    plan = FaultPlan.parse("ledger-write-torn!kill:1:2, worker-crash")
+    assert plan.sites["ledger-write-torn"].kill
+    assert plan.sites["ledger-write-torn"].times == 1
+    assert plan.sites["ledger-write-torn"].skip == 2
+    assert not plan.sites["worker-crash"].kill
+    spec = plan.describe_spec()
+    assert "ledger-write-torn!kill:1:2" in spec
+    assert FaultPlan.parse(spec).describe_spec() == spec
+
+
+def test_fault_plan_rejects_bad_modifier():
+    with pytest.raises(FaultSpecError):
+        FaultPlan.parse("worker-crash!explode:1")
+    with pytest.raises(FaultSpecError):
+        FaultPlan.parse("!kill:1")
+
+
+def test_resilience_policy_validation():
+    with pytest.raises(ValueError):
+        ResiliencePolicy(task_timeout=0)
+    with pytest.raises(ValueError):
+        ResiliencePolicy(task_timeout=-5.0)
+    with pytest.raises(ValueError):
+        ResiliencePolicy(max_retries=-1)
+    with pytest.raises(ValueError):
+        ResiliencePolicy(max_pool_restarts=-1)
+    with pytest.raises(ValueError):
+        ResiliencePolicy(backoff_base=-0.1)
+    with pytest.raises(ValueError):
+        ResiliencePolicy(backoff_factor=0.5)
+    # None disables the timeout; the rest of the defaults are valid.
+    ResiliencePolicy(task_timeout=None)
+
+
 def test_seeded_skip_is_deterministic_and_seed_sensitive():
     one = FaultPlan.parse("cache-read-error:1:?", seed=1)
     same = FaultPlan.parse("cache-read-error:1:?", seed=1)
