@@ -33,7 +33,7 @@ import time
 from conftest import run_once
 
 from repro.bugs.registry import get_bug
-from repro.core.lbra import LbraTool
+from repro.core.api import get_tool
 from repro.runtime import checkpoint
 from repro.runtime import executor
 from repro.runtime.checkpoint import (
@@ -71,7 +71,7 @@ def test_checkpoint_overhead_is_bounded(benchmark):
     spent = [0.0]
 
     def plain_run():
-        LbraTool(bug).run_diagnosis(60, 60)
+        get_tool("lbra")(bug).run_diagnosis(60, 60)
 
     def journaled_sample():
         # A fresh session each sample: reusing one would *replay* the
@@ -86,7 +86,7 @@ def test_checkpoint_overhead_is_bounded(benchmark):
                 session = CheckpointSession.create(root,
                                                    ["bench", "sort"])
                 with use_session(session):
-                    LbraTool(bug).run_diagnosis(60, 60)
+                    get_tool("lbra")(bug).run_diagnosis(60, 60)
                 session.close()
             wall = _timed(run)
             return spent[0], wall

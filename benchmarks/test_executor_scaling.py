@@ -18,8 +18,8 @@ import os
 
 from conftest import run_once
 
-from repro.baselines.cbi import CbiTool
 from repro.bugs.registry import get_bug
+from repro.core.api import get_tool
 from repro.experiments.report import executor_stats_result
 from repro.runtime.executor import CampaignExecutor
 
@@ -29,7 +29,7 @@ def scaling_runs():
 
 
 def _diagnose(executor=None):
-    tool = CbiTool(get_bug("sort"), executor=executor)
+    tool = get_tool("cbi")(get_bug("sort"), executor=executor)
     n = scaling_runs()
     return tool.run_diagnosis(n_failures=n, n_successes=n)
 

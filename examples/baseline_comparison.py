@@ -11,9 +11,8 @@ Run with:  python examples/baseline_comparison.py
 
 import time
 
-from repro.baselines.cbi import CbiTool
 from repro.bugs.registry import get_bug
-from repro.core.lbra import LbraTool
+from repro.core.api import get_tool
 
 
 def main():
@@ -26,7 +25,8 @@ def main():
     print("LBRA with just 10 failure occurrences")
     print("=" * 64)
     start = time.time()
-    diagnosis = LbraTool(bug, scheme="reactive").run_diagnosis(10, 10)
+    diagnosis = get_tool("lbra")(bug, scheme="reactive") \
+        .run_diagnosis(10, 10)
     print(diagnosis.describe(n=3))
     print("rank of root cause: %s  (%.2f s)"
           % (diagnosis.rank_of_line(bug.root_cause_lines),
@@ -38,13 +38,13 @@ def main():
         print("CBI with %d failure occurrences (1/100 sampling)" % budget)
         print("=" * 64)
         start = time.time()
-        tool = CbiTool(bug)
+        tool = get_tool("cbi")(bug)
         cbi = tool.run_diagnosis(n_failures=budget, n_successes=budget)
         for predictor in cbi.top(3):
             print("  %s" % predictor)
         print("rank of root cause: %s | modeled overhead %.1f%%  (%.2f s)"
               % (cbi.rank_of_line(bug.root_cause_lines),
-                 100 * tool.estimated_overhead(), time.time() - start))
+                 100 * tool.tool.estimated_overhead(), time.time() - start))
 
     print()
     print("LBRA needed 10 failures; CBI needs hundreds — tens to "

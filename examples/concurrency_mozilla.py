@@ -12,7 +12,7 @@ Run with:  python examples/concurrency_mozilla.py
 """
 
 from repro.bugs.registry import get_bug
-from repro.core.lcra import LcraTool
+from repro.core.api import get_tool
 from repro.core.lcrlog import (
     CONF1_SPACE_SAVING,
     CONF2_SPACE_CONSUMING,
@@ -58,7 +58,8 @@ def main():
     print("=" * 64)
     print("LCRA (Conf2, 10 failing + 10 passing runs)")
     print("=" * 64)
-    diagnosis = LcraTool(bug, scheme="reactive").run_diagnosis(10, 10)
+    diagnosis = get_tool("lcra")(bug, scheme="reactive") \
+        .run_diagnosis(10, 10)
     print(diagnosis.describe(n=5))
     print()
     print("rank of the a2 invalid read: %s (paper: top 1)"

@@ -9,7 +9,7 @@ causes never contaminate each other's statistics.
 Run with:  python examples/multiple_failures.py
 """
 
-from repro.core.lbra import LbraTool
+from repro.core.api import get_tool
 from repro.runtime.workload import RunPlan, Workload
 
 
@@ -73,7 +73,9 @@ int main(int token, int size) {
 
 def main():
     workload = FlakyServer()
-    tool = LbraTool(workload, scheme="reactive")
+    # diagnose_all is LBRA-specific; reach the native tool through the
+    # registry adapter's .tool handle
+    tool = get_tool("lbra")(workload, scheme="reactive").tool
     diagnoses = tool.diagnose_all(n_failures_per_site=8, n_successes=8)
 
     print("observed %d distinct failure sites\n" % len(diagnoses))

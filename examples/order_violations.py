@@ -14,7 +14,7 @@ Run with:  python examples/order_violations.py
 """
 
 from repro.bugs.registry import get_bug
-from repro.core.lcra import LcraTool
+from repro.core.api import get_tool
 from repro.core.lcrlog import CONF2_SPACE_CONSUMING, LcrLogTool
 
 
@@ -37,7 +37,7 @@ def show(bug_name, figure):
     print("passing run:", passing.describe(),
           "output:", list(passing.output))
 
-    diagnosis = LcraTool(bug).run_diagnosis(10, 10)
+    diagnosis = get_tool("lcra")(bug).run_diagnosis(10, 10)
     print()
     print(diagnosis.describe(n=3))
     print("LCRA rank of the FPE: %s"

@@ -9,7 +9,7 @@ LBRA rank the failure-predicting branches automatically.
 Run with:  python examples/quickstart.py
 """
 
-from repro.core.lbra import LbraTool
+from repro.core.api import get_tool
 from repro.core.lbrlog import LbrLogTool
 from repro.runtime.workload import RunPlan, Workload
 
@@ -79,7 +79,8 @@ def main():
     print("=" * 64)
     print("LBRA: automatic ranking from 10 failing + 10 passing runs")
     print("=" * 64)
-    diagnosis = LbraTool(workload, scheme="reactive").run_diagnosis(10, 10)
+    diagnosis = get_tool("lbra")(workload, scheme="reactive") \
+        .run_diagnosis(10, 10)
     print(diagnosis.describe(n=5))
     print()
     print("rank of the root-cause branch: %s"

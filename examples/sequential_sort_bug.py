@@ -18,7 +18,7 @@ from repro.analysis.patch_distance import (
     lbr_patch_distance,
 )
 from repro.bugs.registry import get_bug
-from repro.core.lbra import LbraTool
+from repro.core.api import get_tool
 from repro.core.lbrlog import LbrLogTool
 
 
@@ -65,7 +65,8 @@ def main():
     print("=" * 64)
     print("LBRA (reactive scheme, 10 failing + 10 passing runs)")
     print("=" * 64)
-    diagnosis = LbraTool(bug, scheme="reactive").run_diagnosis(10, 10)
+    diagnosis = get_tool("lbra")(bug, scheme="reactive") \
+        .run_diagnosis(10, 10)
     print(diagnosis.describe(n=5))
     print()
     print("rank of branch A: %s (paper: top 1)"

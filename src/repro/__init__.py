@@ -16,7 +16,7 @@ The package is layered bottom-up:
 The most common entry points are re-exported here::
 
     from repro import get_bug, get_tool
-    report = get_tool("lbra")(get_bug("sort")).diagnose()
+    report = get_tool("lbra")(get_bug("sort")).run_diagnosis()
 """
 
 from repro.bugs.registry import all_bugs, get_bug

@@ -6,7 +6,13 @@ Commands:
 * ``run <bug> [--passing]``      — execute one benchmark run;
 * ``log <bug> [--no-toggling]``  — LBRLOG/LCRLOG report at the failure;
 * ``diagnose <bug> [--tool T]``  — statistical diagnosis (default
-  LBRA/LCRA by bug category; ``--tool cbi|cci|pbi`` runs a baseline);
+  LBRA/LCRA by bug category; ``--tool cbi|cci|pbi`` runs a baseline;
+  the choice list comes from the pluggable tool registry,
+  :func:`repro.core.api.available_tools`);
+* ``triage --reports N --seed S`` — fleet-scale triage: draw N failure
+  reports from a simulated fleet of the 31 bugs, cluster them by fault
+  signature, and dispatch one diagnosis campaign per cluster (see
+  ``docs/fleet.md``); deterministic by seed and jobs-invariant;
 * ``experiment <name>``          — regenerate one paper table/figure;
 * ``experiment all``             — regenerate every table/figure;
 * ``experiments``                — list available experiment names;
@@ -30,7 +36,7 @@ VM execution backend for every machine the invocation builds
 threaded one is simply faster; see ``docs/performance.md`` for the
 performance model and :mod:`repro.machine.backends` for the contract.
 
-``diagnose`` and ``experiment`` accept ``--jobs N`` (fan campaign runs
+``diagnose``, ``triage``, and ``experiment`` accept ``--jobs N`` (fan campaign runs
 out over N worker processes), ``--cache``/``--no-cache`` (content-
 addressed run cache under ``--cache-dir``, default ``.repro-cache/``),
 and print the executor's statistics report when either is active.
@@ -363,7 +369,7 @@ def _cmd_diagnose(args, out):
                 try:
                     report = get_tool(name)(bug, executor=executor,
                                             **options) \
-                        .diagnose(args.runs, args.runs)
+                        .run_diagnosis(args.runs, args.runs)
                     out.write(report.describe(n=args.top) + "\n")
                     if args.json:
                         out.write(report.to_json() + "\n")
@@ -378,6 +384,36 @@ def _cmd_diagnose(args, out):
     except (DiagnosisError, BaselineUnsupportedError) as exc:
         out.write("diagnosis failed: %s\n" % exc)
         return 1
+    _write_stats(executor, out)
+    return 0
+
+
+def _cmd_triage(args, out):
+    """``repro triage``: simulate the fleet, cluster, diagnose."""
+    from repro.fleet import FleetStream, triage_reports
+
+    with _backend_session(args):
+        executor = _build_executor(args)
+        with _fault_session(args, out), _ledger_session(args), \
+                _obs_session(args, out):
+            # Shut the pool down inside the fault session (see
+            # _cmd_diagnose).
+            try:
+                stream = FleetStream(population=args.bugs,
+                                     seed=args.seed, executor=executor)
+                reports = stream.generate(args.reports)
+                result = triage_reports(
+                    reports, runs=args.runs, depth=args.depth,
+                    granularity=args.granularity, executor=executor,
+                    seed=args.seed,
+                )
+            finally:
+                if executor is not None:
+                    executor.shutdown()
+    if len(reports) < args.reports:
+        out.write("warning: fleet produced %d/%d reports before the "
+                  "attempt cap\n" % (len(reports), args.reports))
+    out.write(result.table().format() + "\n")
     _write_stats(executor, out)
     return 0
 
@@ -548,13 +584,16 @@ def _cmd_obs_explain(args, out):
 
 
 def _cmd_obs_trends(args, out):
-    from repro.obs.ledger import Ledger, render_trends
+    from repro.obs.ledger import Ledger, render_convergence, render_trends
 
-    text, code = render_trends(
-        Ledger(args.ledger_dir),
-        rank_threshold=args.rank_threshold,
-        latency_threshold=args.latency_threshold,
-    )
+    if args.view == "convergence":
+        text, code = render_convergence(Ledger(args.ledger_dir))
+    else:
+        text, code = render_trends(
+            Ledger(args.ledger_dir),
+            rank_threshold=args.rank_threshold,
+            latency_threshold=args.latency_threshold,
+        )
     out.write(text + "\n")
     return code
 
@@ -594,103 +633,130 @@ def _cmd_obs_conformance(args, out):
     return code
 
 
-def _add_executor_flags(parser):
+# ----------------------------------------------------------------------
+# Shared flag groups, as argparse *parent parsers*
+# ----------------------------------------------------------------------
+# Each factory builds one reusable ``add_help=False`` parser holding one
+# flag group; subcommands inherit groups via ``parents=[...]`` instead
+# of calling per-parser helpers, so a new command (``triage``) picks up
+# the exact executor/backend/ledger/chaos surface of ``diagnose`` by
+# construction.
+
+def _flag_parent():
+    return argparse.ArgumentParser(add_help=False)
+
+
+def _executor_flags():
     from repro.runtime.executor import DEFAULT_CACHE_DIR
 
-    parser.add_argument(
+    parent = _flag_parent()
+    parent.add_argument(
         "--jobs", type=int, default=1, metavar="N",
         help="worker processes for campaign runs (results are "
              "identical at any value; default: 1)",
     )
-    parser.add_argument(
+    parent.add_argument(
         "--cache", action=argparse.BooleanOptionalAction, default=False,
         help="reuse finished runs via the content-addressed run cache",
     )
-    parser.add_argument(
+    parent.add_argument(
         "--cache-dir", default=DEFAULT_CACHE_DIR, metavar="DIR",
         help="on-disk cache location (default: %(default)s)",
     )
+    return parent
 
 
-def _add_backend_flag(parser):
+def _backend_flags():
     from repro.machine.backends import BACKEND_NAMES, DEFAULT_BACKEND
 
-    parser.add_argument(
+    parent = _flag_parent()
+    parent.add_argument(
         "--backend", default=None, choices=BACKEND_NAMES,
         help="VM execution backend (default: %s); results are "
              "bit-identical either way, the threaded backend is just "
              "faster — see docs/performance.md" % DEFAULT_BACKEND,
     )
+    return parent
 
 
-def _add_fault_flags(parser):
-    parser.add_argument(
+def _fault_flags():
+    parent = _flag_parent()
+    parent.add_argument(
         "--inject-faults", metavar="SPEC", default=None,
         help="deterministic chaos schedule: comma-separated "
              "site[:times[:skip]] specs (e.g. worker-crash:1); see "
              "docs/resilience.md for the site registry",
     )
-    parser.add_argument(
+    parent.add_argument(
         "--fault-seed", type=int, default=0, metavar="N",
         help="seed for '?' skips in --inject-faults (default: 0)",
     )
+    return parent
 
 
-def _add_obs_flags(parser):
-    parser.add_argument(
+def _obs_flags():
+    parent = _flag_parent()
+    parent.add_argument(
         "--trace", metavar="FILE.jsonl", default=None,
         help="write the span trace as JSON Lines (enables observability)",
     )
-    parser.add_argument(
+    parent.add_argument(
         "--metrics-out", metavar="FILE.json", default=None,
         help="write metric totals as JSON (enables observability)",
     )
+    return parent
 
 
-def _add_durability_flags(parser):
-    parser.add_argument(
+def _durability_flags():
+    parent = _flag_parent()
+    parent.add_argument(
         "--checkpoint", action=argparse.BooleanOptionalAction,
         default=False,
         help="journal campaign progress under --checkpoint-dir so an "
              "interrupted invocation resumes where it stopped "
              "(`repro resume`, or re-run the same command)",
     )
-    parser.add_argument(
+    parent.add_argument(
         "--checkpoint-dir", default=None, metavar="DIR",
         help="checkpoint root (default: $REPRO_CHECKPOINT_DIR or "
              ".repro-checkpoints/)",
     )
-    parser.add_argument(
+    parent.add_argument(
         "--resume", action="store_true",
         help="resume this command's previous checkpoint session "
              "(implies --checkpoint)",
     )
-    parser.add_argument(
+    parent.add_argument(
         "--deadline", type=float, default=None, metavar="SECONDS",
         help="stop cleanly after SECONDS of wall time and report a "
              "partial diagnosis with a confidence summary",
     )
-    parser.add_argument(
+    parent.add_argument(
         "--run-budget", type=int, default=None, metavar="N",
         help="stop cleanly after N fresh run executions and report a "
              "partial diagnosis (journal replays are free)",
     )
+    return parent
 
 
-def _add_ledger_flags(parser):
-    parser.add_argument(
+def _ledger_flags():
+    parent = _flag_parent()
+    parent.add_argument(
         "--ledger", action=argparse.BooleanOptionalAction, default=True,
         help="append this invocation to the persistent run ledger "
              "(default: on)",
     )
-    parser.add_argument(
+    parent.add_argument(
         "--ledger-dir", default=None, metavar="DIR",
         help="run-ledger location (default: $REPRO_LEDGER_DIR or "
              ".repro-ledger/)",
     )
+    return parent
 
 
 def build_parser():
+    from repro.core.api import available_tools
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Short-term-memory failure diagnosis (ASPLOS 2014 "
@@ -700,17 +766,24 @@ def build_parser():
                         version="repro " + _version())
     commands = parser.add_subparsers(dest="command", required=True)
 
+    backend = _backend_flags()
+    executor = _executor_flags()
+    obs = _obs_flags()
+    ledger = _ledger_flags()
+    fault = _fault_flags()
+    durability = _durability_flags()
+
     commands.add_parser("bugs", help="list benchmark failures")
 
-    run_parser = commands.add_parser("run", help="execute one run")
+    run_parser = commands.add_parser("run", help="execute one run",
+                                     parents=[backend, obs])
     run_parser.add_argument("bug", choices=sorted(bug_names()))
     run_parser.add_argument("--passing", action="store_true",
                             help="use the passing plan")
-    _add_backend_flag(run_parser)
-    _add_obs_flags(run_parser)
 
     log_parser = commands.add_parser(
-        "log", help="LBRLOG/LCRLOG report at the failure"
+        "log", help="LBRLOG/LCRLOG report at the failure",
+        parents=[backend, obs],
     )
     log_parser.add_argument("bug", choices=sorted(bug_names()))
     log_parser.add_argument("--no-toggling", action="store_true")
@@ -718,18 +791,17 @@ def build_parser():
         "--tool", default="auto", choices=("auto", "lbrlog", "lcrlog"),
         help="log tool ('auto' picks by bug category; default)",
     )
-    _add_backend_flag(log_parser)
-    _add_obs_flags(log_parser)
 
     diag_parser = commands.add_parser(
-        "diagnose", help="statistical failure diagnosis"
+        "diagnose", help="statistical failure diagnosis",
+        parents=[backend, executor, obs, ledger, fault, durability],
     )
     diag_parser.add_argument("bug", choices=sorted(bug_names()))
     diag_parser.add_argument(
         "--tool", default="auto",
-        choices=("auto", "lbra", "lcra", "cbi", "cci", "pbi"),
+        choices=("auto",) + tuple(available_tools()),
         help="diagnosis tool ('auto' picks LBRA/LCRA by bug category; "
-             "default)",
+             "default); choices come from the pluggable registry",
     )
     diag_parser.add_argument("--scheme", default="reactive",
                              choices=("reactive", "proactive"))
@@ -742,25 +814,58 @@ def build_parser():
         help="write the report as pure JSON (render with "
              "`repro obs explain`)",
     )
-    _add_backend_flag(diag_parser)
-    _add_executor_flags(diag_parser)
-    _add_obs_flags(diag_parser)
-    _add_ledger_flags(diag_parser)
-    _add_fault_flags(diag_parser)
-    _add_durability_flags(diag_parser)
 
     commands.add_parser("experiments", help="list experiment names")
     exp_parser = commands.add_parser(
         "experiment", help="regenerate one table/figure ('all' for "
-                           "every one)"
+                           "every one)",
+        parents=[backend, executor, obs, ledger, fault, durability],
     )
     exp_parser.add_argument("name")
-    _add_backend_flag(exp_parser)
-    _add_executor_flags(exp_parser)
-    _add_obs_flags(exp_parser)
-    _add_ledger_flags(exp_parser)
-    _add_fault_flags(exp_parser)
-    _add_durability_flags(exp_parser)
+
+    from repro.fleet.signature import (
+        DEFAULT_DEPTH,
+        DEFAULT_GRANULARITY,
+        GRANULARITIES,
+    )
+
+    triage_parser = commands.add_parser(
+        "triage", help="cluster a simulated fleet's failure reports by "
+                       "fault signature and diagnose each cluster once",
+        parents=[backend, executor, obs, ledger, fault],
+    )
+    triage_parser.add_argument(
+        "--reports", type=int, default=100, metavar="N",
+        help="failure reports to draw from the simulated fleet "
+             "(default: %(default)s)",
+    )
+    triage_parser.add_argument(
+        "--seed", type=int, default=0, metavar="S",
+        help="fleet stream seed; the report mix — and therefore the "
+             "whole triage output — is a pure function of it "
+             "(default: %(default)s)",
+    )
+    triage_parser.add_argument(
+        "--runs", type=int, default=10, metavar="N",
+        help="failure and success runs per cluster campaign "
+             "(default: %(default)s)",
+    )
+    triage_parser.add_argument(
+        "--depth", type=int, default=DEFAULT_DEPTH, metavar="N",
+        help="ring entries folded into the fault signature "
+             "(default: %(default)s)",
+    )
+    triage_parser.add_argument(
+        "--granularity", default=DEFAULT_GRANULARITY,
+        choices=GRANULARITIES,
+        help="signature shape granularity (default: %(default)s)",
+    )
+    triage_parser.add_argument(
+        "--bugs", nargs="+", default=None, metavar="BUG",
+        choices=sorted(bug_names()),
+        help="restrict the fleet population to these bugs "
+             "(default: all 31)",
+    )
 
     resume_parser = commands.add_parser(
         "resume", help="resume an interrupted --checkpoint invocation"
@@ -833,6 +938,12 @@ def build_parser():
     trends_parser.add_argument("--ledger-dir", default=None,
                                metavar="DIR")
     trends_parser.add_argument(
+        "--view", default="series", choices=("series", "convergence"),
+        help="'series' compares latest-vs-previous per ledger series; "
+             "'convergence' shows per-signature rank convergence from "
+             "`repro triage` entries (default: %(default)s)",
+    )
+    trends_parser.add_argument(
         "--rank-threshold", type=int, default=0, metavar="N",
         help="tolerate the root-cause rank worsening by up to N "
              "(default: %(default)s)",
@@ -856,17 +967,14 @@ def build_parser():
 
     conformance_parser = obs_commands.add_parser(
         "conformance", help="re-run experiment drivers and check their "
-                            "output against the pinned paper tables"
+                            "output against the pinned paper tables",
+        parents=[backend, executor, ledger, fault],
     )
     conformance_parser.add_argument(
         "names", nargs="*", default=["table5"], metavar="table",
         help="drivers to check: table5, table6, table7 "
              "(default: table5)",
     )
-    _add_backend_flag(conformance_parser)
-    _add_executor_flags(conformance_parser)
-    _add_ledger_flags(conformance_parser)
-    _add_fault_flags(conformance_parser)
     return parser
 
 
@@ -882,6 +990,7 @@ def main(argv=None, out=None):
         "run": _cmd_run,
         "log": _cmd_log,
         "diagnose": _cmd_diagnose,
+        "triage": _cmd_triage,
         "experiments": _cmd_experiments,
         "experiment": _cmd_experiment,
         "resume": _cmd_resume,

@@ -18,15 +18,30 @@ own constructor signature and result type.  This module unifies them:
   ``report.raw`` and its convenience accessors delegate.
 * :class:`DiagnosisTool` — the protocol adapter: uniform constructor
   ``Tool(workload, *, executor=None, obs=None, seed=0, **options)`` and
-  a ``diagnose(...) -> DiagnosisReport`` method.
-* :func:`get_tool` / :func:`get_log_tool` — name-based factories
-  (``"lbra"``, ``"lcra"``, ``"cbi"``, ``"cci"``, ``"pbi"``; ``"lbrlog"``,
-  ``"lcrlog"``), so drivers and the CLI select tools with a flag
-  instead of an import.
+  a ``run_diagnosis(...) -> DiagnosisReport`` method.
+* :func:`register_tool` / :func:`get_tool` / :func:`get_log_tool` — the
+  pluggable tool registry.  The built-in tools (``"lbra"``, ``"lcra"``,
+  ``"cbi"``, ``"cci"``, ``"pbi"``; log tools ``"lbrlog"``, ``"lcrlog"``)
+  self-register at import time; drivers, the fleet triage dispatcher
+  (:mod:`repro.fleet.triage`), and the CLI select tools by name instead
+  of by import, and new diagnosis approaches plug in without editing
+  this module::
+
+      from repro.core.api import DiagnosisTool, register_tool
+
+      class PeckerDiagnosisTool(DiagnosisTool):
+          name = "pecker"
+          _impl = ("mypkg.pecker", "PeckerTool")   # lazily imported
+          default_runs = 10
+
+      register_tool("pecker", PeckerDiagnosisTool)
+      # get_tool("pecker"), available_tools(), `repro diagnose --tool`
+      # choices, and fleet triage dispatch now all see it.
 
 The underlying tool classes keep working directly — their modern entry
 point is ``run_diagnosis()``; the old ``diagnose()`` methods remain as
-thin aliases that emit :class:`DeprecationWarning`.
+thin aliases that emit :class:`DeprecationWarning` (the adapter's own
+``diagnose()`` is such an alias too).
 """
 
 import importlib
@@ -215,6 +230,9 @@ class DiagnosisReport:
     def rank_of_line(self, lines, *args, **kwargs):
         return self.raw.rank_of_line(lines, *args, **kwargs)
 
+    def rank_of_coherence(self, lines, *args, **kwargs):
+        return self.raw.rank_of_coherence(lines, *args, **kwargs)
+
 
 # ----------------------------------------------------------------------
 # The protocol adapters
@@ -243,8 +261,8 @@ class DiagnosisTool:
                                seed=seed, **options)
         self.params = dict(options, seed=seed)
 
-    def diagnose(self, n_failures=None, n_successes=None,
-                 max_attempts=None):
+    def run_diagnosis(self, n_failures=None, n_successes=None,
+                      max_attempts=None):
         """Run the campaign; returns a :class:`DiagnosisReport`."""
         n_failures = n_failures if n_failures is not None \
             else self.default_runs
@@ -257,6 +275,13 @@ class DiagnosisTool:
         )
         elapsed = time.perf_counter() - started
         return self._report(raw, elapsed)
+
+    def diagnose(self, n_failures=None, n_successes=None,
+                 max_attempts=None):
+        """Deprecated alias of :meth:`run_diagnosis`."""
+        deprecated_alias("%s.diagnose()" % type(self).__name__,
+                         "run_diagnosis()")
+        return self.run_diagnosis(n_failures, n_successes, max_attempts)
 
     def _report(self, raw, elapsed):
         runs_used = {
@@ -333,12 +358,15 @@ class PbiDiagnosisTool(DiagnosisTool):
     default_runs = 1000
 
 
-_TOOLS = {
-    tool.name: tool for tool in (
-        LbraDiagnosisTool, LcraDiagnosisTool, CbiDiagnosisTool,
-        CciDiagnosisTool, PbiDiagnosisTool,
-    )
-}
+# ----------------------------------------------------------------------
+# The pluggable tool registry
+# ----------------------------------------------------------------------
+
+#: name -> DiagnosisTool adapter class.  Mutated only through
+#: :func:`register_tool` / :func:`unregister_tool`; read only through
+#: :func:`get_tool` / :func:`available_tools`, so every dispatcher in
+#: the repo (CLI, experiment drivers, fleet triage) sees one table.
+_TOOL_REGISTRY = {}
 
 _LOG_TOOLS = {
     "lbrlog": ("repro.core.lbrlog", "LbrLogTool"),
@@ -346,17 +374,46 @@ _LOG_TOOLS = {
 }
 
 
-def get_tool(name):
-    """The :class:`DiagnosisTool` adapter class for *name*.
+def register_tool(name, cls):
+    """Register *cls* (a :class:`DiagnosisTool` subclass) as *name*.
 
-    ``get_tool("lbra")(workload).diagnose()`` is the whole API.
+    Registering an already-taken name replaces the previous entry —
+    that is deliberate, so an experiment can shadow a built-in with an
+    instrumented variant; re-registering a built-in restores it.  The
+    class's ``name`` attribute is aligned with the registered name so
+    reports always carry the name the tool was dispatched under.
+    """
+    if not isinstance(name, str) or not name:
+        raise TypeError("tool name must be a non-empty string, not %r"
+                        % (name,))
+    if not (isinstance(cls, type) and issubclass(cls, DiagnosisTool)):
+        raise TypeError(
+            "register_tool expects a DiagnosisTool subclass, not %r"
+            % (cls,))
+    cls.name = name
+    _TOOL_REGISTRY[name] = cls
+    return cls
+
+
+def unregister_tool(name):
+    """Remove *name* from the registry (``KeyError`` when absent)."""
+    del _TOOL_REGISTRY[name]
+
+
+def get_tool(name):
+    """The registered :class:`DiagnosisTool` adapter class for *name*.
+
+    ``get_tool("lbra")(workload).run_diagnosis()`` is the whole API.
+    Unknown names raise :class:`KeyError` listing every registered
+    tool, so a typo'd ``--tool`` flag reads as a menu, not a stack
+    trace.
     """
     try:
-        return _TOOLS[name]
+        return _TOOL_REGISTRY[name]
     except KeyError:
-        raise ValueError(
-            "unknown diagnosis tool %r; available tools: %s"
-            % (name, ", ".join(sorted(_TOOLS)))
+        raise KeyError(
+            "unknown diagnosis tool %r; registered tools: %s"
+            % (name, ", ".join(sorted(_TOOL_REGISTRY)))
         ) from None
 
 
@@ -373,8 +430,16 @@ def get_log_tool(name):
 
 
 def available_tools():
-    """Names :func:`get_tool` accepts, sorted."""
-    return sorted(_TOOLS)
+    """Names :func:`get_tool` accepts (the registry's keys), sorted."""
+    return sorted(_TOOL_REGISTRY)
+
+
+# The built-in tools self-register; competitors add themselves the same
+# way (see the module docstring and ROADMAP item 4).
+for _builtin in (LbraDiagnosisTool, LcraDiagnosisTool, CbiDiagnosisTool,
+                 CciDiagnosisTool, PbiDiagnosisTool):
+    register_tool(_builtin.name, _builtin)
+del _builtin
 
 
 def deprecated_alias(old, new):
@@ -398,5 +463,7 @@ __all__ = [
     "deprecated_alias",
     "get_log_tool",
     "get_tool",
+    "register_tool",
+    "unregister_tool",
     "validate_options",
 ]

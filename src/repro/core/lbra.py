@@ -57,6 +57,12 @@ class Diagnosis:
     ring: str
     failing_statuses: list = field(default_factory=list)
     passing_statuses: list = field(default_factory=list)
+    #: the RunProfiles the ranking was computed from, in arrival order —
+    #: consumers that re-aggregate incrementally (the fleet triage
+    #: convergence view, see :mod:`repro.fleet.triage`) replay these
+    #: instead of re-running the campaign
+    failure_profiles: list = field(default_factory=list)
+    success_profiles: list = field(default_factory=list)
     #: True when the campaign was stopped by a deadline/run budget
     #: before both quotas were met (see repro.runtime.checkpoint);
     #: ``stop_reason`` is "deadline" or "run-budget", and the requested
@@ -452,6 +458,8 @@ class DiagnosisToolBase:
             ring=self.ring,
             failing_statuses=failing,
             passing_statuses=passing,
+            failure_profiles=failure_profiles,
+            success_profiles=success_profiles,
             partial=self._budget_stop is not None,
             stop_reason=self._budget_stop,
             n_failures_requested=n_failures,

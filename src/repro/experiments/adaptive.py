@@ -16,7 +16,8 @@ is in its final ranking — against LBRA's single-shot result.
 
 from repro.baselines.cbi_adaptive import CbiAdaptiveTool
 from repro.bugs.registry import sequential_bugs
-from repro.core.lbra import DiagnosisError, LbraTool
+from repro.core.api import get_tool
+from repro.core.lbra import DiagnosisError
 from repro.experiments.report import ExperimentResult, traced
 
 
@@ -39,7 +40,7 @@ def run(runs_per_iteration=20, bugs=None, executor=None):
         lines = tuple(bug.root_cause_lines) + tuple(bug.related_lines)
         adaptive_rank = outcome.rank_of_line(lines)
         try:
-            lbra_rank = LbraTool(bug, executor=executor) \
+            lbra_rank = get_tool("lbra")(bug, executor=executor) \
                 .run_diagnosis(10, 10).rank_of_line(lines)
         except DiagnosisError:
             lbra_rank = None

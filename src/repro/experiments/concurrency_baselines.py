@@ -7,11 +7,9 @@ and CCI need the failure to occur hundreds of times, where LCRA needs
 ten.
 """
 
-from repro.baselines.cci import CciTool
-from repro.baselines.pbi import PbiTool
 from repro.bugs.registry import concurrency_bugs
+from repro.core.api import get_tool
 from repro.core.lbra import DiagnosisError
-from repro.core.lcra import LcraTool
 from repro.experiments.report import ExperimentResult, traced
 
 #: Rank threshold for "diagnosed".
@@ -20,8 +18,9 @@ TOP_K = 3
 
 def _lcra_rank(bug, executor=None):
     try:
-        diagnosis = LcraTool(bug, scheme="reactive",
-                             executor=executor).run_diagnosis(10, 10)
+        diagnosis = get_tool("lcra")(
+            bug, scheme="reactive", executor=executor,
+        ).run_diagnosis(10, 10)
     except DiagnosisError:
         return None
     return diagnosis.rank_of_coherence(bug.root_cause_lines,
@@ -29,14 +28,14 @@ def _lcra_rank(bug, executor=None):
 
 
 def _pbi_rank(bug, n_runs, sample_period, executor=None):
-    tool = PbiTool(bug, sample_period=sample_period, seed=2,
-                   executor=executor)
+    tool = get_tool("pbi")(bug, sample_period=sample_period, seed=2,
+                           executor=executor)
     diagnosis = tool.run_diagnosis(n_failures=n_runs, n_successes=n_runs)
     return diagnosis.rank_of_line(bug.root_cause_lines)
 
 
 def _cci_rank(bug, n_runs, executor=None):
-    tool = CciTool(bug, seed=2, executor=executor)
+    tool = get_tool("cci")(bug, seed=2, executor=executor)
     diagnosis = tool.run_diagnosis(n_failures=n_runs, n_successes=n_runs)
     return diagnosis.rank_of_line(bug.root_cause_lines,
                                   detail_suffix="remote")

@@ -9,18 +9,18 @@ reproducing the paper's finding that CBI loses most benchmarks when
 limited to 500 failure runs while LBRA succeeds with 10.
 """
 
-from repro.baselines.cbi import BaselineUnsupportedError, CbiTool
+from repro.baselines.cbi import BaselineUnsupportedError
 from repro.bugs.registry import sequential_bugs
-from repro.core.lbra import DiagnosisError, LbraTool
+from repro.core.api import get_tool
+from repro.core.lbra import DiagnosisError
 from repro.experiments.report import ExperimentResult, traced
 
 
 def _lbra_found(bug, n_runs, executor=None):
     try:
-        diagnosis = LbraTool(bug, scheme="reactive",
-                             executor=executor).run_diagnosis(
-            n_failures=n_runs, n_successes=n_runs
-        )
+        diagnosis = get_tool("lbra")(
+            bug, scheme="reactive", executor=executor,
+        ).run_diagnosis(n_failures=n_runs, n_successes=n_runs)
     except DiagnosisError:
         return False
     lines = tuple(bug.root_cause_lines) + tuple(bug.related_lines)
@@ -30,7 +30,7 @@ def _lbra_found(bug, n_runs, executor=None):
 
 def _cbi_found(bug, n_runs, seed=0, executor=None):
     try:
-        tool = CbiTool(bug, seed=seed, executor=executor)
+        tool = get_tool("cbi")(bug, seed=seed, executor=executor)
     except BaselineUnsupportedError:
         return None
     diagnosis = tool.run_diagnosis(n_failures=n_runs, n_successes=n_runs)

@@ -15,9 +15,10 @@ from repro.analysis.patch_distance import (
     failure_site_patch_distance,
     lbr_patch_distance,
 )
-from repro.baselines.cbi import BaselineUnsupportedError, CbiTool
+from repro.baselines.cbi import BaselineUnsupportedError
 from repro.bugs.registry import sequential_bugs
-from repro.core.lbra import DiagnosisError, LbraTool
+from repro.core.api import get_tool
+from repro.core.lbra import DiagnosisError
 from repro.core.lbrlog import LbrLogTool
 from repro.experiments.overhead import (
     find_reactive_target,
@@ -64,8 +65,9 @@ def evaluate_bug(bug, cbi_runs=1000, overhead_runs=5, executor=None):
     )
 
     try:
-        diagnosis = LbraTool(bug, scheme="reactive",
-                             executor=executor).run_diagnosis(10, 10)
+        diagnosis = get_tool("lbra")(
+            bug, scheme="reactive", executor=executor,
+        ).run_diagnosis(10, 10)
         lbra_root = diagnosis.rank_of_line(bug.root_cause_lines)
         lbra_related = diagnosis.rank_of_line(bug.related_lines) \
             if bug.related_lines else None
@@ -75,13 +77,13 @@ def evaluate_bug(bug, cbi_runs=1000, overhead_runs=5, executor=None):
     cbi_cell = "N/A"
     cbi_overhead = None
     if bug.language != "cpp":
-        cbi = CbiTool(bug, executor=executor)
+        cbi = get_tool("cbi")(bug, executor=executor)
         cbi_diag = cbi.run_diagnosis(n_failures=cbi_runs, n_successes=cbi_runs)
         cbi_root = cbi_diag.rank_of_line(bug.root_cause_lines)
         cbi_related = cbi_diag.rank_of_line(bug.related_lines) \
             if bug.related_lines else None
         cbi_cell = _cell(cbi_root, cbi_related)
-        cbi_overhead = cbi.estimated_overhead()
+        cbi_overhead = cbi.tool.estimated_overhead()
 
     distance_failure = failure_site_patch_distance(bug, report_tog)
     distance_lbr = lbr_patch_distance(bug, report_tog)

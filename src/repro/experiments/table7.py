@@ -8,7 +8,7 @@ Conf2, per the paper's footnote) ranks it.
 
 from repro.bugs.registry import concurrency_bugs
 from repro.core.lbra import DiagnosisError
-from repro.core.lcra import LcraTool
+from repro.core.api import get_tool
 from repro.core.lcrlog import (
     CONF1_SPACE_SAVING,
     CONF2_SPACE_CONSUMING,
@@ -38,8 +38,9 @@ def evaluate_bug(bug, executor=None):
     conf2 = _lcrlog_position(bug, CONF2_SPACE_CONSUMING,
                              executor=executor)
     try:
-        diagnosis = LcraTool(bug, scheme="reactive",
-                             executor=executor).run_diagnosis(10, 10)
+        diagnosis = get_tool("lcra")(
+            bug, scheme="reactive", executor=executor,
+        ).run_diagnosis(10, 10)
         lcra = diagnosis.rank_of_coherence(bug.root_cause_lines,
                                            bug.fpe_state_tags)
     except DiagnosisError:

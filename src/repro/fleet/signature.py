@@ -1,0 +1,149 @@
+"""Fault signatures: the dedup/triage key of the fleet service.
+
+A *fault signature* compresses one failure report into a stable,
+privacy-preserving key: reports with the same signature are (with high
+confidence) occurrences of the same bug, so the triage layer diagnoses
+each signature once instead of each report once.  Following
+*Reproducing Failures in Fault Signatures* (PAPERS.md), the signature
+is extracted from what the report already carries — no re-execution:
+
+* the **application identity** — a prefix of the program's content
+  fingerprint (the fleet analogue of "app + build id");
+* the **failure site** — the logging site (or SEGV handler) whose ring
+  snapshot the report carries, or the faulting source location when no
+  snapshot was captured;
+* the **exit status** — the fault kind for crashes, the exit code
+  otherwise (never output text: outputs vary per input and may carry
+  user data);
+* the **ring shape** — the newest ``depth`` ring events near the
+  failure, each reduced to a token.  At the default ``"function"``
+  granularity a token is ``function/kind`` (branch) or
+  ``function/state-tag`` (coherence): input-dependent control flow
+  *within* a function does not split a bug into several clusters, but
+  a different path *to* the failure still separates distinct bugs.
+  ``"event"`` granularity keeps full event ids for forensic use.
+
+Everything hashed is an event identity, never a value or an address —
+the same privacy property Section 5.2 claims for the diagnosis model.
+"""
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.core.profiles import FAILURE_SITE_KINDS, extract_profile
+
+#: Ring entries (newest first) folded into the signature shape.
+DEFAULT_DEPTH = 8
+
+#: How a ring event becomes a shape token ("function" or "event").
+DEFAULT_GRANULARITY = "function"
+
+GRANULARITIES = ("function", "event")
+
+#: Hex digits of the sha256 kept as the displayed signature id.
+DIGEST_LENGTH = 12
+
+
+@dataclass(frozen=True)
+class FaultSignature:
+    """The triage key extracted from one failure report."""
+
+    app: str              # program-fingerprint prefix (application id)
+    ring: str             # "lbr" or "lcr"
+    site: str             # failure-site token
+    status: str           # exit-status token
+    shape: tuple          # ring-event tokens, newest first
+
+    @property
+    def digest(self):
+        """Stable short hash over every component — the cluster key."""
+        canonical = "\x1f".join(
+            (self.app, self.ring, self.site, self.status) + self.shape
+        )
+        return hashlib.sha256(canonical.encode()).hexdigest()[:DIGEST_LENGTH]
+
+    def describe(self):
+        return "%s %s %s %s depth=%d" % (
+            self.digest, self.ring, self.site, self.status,
+            len(self.shape),
+        )
+
+    def __str__(self):
+        return self.digest
+
+
+def _site_token(program, status, profile):
+    """Where the failure was observed, as a stable string."""
+    if profile is not None:
+        from repro.core.profiles import site_by_id
+
+        site = site_by_id(program, profile.site_id)
+        if site is not None:
+            return "%s:%s:%d" % (site.kind, site.function, site.line)
+        return "site:%d" % profile.site_id
+    fault = status.fault
+    if fault is not None:
+        location = program.debug_info.location_at(fault.pc)
+        if location is not None:
+            return "fault:%s:%d" % (location.function, location.line)
+        return "fault:pc"
+    return "none"
+
+
+def _status_token(status):
+    """The failure mode, without input-dependent detail."""
+    if status.fault is not None:
+        return "fault:%s" % status.fault.kind.value
+    return "exit:%s" % status.exit_code
+
+
+def _event_token(event, granularity):
+    if granularity == "event":
+        return event.event_id
+    # "function" granularity: stable across input-dependent control
+    # flow inside one function.  Branch events keep their kind; LCR
+    # events keep their coherence state tag (the detail field), which
+    # Table 3 shows is what distinguishes interleaving bugs.
+    if event.kind == "coherence":
+        return "%s/%s" % (event.function or "?", event.detail)
+    return "%s/%s" % (event.function or "?", event.kind)
+
+
+def extract_signature(program, status, ring, depth=DEFAULT_DEPTH,
+                      granularity=DEFAULT_GRANULARITY):
+    """Extract the :class:`FaultSignature` of one run's failure.
+
+    *program* is the (log-enhanced) program the report's application
+    runs; *status* its :class:`~repro.machine.cpu.ExitStatus` with ring
+    snapshots attached.  Returns a signature even when the run captured
+    no snapshot (shape is then empty and the site token falls back to
+    the faulting location) so every report is clusterable.
+    """
+    if granularity not in GRANULARITIES:
+        raise ValueError("unknown signature granularity %r (choose from "
+                         "%s)" % (granularity, ", ".join(GRANULARITIES)))
+    from repro.runtime.executor import fingerprint_program
+
+    profile = extract_profile(program, status, ring,
+                              site_kinds=FAILURE_SITE_KINDS)
+    shape = ()
+    if profile is not None and depth > 0:
+        shape = tuple(_event_token(event, granularity)
+                      for event in profile.events[:depth])
+    return FaultSignature(
+        app=fingerprint_program(program)[:DIGEST_LENGTH],
+        ring=ring,
+        site=_site_token(program, status, profile),
+        status=_status_token(status),
+        shape=shape,
+    )
+
+
+__all__ = [
+    "DEFAULT_DEPTH",
+    "DEFAULT_GRANULARITY",
+    "DIGEST_LENGTH",
+    "GRANULARITIES",
+    "FaultSignature",
+    "extract_signature",
+]

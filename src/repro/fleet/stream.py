@@ -1,0 +1,141 @@
+"""A deterministic simulated fleet of failing applications.
+
+Production reality: a deployed population of applications emits failure
+reports — each one an exit status plus the LBR/LCR ring snapshot the
+paper's logging enhancement captured at the failure site.  This module
+simulates that stream over the 31-bug corpus: a seeded mix of
+applications, each failing under its own mixed workload/plan-seed
+stream, in a deterministic interleaving.
+
+Determinism contract (the fleet analogue of the campaign contract in
+:mod:`repro.runtime.harness`): the report stream is a pure function of
+``(population, seed)``.  Report *i* names its application via one
+``random.Random(seed)`` draw; the application's k-th emission attempt
+always executes ``failing_run_plan(k)``; attempts that do not manifest
+the failure (concurrency bugs!) emit nothing and are simply skipped, as
+in production.  Run outcomes depend only on the (program, plan, config)
+triple, so the stream is bit-identical whether runs execute inline, on
+a :class:`~repro.runtime.executor.CampaignExecutor` pool, or replay
+from the shared run cache.
+
+A :class:`FailureReport` carries the ground-truth application name —
+in this simulation the corpus bug name — which downstream triage uses
+for two distinct purposes: *dispatching* a reproduction campaign (a
+fleet legitimately knows which application crashed) and *evaluating*
+the diagnosis against the registered root cause.  Clustering itself
+never reads it; that is the fault signature's job
+(:mod:`repro.fleet.signature`).
+"""
+
+import hashlib
+import random
+from dataclasses import dataclass, field
+
+from repro.bugs.registry import bug_names, get_bug
+from repro.core.api import get_log_tool
+from repro.obs import get_obs
+
+
+@dataclass
+class FailureReport:
+    """One failure report as a fleet member would ship it.
+
+    ``program`` is the log-enhanced program the application runs — the
+    fleet analogue of "binary + debug info", needed to decode ring
+    entries into source events.  It is shared across all reports of one
+    application.
+    """
+
+    report_id: str        # stable short id
+    app: str              # application (corpus bug) name
+    ring: str             # "lbr" or "lcr" — the ring the app instruments
+    plan_index: int       # k of the failing_run_plan stream
+    status: object        # ExitStatus with profile snapshots
+    program: object = field(repr=False, default=None)
+
+
+def _report_id(app, plan_index):
+    token = "%s|%d" % (app, plan_index)
+    return hashlib.sha256(token.encode()).hexdigest()[:12]
+
+
+class FleetStream:
+    """Generate failure reports from a seeded application mix.
+
+    *population* is a sequence of corpus bug names (default: all 31,
+    sorted); *seed* drives the application mix; *executor* optionally
+    runs report executions on a worker pool / the shared run cache.
+    Per-application log tooling follows the deployment rule the CLI
+    uses: sequential applications instrument the LBR ring (LBRLOG),
+    concurrency applications the LCR ring (LCRLOG).
+    """
+
+    #: emission attempts allowed per requested report before giving up
+    #: (a stubbornly passing "failing" plan stream).
+    ATTEMPT_FACTOR = 20
+
+    def __init__(self, population=None, seed=0, executor=None):
+        names = tuple(population) if population is not None \
+            else tuple(sorted(bug_names()))
+        if not names:
+            raise ValueError("fleet population is empty")
+        self.population = names
+        self.seed = seed
+        self.executor = executor
+        self._rng = random.Random(seed)
+        self._apps = {}               # name -> (workload, tool, ring)
+        self._cursors = {}            # name -> next plan index
+
+    def _app(self, name):
+        """The (workload, log tool, ring) of one application, built once."""
+        entry = self._apps.get(name)
+        if entry is None:
+            workload = get_bug(name)
+            ring = "lbr" if workload.category == "sequential" else "lcr"
+            tool = get_log_tool(ring + "log")(
+                workload, toggling=True, executor=self.executor,
+            )
+            entry = (workload, tool, ring)
+            self._apps[name] = entry
+        return entry
+
+    def program_for(self, app):
+        """The log-enhanced program reports of *app* decode against."""
+        return self._app(app)[1].program
+
+    def reports(self, n):
+        """Yield the next *n* failure reports, lazily."""
+        obs = get_obs()
+        produced = 0
+        attempts = 0
+        limit = n * self.ATTEMPT_FACTOR + 50
+        while produced < n and attempts < limit:
+            name = self.population[
+                self._rng.randrange(len(self.population))]
+            workload, tool, ring = self._app(name)
+            k = self._cursors.get(name, 0)
+            self._cursors[name] = k + 1
+            attempts += 1
+            obs.counter("fleet.stream.attempts").inc()
+            status = tool.run_plan(workload.failing_run_plan(k))
+            if not workload.is_failure(status):
+                # The failing input happened not to manifest: a fleet
+                # member emits nothing for a successful run.
+                continue
+            produced += 1
+            obs.counter("fleet.stream.reports").inc()
+            yield FailureReport(
+                report_id=_report_id(name, k),
+                app=name,
+                ring=ring,
+                plan_index=k,
+                status=status,
+                program=tool.program,
+            )
+
+    def generate(self, n):
+        """The next *n* failure reports, as a list."""
+        return list(self.reports(n))
+
+
+__all__ = ["FailureReport", "FleetStream"]

@@ -688,6 +688,95 @@ def compute_trends(entries, rank_threshold=0, latency_threshold=None):
     return rows, regressions
 
 
+def _render_rank_curve(ranks, limit=20):
+    """Run-length-encode a per-run rank sequence, e.g. ``- 3 1x18``."""
+    tokens = []
+    for rank in ranks:
+        label = "-" if rank is None else str(rank)
+        if tokens and tokens[-1][0] == label:
+            tokens[-1][1] += 1
+        else:
+            tokens.append([label, 1])
+    if not tokens:
+        return "-"
+    rendered = ["%s" % label if count == 1 else "%sx%d" % (label, count)
+                for label, count in tokens]
+    if len(rendered) > limit:
+        rendered = rendered[:limit] + ["…"]
+    return " ".join(rendered)
+
+
+def compute_convergence(entries):
+    """Per-signature convergence rows from fleet-triage ledger entries.
+
+    The fleet triage driver (:mod:`repro.fleet.triage`) appends one
+    ``kind="triage"`` entry per signature cluster, its ``quality``
+    carrying the ``convergence`` curve — the rank of the true root
+    cause after each arriving campaign run (see
+    :class:`repro.fleet.aggregate.IncrementalRanker`).  This view shows
+    the *latest* curve per (tool, signature) series, so `repro obs
+    trends --view convergence` answers "how fast does each fleet
+    signature converge?" across invocations.
+    """
+    series = {}
+    for entry in entries:
+        if entry.get("kind") != "triage":
+            continue
+        workload = entry.get("workload") or ""
+        if not workload.startswith("sig:"):
+            continue
+        series.setdefault((str(entry.get("tool")), workload),
+                          []).append(entry)
+    rows = []
+    for key in sorted(series):
+        history = series[key]
+        latest = history[-1]
+        quality = latest.get("quality") or {}
+        params = latest.get("params") or {}
+        if quality.get("error"):
+            curve_cell = "error: %s" % quality["error"]
+            final = runs_to_rank1 = "-"
+        else:
+            curve = quality.get("convergence") or []
+            curve_cell = _render_rank_curve(
+                [point[1] for point in curve])
+            final = quality.get("true_rank")
+            final = "-" if final is None else final
+            runs_to_rank1 = quality.get("runs_to_rank1")
+            runs_to_rank1 = "-" if runs_to_rank1 is None \
+                else runs_to_rank1
+        rows.append((
+            key[1][len("sig:"):],
+            params.get("app", "-"),
+            latest.get("tool") or "-",
+            params.get("reports", "-"),
+            len(history),
+            curve_cell,
+            final,
+            runs_to_rank1,
+        ))
+    return rows
+
+
+def render_convergence(ledger):
+    """Render the per-signature convergence table; ``(text, code)``."""
+    from repro.experiments.report import format_table
+
+    entries = ledger.entries()
+    rows = compute_convergence(entries)
+    if not rows:
+        return ("no fleet-triage entries in the ledger at %s yet "
+                "(run `repro triage`)" % ledger.directory), 0
+    text = format_table(
+        ["signature", "app", "tool", "reports", "invocations",
+         "rank-of-true-cause per run", "final", "rank1@"],
+        rows,
+        title="Per-signature convergence (latest triage invocation "
+              "per series)",
+    )
+    return text, 0
+
+
 def render_trends(ledger, rank_threshold=0, latency_threshold=None):
     """Render the trends table; returns ``(text, exit_code)``."""
     from repro.experiments.report import format_table

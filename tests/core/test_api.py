@@ -1,4 +1,4 @@
-"""The unified diagnosis-tool API: factories, reports, validation."""
+"""The unified diagnosis-tool API: registry, reports, validation."""
 
 import json
 
@@ -7,9 +7,12 @@ import pytest
 from repro.bugs.registry import get_bug
 from repro.core.api import (
     DiagnosisReport,
+    DiagnosisTool,
     available_tools,
     get_log_tool,
     get_tool,
+    register_tool,
+    unregister_tool,
     validate_options,
 )
 from repro.core.lbra import LbraTool
@@ -31,7 +34,7 @@ TOOL_FIXTURES = {
 def test_every_tool_conforms_to_the_protocol(name):
     bug_name, runs = TOOL_FIXTURES[name]
     tool = get_tool(name)(get_bug(bug_name), seed=0)
-    report = tool.diagnose(n_failures=runs, n_successes=runs)
+    report = tool.run_diagnosis(n_failures=runs, n_successes=runs)
 
     assert isinstance(report, DiagnosisReport)
     assert report.tool == name
@@ -46,8 +49,13 @@ def test_every_tool_conforms_to_the_protocol(name):
     assert report.raw is not None                 # native result reachable
 
 
+def test_report_json_round_trip_equals_to_dict():
+    report = get_tool("lbra")(get_bug("sort")).run_diagnosis(3, 3)
+    assert json.loads(report.to_json()) == report.to_dict()
+
+
 def test_ranked_rows_are_plain_dicts_with_rank_and_line():
-    report = get_tool("lbra")(get_bug("sort")).diagnose(3, 3)
+    report = get_tool("lbra")(get_bug("sort")).run_diagnosis(3, 3)
     assert report.ranked, "LBRA on sort should rank predictors"
     row = report.ranked[0]
     assert row["rank"] == 1
@@ -58,10 +66,41 @@ def test_ranked_rows_are_plain_dicts_with_rank_and_line():
     assert "diagnosis" in report.describe(n=1)
 
 
+# ----------------------------------------------------------------------
+# The pluggable registry
+# ----------------------------------------------------------------------
+
 def test_get_tool_rejects_unknown_names():
-    with pytest.raises(ValueError, match="cbi.*lbra|lbra.*cbi|available"):
+    with pytest.raises(KeyError, match="cbi.*lbra|lbra.*cbi|registered"):
         get_tool("lbrx")
     assert available_tools() == ["cbi", "cci", "lbra", "lcra", "pbi"]
+
+
+def test_register_tool_plugs_into_every_dispatcher():
+    class EchoDiagnosisTool(DiagnosisTool):
+        name = "echo"
+        _impl = ("repro.core.lbra", "LbraTool")
+        default_runs = 2
+
+    register_tool("echo", EchoDiagnosisTool)
+    try:
+        assert get_tool("echo") is EchoDiagnosisTool
+        assert "echo" in available_tools()
+        report = get_tool("echo")(get_bug("sort")).run_diagnosis(2, 2)
+        assert report.tool == "echo"          # name bound by the registry
+    finally:
+        unregister_tool("echo")
+    assert "echo" not in available_tools()
+    with pytest.raises(KeyError):
+        get_tool("echo")
+
+
+def test_register_tool_validates_its_arguments():
+    with pytest.raises(TypeError, match="non-empty string"):
+        register_tool("", DiagnosisTool)
+    with pytest.raises(TypeError, match="DiagnosisTool subclass"):
+        register_tool("bogus", object)
+    assert "bogus" not in available_tools()
 
 
 def test_get_log_tool_resolves_and_rejects():
@@ -106,6 +145,20 @@ def test_deprecated_diagnose_alias_warns_and_still_works():
         CbiTool(bug).diagnose(n_failures=4, n_successes=4)
 
 
+def test_adapter_alias_warns_and_returns_identical_report():
+    bug = get_bug("sort")
+    modern = get_tool("lbra")(bug, seed=0).run_diagnosis(3, 3)
+    with pytest.warns(DeprecationWarning,
+                      match=r"LbraDiagnosisTool\.diagnose\(\)"):
+        legacy = get_tool("lbra")(bug, seed=0).diagnose(3, 3)
+    # Identical modulo wall-clock: compare the serialized form with the
+    # timing block zeroed.
+    modern_dict = modern.to_dict()
+    legacy_dict = legacy.to_dict()
+    modern_dict["timings"] = legacy_dict["timings"] = {}
+    assert modern_dict == legacy_dict
+
+
 def test_run_diagnosis_does_not_warn():
     import warnings
 
@@ -113,3 +166,4 @@ def test_run_diagnosis_does_not_warn():
     with warnings.catch_warnings():
         warnings.simplefilter("error", DeprecationWarning)
         LbraTool(bug).run_diagnosis(n_failures=2, n_successes=2)
+        get_tool("lbra")(bug).run_diagnosis(n_failures=2, n_successes=2)

@@ -1,0 +1,91 @@
+"""Fault signatures: stability within a bug, separation across bugs."""
+
+import pytest
+
+from repro.fleet import FleetStream, extract_signature
+from repro.fleet.signature import (
+    DIGEST_LENGTH,
+    FaultSignature,
+    _status_token,
+)
+
+
+def _signatures(bug, n=4, seed=0, **kwargs):
+    stream = FleetStream(population=[bug], seed=seed)
+    return [
+        (report, extract_signature(report.program, report.status,
+                                   report.ring, **kwargs))
+        for report in stream.generate(n)
+    ]
+
+
+def test_same_bug_different_inputs_share_one_signature():
+    # sort's failing plans vary the input; the function-granularity
+    # shape must absorb that input-dependent control flow.
+    digests = {sig.digest for _, sig in _signatures("sort")}
+    assert len(digests) == 1
+
+
+def test_distinct_bugs_never_collide():
+    digests = {}
+    for bug in ("sort", "apache1", "tac", "mozilla-js1"):
+        for _, sig in _signatures(bug, n=2):
+            digests.setdefault(sig.digest, set()).add(bug)
+    assert all(len(owners) == 1 for owners in digests.values())
+    assert len(digests) == 4
+
+
+def test_signature_components_and_digest_shape():
+    (report, sig), = _signatures("sort", n=1)
+    assert sig.ring == "lbr"
+    assert len(sig.digest) == DIGEST_LENGTH
+    assert int(sig.digest, 16) >= 0            # hex
+    assert sig.site.startswith(("failure-log:", "segv-handler:"))
+    assert sig.shape                           # ring events captured
+    assert sig.digest in sig.describe()
+    assert str(sig) == sig.digest
+
+
+def test_digest_covers_every_component():
+    base = FaultSignature(app="a", ring="lbr", site="s", status="e",
+                          shape=("x", "y"))
+    for variant in (
+        FaultSignature("b", "lbr", "s", "e", ("x", "y")),
+        FaultSignature("a", "lcr", "s", "e", ("x", "y")),
+        FaultSignature("a", "lbr", "t", "e", ("x", "y")),
+        FaultSignature("a", "lbr", "s", "f", ("x", "y")),
+        FaultSignature("a", "lbr", "s", "e", ("x",)),
+    ):
+        assert variant.digest != base.digest
+
+
+def test_status_token_never_leaks_run_output():
+    # Privacy: the signature may name the failure mode, never the
+    # (potentially user-data-carrying) program output.
+    (report, sig), = _signatures("apache1", n=1)
+    assert report.status.output, "apache1 failure prints a message"
+    for item in report.status.output:
+        assert str(item) not in _status_token(report.status)
+        assert str(item) not in sig.site
+
+
+def test_depth_zero_still_clusters_by_site():
+    (_, sig), = _signatures("sort", n=1, depth=0)
+    assert sig.shape == ()
+    assert sig.site != "none"
+
+
+def test_unknown_granularity_rejected():
+    stream = FleetStream(population=["sort"], seed=0)
+    report, = stream.generate(1)
+    with pytest.raises(ValueError, match="granularity"):
+        extract_signature(report.program, report.status, report.ring,
+                          granularity="file")
+
+
+def test_event_granularity_is_at_least_as_fine():
+    by_function = {sig.digest for _, sig in
+                   _signatures("sort", granularity="function")}
+    by_event = {sig.digest for _, sig in
+                _signatures("sort", granularity="event")}
+    assert len(by_event) >= len(by_function)

@@ -1,0 +1,57 @@
+"""The simulated fleet stream: determinism, mixing, manifestation."""
+
+import pytest
+
+from repro.bugs.registry import bug_names, get_bug
+from repro.fleet import FleetStream
+
+POPULATION = ["sort", "apache1", "mozilla-js1"]
+
+
+def test_stream_is_deterministic_by_seed():
+    first = FleetStream(population=POPULATION, seed=5).generate(10)
+    second = FleetStream(population=POPULATION, seed=5).generate(10)
+    assert [r.report_id for r in first] == [r.report_id for r in second]
+    assert [r.app for r in first] == [r.app for r in second]
+
+
+def test_different_seeds_draw_different_mixes():
+    a = FleetStream(population=POPULATION, seed=1).generate(10)
+    b = FleetStream(population=POPULATION, seed=2).generate(10)
+    assert [r.app for r in a] != [r.app for r in b]
+
+
+def test_every_report_is_a_manifested_failure():
+    for report in FleetStream(population=POPULATION, seed=0).generate(8):
+        bug = get_bug(report.app)
+        assert bug.is_failure(report.status)
+        assert report.program is not None
+        # The ring follows the deployment rule: LBR for sequential
+        # applications, LCR for concurrency ones.
+        expected = "lbr" if bug.category == "sequential" else "lcr"
+        assert report.ring == expected
+
+
+def test_plan_indices_advance_per_application():
+    reports = FleetStream(population=POPULATION, seed=4).generate(12)
+    per_app = {}
+    for report in reports:
+        per_app.setdefault(report.app, []).append(report.plan_index)
+    for indices in per_app.values():
+        assert indices == sorted(indices)
+        assert len(set(indices)) == len(indices)
+
+
+def test_default_population_is_the_whole_corpus():
+    stream = FleetStream(seed=0)
+    assert set(stream.population) == set(bug_names())
+
+
+def test_empty_population_rejected():
+    with pytest.raises(ValueError, match="empty"):
+        FleetStream(population=[])
+
+
+def test_reports_share_one_program_per_application():
+    reports = FleetStream(population=["sort"], seed=0).generate(3)
+    assert len({id(r.program) for r in reports}) == 1

@@ -126,7 +126,7 @@ def test_backends_equivalent(bug):
 
 def _report_dict(bug, tool_name, backend):
     with use_backend(backend):
-        report = get_tool(tool_name)(bug).diagnose(3, 3)
+        report = get_tool(tool_name)(bug).run_diagnosis(3, 3)
     data = report.to_dict()
     data.pop("timings")
     assert data["campaign"].pop("backend") == backend
@@ -186,9 +186,9 @@ def test_fault_injection_is_backend_invariant(tmp_path):
                 plan = resilience.FaultPlan.parse(
                     fault_spec, seed=0, state_dir=str(state_dir))
                 with resilience.use_plan(plan):
-                    report = get_tool("lbra")(bug).diagnose(2, 2)
+                    report = get_tool("lbra")(bug).run_diagnosis(2, 2)
             else:
-                report = get_tool("lbra")(bug).diagnose(2, 2)
+                report = get_tool("lbra")(bug).run_diagnosis(2, 2)
         return report.describe()
 
     baseline = describe("reference", None)

@@ -182,7 +182,7 @@ def test_diagnosis_recorded_with_quality(tmp_path):
     bug = get_bug("apache1")
     ledger = Ledger(tmp_path)
     with use(ledger):
-        get_tool("lbra")(bug).diagnose(n_failures=4, n_successes=4)
+        get_tool("lbra")(bug).run_diagnosis(n_failures=4, n_successes=4)
     entries = ledger.entries(kind="diagnosis")
     assert len(entries) == 1
     entry = entries[0]
@@ -199,7 +199,7 @@ def test_baseline_diagnosis_recorded(tmp_path):
     bug = get_bug("rm")
     ledger = Ledger(tmp_path)
     with use(ledger):
-        get_tool("cbi")(bug).diagnose(n_failures=100, n_successes=100)
+        get_tool("cbi")(bug).run_diagnosis(n_failures=100, n_successes=100)
     entries = ledger.entries(kind="diagnosis", tool="cbi")
     assert len(entries) == 1
     assert entries[0]["params"]["n_failures"] == 100
@@ -249,7 +249,7 @@ def _diagnose_with_jobs(tmp_path, jobs):
     try:
         with use(ledger):
             get_tool("lbra")(bug, executor=executor) \
-                .diagnose(n_failures=4, n_successes=4)
+                .run_diagnosis(n_failures=4, n_successes=4)
     finally:
         if executor is not None:
             executor.shutdown()

@@ -38,7 +38,7 @@ def test_event_provenance_zero_denominators():
 
 def test_core_ranked_rows_carry_provenance():
     bug = get_bug("apache1")
-    report = get_tool("lbra")(bug).diagnose(n_failures=4, n_successes=4)
+    report = get_tool("lbra")(bug).run_diagnosis(n_failures=4, n_successes=4)
     assert report.ranked
     for row in report.ranked:
         prov = row["provenance"]
@@ -53,7 +53,7 @@ def test_core_ranked_rows_carry_provenance():
 
 def test_baseline_ranked_rows_carry_provenance():
     bug = get_bug("rm")
-    report = get_tool("cbi")(bug).diagnose(n_failures=100,
+    report = get_tool("cbi")(bug).run_diagnosis(n_failures=100,
                                            n_successes=100)
     assert report.ranked
     for row in report.ranked:
@@ -65,7 +65,7 @@ def test_baseline_ranked_rows_carry_provenance():
 
 def test_provenance_survives_json_round_trip():
     bug = get_bug("apache1")
-    report = get_tool("lbra")(bug).diagnose(n_failures=3, n_successes=3)
+    report = get_tool("lbra")(bug).run_diagnosis(n_failures=3, n_successes=3)
     decoded = json.loads(report.to_json())
     assert decoded["ranked"][0]["provenance"]["supporting_runs"]
 
@@ -80,7 +80,7 @@ def test_provenance_digest_stable_and_sensitive():
 
 def test_render_explain_contents():
     bug = get_bug("apache1")
-    report = get_tool("lbra")(bug).diagnose(n_failures=4, n_successes=4)
+    report = get_tool("lbra")(bug).run_diagnosis(n_failures=4, n_successes=4)
     text = render_explain(report.to_dict(), top=3)
     assert "lbra diagnosis of 'apache1'" in text
     assert "supported by: F0" in text
@@ -116,7 +116,7 @@ def test_explain_file_rejects_invalid_json(tmp_path):
 
 def test_explain_file_renders_report(tmp_path):
     bug = get_bug("apache1")
-    report = get_tool("lbra")(bug).diagnose(n_failures=3, n_successes=3)
+    report = get_tool("lbra")(bug).run_diagnosis(n_failures=3, n_successes=3)
     path = tmp_path / "report.json"
     path.write_text(report.to_json())
     text = explain_file(str(path), top=1)

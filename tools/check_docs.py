@@ -30,6 +30,18 @@ FOREIGN_FLAGS = {
     "--benchmark-autosave",
 }
 
+#: Pages that must exist: ``docs/*.md`` is globbed, so a deleted or
+#: renamed page would otherwise silently drop out of the check.
+REQUIRED_DOCS = (
+    "docs/architecture.md",
+    "docs/experiments.md",
+    "docs/fleet.md",
+    "docs/ledger.md",
+    "docs/observability.md",
+    "docs/performance.md",
+    "docs/resilience.md",
+)
+
 #: A doc path reference must start with one of these repo directories.
 PATH_ROOTS = ("src/", "docs/", "tests/", "benchmarks/", "tools/",
               ".github/")
@@ -83,7 +95,8 @@ def check_module(dotted):
 
 def main():
     known_flags = cli_flags() | FOREIGN_FLAGS
-    errors = []
+    errors = ["missing required page %s" % page
+              for page in REQUIRED_DOCS if not (REPO / page).exists()]
     for path in doc_files():
         rel = path.relative_to(REPO)
         for lineno, line in enumerate(path.read_text().splitlines(), 1):
