@@ -23,7 +23,14 @@ Commands:
 * ``obs flame <trace.jsonl>``    — folded-stack text flame view;
 * ``obs explain <report.json>``  — per-event provenance of a diagnosis;
 * ``obs trends``                 — quality/latency deltas per ledger
-  series (non-zero exit on regression);
+  series (non-zero exit on regression); ``--view convergence`` shows
+  per-signature rank convergence; ``--slo FILE`` evaluates declarative
+  SLOs against the telemetry and gates on violation;
+* ``obs watch <snapshot.json>``  — self-refreshing terminal dashboard
+  over the live telemetry snapshot ``repro triage --snapshot-out``
+  publishes;
+* ``obs export``                 — OpenMetrics/Prometheus text
+  exposition of a telemetry snapshot (or the ledger's telemetry);
 * ``obs compare <A> <B>``        — structured diff of two ledger
   entries (``@N`` sequence refs or entry-id prefixes);
 * ``obs conformance [table...]`` — re-run experiment drivers and check
@@ -43,11 +50,14 @@ and print the executor's statistics report when either is active.
 Results are identical at any ``--jobs`` value and any cache state —
 parallelism and caching change wall-clock time only.
 
-``run``, ``log``, ``diagnose``, and ``experiment`` accept
+``run``, ``log``, ``diagnose``, ``triage``, and ``experiment`` accept
 ``--trace FILE.jsonl`` and ``--metrics-out FILE.json``: observability
 is then enabled for the invocation and the span trace / metric totals
 are written on exit (see :mod:`repro.obs`; render traces with
-``repro obs report``).
+``repro obs report``).  ``triage`` additionally accepts
+``--snapshot-out FILE.json``, publishing a live telemetry snapshot
+(:mod:`repro.obs.timeseries`) after every diagnosed cluster — the feed
+behind ``repro obs watch`` and ``repro obs export``.
 
 ``diagnose`` and ``experiment`` also append to the persistent run
 ledger (:mod:`repro.obs.ledger`) under ``--ledger-dir`` (default
@@ -275,13 +285,15 @@ def _ledger_session(args):
 
 @contextlib.contextmanager
 def _obs_session(args, out):
-    """Install a collecting Observability when --trace/--metrics-out ask
-    for one, and export the buffers when the command finishes."""
+    """Install a collecting Observability when --trace/--metrics-out/
+    --snapshot-out ask for one, and export the buffers on the way out
+    (snapshot publication happens live, inside the triage loop)."""
     from repro.obs import Observability, use
 
     trace = getattr(args, "trace", None)
     metrics_out = getattr(args, "metrics_out", None)
-    if not trace and not metrics_out:
+    snapshot_out = getattr(args, "snapshot_out", None)
+    if not trace and not metrics_out and not snapshot_out:
         yield
         return
     with use(Observability()) as obs:
@@ -405,7 +417,7 @@ def _cmd_triage(args, out):
                 result = triage_reports(
                     reports, runs=args.runs, depth=args.depth,
                     granularity=args.granularity, executor=executor,
-                    seed=args.seed,
+                    seed=args.seed, snapshot_path=args.snapshot_out,
                 )
             finally:
                 if executor is not None:
@@ -415,6 +427,10 @@ def _cmd_triage(args, out):
                   "attempt cap\n" % (len(reports), args.reports))
     out.write(result.table().format() + "\n")
     _write_stats(executor, out)
+    if args.snapshot_out:
+        out.write("telemetry snapshot published to %s (render with "
+                  "`repro obs watch` / `repro obs export`)\n"
+                  % args.snapshot_out)
     return 0
 
 
@@ -521,6 +537,8 @@ def _cmd_obs(args, out):
         "trends": _cmd_obs_trends,
         "compare": _cmd_obs_compare,
         "conformance": _cmd_obs_conformance,
+        "watch": _cmd_obs_watch,
+        "export": _cmd_obs_export,
     }
     return handlers[args.obs_command](args, out)
 
@@ -583,9 +601,56 @@ def _cmd_obs_explain(args, out):
     return 0
 
 
+def _resolve_snapshot(args, out):
+    """The telemetry snapshot named by --snapshot, or one rebuilt from
+    the ledger's triage entries.  Returns ``(snapshot, exit_code)``."""
+    from repro.obs.export import snapshot_from_ledger
+    from repro.obs.ledger import Ledger
+    from repro.obs.timeseries import NotASnapshot, read_snapshot
+
+    path = getattr(args, "snapshot", None)
+    if path:
+        try:
+            return read_snapshot(path), 0
+        except FileNotFoundError:
+            out.write("no such snapshot file: %s\n" % path)
+            return None, 1
+        except NotASnapshot as exc:
+            out.write("%s\n" % exc)
+            return None, 2
+    snapshot = snapshot_from_ledger(Ledger(args.ledger_dir))
+    if snapshot is None:
+        out.write("no telemetry in the ledger (run `repro triage` "
+                  "first, or pass --snapshot FILE)\n")
+        return None, 2
+    return snapshot, 0
+
+
 def _cmd_obs_trends(args, out):
     from repro.obs.ledger import Ledger, render_convergence, render_trends
 
+    if args.slo:
+        from repro.obs.slo import (
+            SLOError,
+            evaluate_slos,
+            load_slos,
+            render_slo_report,
+        )
+
+        try:
+            slos = load_slos(args.slo)
+        except FileNotFoundError:
+            out.write("no such SLO file: %s\n" % args.slo)
+            return 1
+        except SLOError as exc:
+            out.write("bad SLO file: %s\n" % exc)
+            return 2
+        snapshot, code = _resolve_snapshot(args, out)
+        if snapshot is None:
+            return code
+        text, code = render_slo_report(evaluate_slos(slos, snapshot))
+        out.write(text + "\n")
+        return code
     if args.view == "convergence":
         text, code = render_convergence(Ledger(args.ledger_dir))
     else:
@@ -596,6 +661,31 @@ def _cmd_obs_trends(args, out):
         )
     out.write(text + "\n")
     return code
+
+
+def _cmd_obs_watch(args, out):
+    from repro.obs.watch import watch
+
+    return watch(args.snapshot_file, out, once=args.once,
+                 interval=args.interval,
+                 clear=False if args.once else None)
+
+
+def _cmd_obs_export(args, out):
+    from repro.obs.export import render_openmetrics
+
+    snapshot, code = _resolve_snapshot(args, out)
+    if snapshot is None:
+        return code
+    text = render_openmetrics(snapshot,
+                              include_timings=args.include_timings)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(text)
+        out.write("OpenMetrics exposition written to %s\n" % args.out)
+    else:
+        out.write(text)
+    return 0
 
 
 def _cmd_obs_compare(args, out):
@@ -866,6 +956,13 @@ def build_parser():
         help="restrict the fleet population to these bugs "
              "(default: all 31)",
     )
+    triage_parser.add_argument(
+        "--snapshot-out", metavar="FILE.json", default=None,
+        help="publish a live telemetry snapshot here (atomically, "
+             "after every diagnosed cluster); tail it with `repro obs "
+             "watch`, render it with `repro obs export` (enables "
+             "observability)",
+    )
 
     resume_parser = commands.add_parser(
         "resume", help="resume an interrupted --checkpoint invocation"
@@ -952,6 +1049,53 @@ def build_parser():
         "--latency-threshold", type=float, default=None, metavar="PCT",
         help="also flag wall time grown by more than PCT%% "
              "(default: latency never gates)",
+    )
+    trends_parser.add_argument(
+        "--slo", metavar="FILE.json", default=None,
+        help="gating mode: evaluate the declarative SLOs in FILE "
+             "against the telemetry (burn-rate accounting; non-zero "
+             "exit on violation; see docs/observability.md)",
+    )
+    trends_parser.add_argument(
+        "--snapshot", metavar="FILE.json", default=None,
+        help="with --slo: evaluate against this published snapshot "
+             "instead of rebuilding one from the ledger",
+    )
+
+    watch_parser = obs_commands.add_parser(
+        "watch", help="self-refreshing terminal dashboard over a live "
+                      "telemetry snapshot (`repro triage "
+                      "--snapshot-out`)"
+    )
+    watch_parser.add_argument("snapshot_file", metavar="snapshot.json")
+    watch_parser.add_argument(
+        "--once", action="store_true",
+        help="render a single frame and exit (no live loop)",
+    )
+    watch_parser.add_argument(
+        "--interval", type=float, default=1.0, metavar="SECONDS",
+        help="refresh poll interval (default: %(default)s)",
+    )
+
+    export_parser = obs_commands.add_parser(
+        "export", help="OpenMetrics/Prometheus text exposition of a "
+                       "telemetry snapshot or the ledger's telemetry"
+    )
+    export_parser.add_argument(
+        "--snapshot", metavar="FILE.json", default=None,
+        help="snapshot file to export (default: rebuild one from the "
+             "ledger's triage entries)",
+    )
+    export_parser.add_argument("--ledger-dir", default=None,
+                               metavar="DIR")
+    export_parser.add_argument(
+        "--out", metavar="FILE", default=None,
+        help="write the exposition to FILE instead of stdout",
+    )
+    export_parser.add_argument(
+        "--include-timings", action="store_true",
+        help="also export wall-clock timing sketches (breaks the "
+             "cross-jobs byte-identity of the output)",
     )
 
     compare_parser = obs_commands.add_parser(

@@ -21,6 +21,7 @@ from repro.core.statistics import (
     _assign_dense_ranks,
     harmonic_mean,
 )
+from repro.obs import get_obs
 from repro.obs.provenance import EventProvenance
 
 
@@ -54,6 +55,7 @@ class IncrementalRanker:
 
     def add(self, profile):
         """Fold in one profile, routed by its recorded outcome."""
+        get_obs().timeseries.windowed("fleet.rank_updates").inc()
         if profile.outcome == "failure":
             self.add_failure(profile)
         else:
@@ -71,6 +73,11 @@ class IncrementalRanker:
         Same rows, order, and provenance as
         ``rank_predictors(failures_so_far, successes_so_far)``.
         """
+        timer = get_obs().timeseries.timer("stage.rank_update.seconds")
+        with timer:
+            return self._ranking()
+
+    def _ranking(self):
         scores = []
         for event_id, event in self._events.items():
             supported_by = self._supporting.get(event_id, ())

@@ -104,8 +104,17 @@ class FleetStream:
         return self._app(app)[1].program
 
     def reports(self, n):
-        """Yield the next *n* failure reports, lazily."""
+        """Yield the next *n* failure reports, lazily.
+
+        Telemetry: each yielded report advances the logical clock by
+        one tick (report ingest is a deterministic progress point — the
+        stream is a pure function of ``(population, seed)``, so the
+        clock is jobs-invariant) and lands in the ``fleet.reports``
+        windowed series; per-report generation latency feeds the
+        ``stage.ingest.seconds`` timing sketch.
+        """
         obs = get_obs()
+        timeseries = obs.timeseries
         produced = 0
         attempts = 0
         limit = n * self.ATTEMPT_FACTOR + 50
@@ -117,13 +126,16 @@ class FleetStream:
             self._cursors[name] = k + 1
             attempts += 1
             obs.counter("fleet.stream.attempts").inc()
-            status = tool.run_plan(workload.failing_run_plan(k))
+            with timeseries.timer("stage.ingest.seconds"):
+                status = tool.run_plan(workload.failing_run_plan(k))
             if not workload.is_failure(status):
                 # The failing input happened not to manifest: a fleet
                 # member emits nothing for a successful run.
                 continue
             produced += 1
             obs.counter("fleet.stream.reports").inc()
+            timeseries.tick()
+            timeseries.windowed("fleet.reports").inc()
             yield FailureReport(
                 report_id=_report_id(name, k),
                 app=name,

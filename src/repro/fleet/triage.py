@@ -41,7 +41,8 @@ from repro.fleet.signature import (
     extract_signature,
 )
 from repro.obs import get_obs
-from repro.obs.ledger import get_ledger
+from repro.obs.ledger import _obs_record, get_ledger
+from repro.obs.timeseries import build_snapshot, publish_snapshot
 
 #: ring kind -> registered diagnosis tool dispatched for its clusters.
 RING_TOOLS = {"lbr": "lbra", "lcr": "lcra"}
@@ -113,14 +114,27 @@ def _replay_convergence(cluster, workload):
     Replays the retained profiles through an incremental ranker in the
     order the campaign collected them; the final snapshot equals the
     batch ranking by construction (asserted in tests/fleet).
+
+    Telemetry: each replayed run is a deterministic progress point —
+    one logical-clock tick, one ``fleet.runs`` windowed count, and one
+    ``fleet.rank_of_true_cause.<digest>`` gauge sample — so the
+    per-signature convergence trajectory is a jobs-invariant series.
     """
+    timeseries = get_obs().timeseries
     raw = cluster.diagnosis.raw
     predicate = _true_cause_predicate(workload)
     ranker = IncrementalRanker()
     curve = []
+    rank_series = timeseries.gauge_series(
+        "fleet.rank_of_true_cause.%s" % cluster.digest)
+    runs_series = timeseries.windowed("fleet.runs")
     for profile in list(raw.failure_profiles) + list(raw.success_profiles):
         ranker.add(profile)
-        curve.append((ranker.runs_seen, ranker.rank_of(predicate)))
+        rank = ranker.rank_of(predicate)
+        timeseries.tick()
+        runs_series.inc()
+        rank_series.set(rank)
+        curve.append((ranker.runs_seen, rank))
     cluster.convergence = curve
     cluster.true_rank = curve[-1][1] if curve else None
     # Convergence point: the earliest prefix after which the true cause
@@ -132,6 +146,8 @@ def _replay_convergence(cluster, workload):
         else:
             break
     cluster.runs_to_rank1 = runs_to_rank1
+    timeseries.gauge_series(
+        "fleet.runs_to_rank1.%s" % cluster.digest).set(runs_to_rank1)
 
 
 def cluster_reports(reports, depth=DEFAULT_DEPTH,
@@ -227,13 +243,15 @@ def _diagnose_cluster(cluster, runs, executor, obs):
         workload, executor=executor, scheme="reactive", seed=0,
     )
     try:
-        cluster.diagnosis = adapter.run_diagnosis(runs, runs)
+        with obs.timeseries.timer("stage.campaign.seconds"):
+            cluster.diagnosis = adapter.run_diagnosis(runs, runs)
     except DiagnosisError as error:
         cluster.error = str(error)
         obs.counter("fleet.triage.campaign_errors").inc()
         return
     obs.counter("fleet.triage.campaigns").inc()
-    _replay_convergence(cluster, workload)
+    with obs.timeseries.timer("stage.replay.seconds"):
+        _replay_convergence(cluster, workload)
 
 
 def _record_cluster(cluster, result):
@@ -266,23 +284,51 @@ def _record_cluster(cluster, result):
     )
 
 
+def _executor_section(executor):
+    """The snapshot's free-form executor section (venue/timing data)."""
+    stats = getattr(executor, "stats", None)
+    if stats is None:
+        return {}
+    hits, misses = stats.cache_hits, stats.cache_misses
+    looked_up = hits + misses
+    return {
+        "jobs": stats.jobs,
+        "attempts": stats.attempts,
+        "pool_runs": stats.pool_runs,
+        "inline_runs": stats.inline_runs,
+        "cache_hits": hits,
+        "cache_hit_ratio": round(hits / looked_up, 4) if looked_up
+        else 0.0,
+        "workers_used": stats.workers_used,
+    }
+
+
 @traced("triage")
 def triage_reports(reports, runs=10, depth=DEFAULT_DEPTH,
                    granularity=DEFAULT_GRANULARITY, executor=None,
-                   seed=None):
+                   seed=None, snapshot_path=None):
     """Triage *reports*: cluster by signature, diagnose each cluster.
 
     *runs* is the per-cluster campaign size (failure and success runs
     each); *executor* is shared across all clusters so their campaigns
     draw from one run cache.  Returns a :class:`TriageResult`.
+
+    When *snapshot_path* is given, a telemetry snapshot is published
+    atomically there after each diagnosed cluster (and once up front),
+    then marked ``complete`` at the end — the live feed ``repro obs
+    watch`` tails and ``repro obs export`` renders.
     """
     obs = get_obs()
+    timeseries = obs.timeseries
     reports = list(reports)
-    with obs.span("triage.cluster", reports=len(reports)):
+    started = time.perf_counter()
+    with obs.span("triage.cluster", reports=len(reports)), \
+            timeseries.timer("stage.cluster.seconds"):
         clusters = cluster_reports(reports, depth=depth,
                                    granularity=granularity)
     obs.counter("fleet.triage.reports").inc(len(reports))
     obs.counter("fleet.triage.clusters").inc(len(clusters))
+    timeseries.gauge_series("fleet.clusters").set(len(clusters))
     result = TriageResult(
         n_reports=len(reports),
         clusters=clusters,
@@ -290,12 +336,29 @@ def triage_reports(reports, runs=10, depth=DEFAULT_DEPTH,
         params={"runs": runs, "depth": depth,
                 "granularity": granularity},
     )
-    started = time.perf_counter()
-    for cluster in clusters:
+
+    def publish(done, complete=False):
+        if not snapshot_path:
+            return
+        publish_snapshot(snapshot_path, build_snapshot(
+            timeseries,
+            fleet={"reports": result.n_reports,
+                   "clusters": result.n_clusters,
+                   "diagnosed": done},
+            executor=_executor_section(executor),
+            wall={"elapsed_seconds":
+                  round(time.perf_counter() - started, 6)},
+            complete=complete,
+        ))
+
+    publish(0)
+    for done, cluster in enumerate(clusters, 1):
         with obs.span("triage.campaign", signature=cluster.digest,
                       app=cluster.app):
             _diagnose_cluster(cluster, runs, executor, obs)
-        _record_cluster(cluster, result)
+        with timeseries.timer("stage.record.seconds"):
+            _record_cluster(cluster, result)
+        publish(done)
     labeled = result.labeled()
     get_ledger().append(
         kind="triage",
@@ -311,7 +374,9 @@ def triage_reports(reports, runs=10, depth=DEFAULT_DEPTH,
         },
         runs={"campaigns": sum(1 for c in clusters if c.diagnosis)},
         timings={"triage_seconds": time.perf_counter() - started},
+        obs=_obs_record(obs),
     )
+    publish(len(clusters), complete=True)
     return result
 
 

@@ -56,20 +56,27 @@ from repro.obs.metrics import (
     NULL_METRICS,
     NullMetrics,
 )
+from repro.obs.timeseries import (
+    NULL_TIMESERIES,
+    NullTimeseries,
+    Timeseries,
+)
 from repro.obs.tracer import NULL_TRACER, NullTracer, Span, Tracer, read_jsonl
 
 
 class Observability:
-    """A tracer + metrics bundle (see the module docstring)."""
+    """A tracer + metrics + timeseries bundle (see the module docstring)."""
 
     def __init__(self, enabled=True):
         self.enabled = enabled
         if enabled:
             self.tracer = Tracer()
             self.metrics = Metrics()
+            self.timeseries = Timeseries()
         else:
             self.tracer = NULL_TRACER
             self.metrics = NULL_METRICS
+            self.timeseries = NULL_TIMESERIES
 
     # -- convenience delegates ------------------------------------------
 
@@ -84,6 +91,10 @@ class Observability:
 
     def histogram(self, name):
         return self.metrics.histogram(name)
+
+    def timer(self, name):
+        """A stage timer into the timeseries (no-op when disabled)."""
+        return self.timeseries.timer(name)
 
     # -- per-run harvest ------------------------------------------------
 
@@ -126,20 +137,24 @@ class Observability:
     # -- worker buffer exchange -----------------------------------------
 
     def to_payload(self):
-        """Serialize both buffers for shipping across processes."""
+        """Serialize all three buffers for shipping across processes."""
         return {"metrics": self.metrics.to_dict(),
-                "spans": self.tracer.to_records()}
+                "spans": self.tracer.to_records(),
+                "timeseries": self.timeseries.to_dict()}
 
     def merge_payload(self, payload, span_root=None):
         """Merge a worker's :meth:`to_payload` buffers into this obs.
 
         Spans are re-rooted under *span_root* (default: the currently
-        open span), metric counters/histograms accumulate.
+        open span); metric counters/histograms and timeseries
+        instruments accumulate (sketch buckets add, gauge points
+        overwrite per tick — order-independent by construction).
         """
         if not payload:
             return
         self.metrics.merge(payload.get("metrics", {}))
         self.tracer.absorb(payload.get("spans", ()), under=span_root)
+        self.timeseries.merge(payload.get("timeseries"))
 
     # -- export ---------------------------------------------------------
 
@@ -197,9 +212,12 @@ __all__ = [
     "Metrics",
     "NULL_METRICS",
     "NULL_OBS",
+    "NULL_TIMESERIES",
     "NULL_TRACER",
     "NullMetrics",
+    "NullTimeseries",
     "NullTracer",
+    "Timeseries",
     "Observability",
     "Span",
     "Tracer",

@@ -528,7 +528,14 @@ def _obs_record(obs):
         for name, value in obs.metrics.to_dict()["counters"].items()
         if not name.startswith("executor.")
     }
-    return {"counters": counters}
+    record = {"counters": counters}
+    timeseries = getattr(obs, "timeseries", None)
+    if timeseries is not None and getattr(timeseries, "enabled", False) \
+            and timeseries.now:
+        # The telemetry buffer rides in the same timing-exempt bucket,
+        # so `repro obs export` can rebuild a snapshot from the ledger.
+        record["timeseries"] = timeseries.to_dict()
+    return record
 
 
 # ----------------------------------------------------------------------
@@ -765,8 +772,11 @@ def render_convergence(ledger):
     entries = ledger.entries()
     rows = compute_convergence(entries)
     if not rows:
+        # Exit 2 ("nothing to show"), not 0: a CI job asserting on
+        # convergence must fail loudly when the ledger has no triage
+        # entries instead of passing on an empty table.
         return ("no fleet-triage entries in the ledger at %s yet "
-                "(run `repro triage`)" % ledger.directory), 0
+                "(run `repro triage`)" % ledger.directory), 2
     text = format_table(
         ["signature", "app", "tool", "reports", "invocations",
          "rank-of-true-cause per run", "final", "rank1@"],

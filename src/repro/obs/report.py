@@ -9,7 +9,7 @@ breakdown is computed whether the trace came from a sequential run or
 from a worker pool whose span buffers were merged back.
 """
 
-from repro.obs.tracer import read_jsonl
+from repro.obs.tracer import read_jsonl_tolerant
 
 #: keys every span record must carry (see repro.obs.tracer.Tracer)
 SPAN_KEYS = ("name", "path", "start", "dur")
@@ -149,8 +149,22 @@ def render_report(records, top=None):
 
 
 def render_report_file(path, top=None):
-    """Render the breakdown for a ``.jsonl`` trace file."""
-    return render_report(read_jsonl(path), top=top)
+    """Render the breakdown for a ``.jsonl`` trace file.
+
+    Torn traces (a writer killed mid-export) are read with the
+    ledger's recovery discipline: unparseable lines are skipped and
+    reported in a trailing note rather than aborting the whole report.
+    A file with no parseable line at all still raises — it is not a
+    trace.
+    """
+    records, skipped = read_jsonl_tolerant(path)
+    text = render_report(records, top=top)
+    if skipped:
+        text += ("\nnote: skipped %d torn/corrupt line%s in %s "
+                 "(ledger-style recovery; the surviving spans are "
+                 "reported above)"
+                 % (skipped, "" if skipped == 1 else "s", path))
+    return text
 
 
 def tree_shape(records):

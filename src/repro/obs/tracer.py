@@ -163,6 +163,37 @@ def read_jsonl(path):
     return records
 
 
+def read_jsonl_tolerant(path):
+    """Read a JSONL trace, skipping torn/corrupt lines.
+
+    The run ledger's recovery discipline applied to traces: a process
+    killed mid-export leaves half a JSON object on the last line (and a
+    crashing writer can tear interior lines too).  Instead of raising
+    on the first bad line the way :func:`read_jsonl` does, parse what
+    survives and report the damage — returns ``(records, skipped)``
+    where *skipped* counts unparseable non-empty lines.  A file with
+    lines but no parseable record is not a trace at all, so that still
+    raises ``json.JSONDecodeError`` (from its first line).
+    """
+    records = []
+    skipped = 0
+    first_error = None
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError as error:
+                skipped += 1
+                if first_error is None:
+                    first_error = error
+    if not records and first_error is not None:
+        raise first_error
+    return records, skipped
+
+
 class _NullSpan:
     """Shared no-op span: the disabled tracing path."""
 
@@ -210,4 +241,5 @@ class NullTracer:
 
 NULL_TRACER = NullTracer()
 
-__all__ = ["NULL_TRACER", "NullTracer", "Span", "Tracer", "read_jsonl"]
+__all__ = ["NULL_TRACER", "NullTracer", "Span", "Tracer", "read_jsonl",
+           "read_jsonl_tolerant"]

@@ -710,6 +710,8 @@ class CampaignExecutor:
                 pass
             self.stats.resilience.pool_restarts += 1
             get_obs().counter("executor.pool_restarts").inc()
+            get_obs().gauge("executor.ladder_restarts").set(
+                self.stats.resilience.pool_restarts)
             checkpoint.get_supervisor().note("pool-restart")
         if (self.stats.resilience.pool_restarts
                 > self.resilience.max_pool_restarts
@@ -717,6 +719,7 @@ class CampaignExecutor:
             self._degraded = True
             self.stats.resilience.degraded_serial = True
             get_obs().counter("executor.degraded_serial").inc()
+            get_obs().gauge("executor.ladder_degraded").set(1)
             checkpoint.get_supervisor().note("degraded-serial")
             print(
                 "repro: worker pool failed %d times; degrading to "
@@ -989,6 +992,10 @@ class CampaignExecutor:
         speculative work happens at all.
         """
         obs = get_obs()
+        # Venue gauges (jobs-dependent by nature, so they live in the
+        # plain metrics registry — never the deterministic timeseries).
+        queue_gauge = obs.gauge("executor.queue_depth")
+        window_gauge = obs.gauge("executor.dispatch_window")
         pending = deque()
         tasks = iter(tasks)
         exhausted = False
@@ -1018,6 +1025,8 @@ class CampaignExecutor:
                     open_batch = None
                 if not pending:
                     return
+                queue_gauge.set(len(pending))
+                window_gauge.set(window)
                 yield self._resolve(pending.popleft(), inflight, obs)
                 consumed += 1
                 if (pool is not None and batch_size < self.batch

@@ -85,7 +85,11 @@ def test_convergence_view_shows_triage_series(tmp_path):
 
 
 def test_convergence_view_on_empty_ledger(tmp_path):
+    # Exit 2 ("nothing to show"), not 0: a CI job gating on convergence
+    # must fail loudly when no triage entries exist yet.
     code, text = run_cli("obs", "trends", "--view", "convergence",
                          "--ledger-dir", str(tmp_path / "empty"))
-    assert code == 0
+    assert code == 2
     assert "no fleet-triage entries" in text
+    # ... and the message is a single line, not an empty table.
+    assert len(text.strip().splitlines()) == 1

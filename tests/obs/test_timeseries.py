@@ -1,0 +1,272 @@
+"""Tests for the streaming time-series layer (repro.obs.timeseries)."""
+
+import json
+import math
+
+import pytest
+
+from repro.obs import NULL_OBS, Observability
+from repro.obs.timeseries import (
+    DEFAULT_WINDOW,
+    GaugeSeries,
+    LogicalClock,
+    NotASnapshot,
+    NULL_TIMESERIES,
+    QuantileSketch,
+    SNAPSHOT_FORMAT_VERSION,
+    Timeseries,
+    WindowedCounter,
+    build_snapshot,
+    publish_snapshot,
+    read_snapshot,
+)
+
+
+# -- logical clock ------------------------------------------------------
+
+def test_clock_ticks_monotonically():
+    clock = LogicalClock()
+    assert clock.now == 0
+    assert clock.tick() == 1
+    assert clock.tick(3) == 4
+    assert clock.now == 4
+
+
+# -- windowed counter ---------------------------------------------------
+
+def test_windowed_counter_buckets_by_clock_window():
+    clock = LogicalClock()
+    counter = WindowedCounter("events", clock, window=4)
+    for _ in range(10):
+        counter.inc()
+        clock.tick()
+    summary = counter.summary()
+    assert summary["total"] == 10
+    # ticks 0..9 with window 4: windows 0 (ticks 0-3), 1 (4-7), 2 (8-9)
+    assert summary["buckets"] == {"0": 4, "1": 4, "2": 2}
+
+
+def test_windowed_counter_merge_adds_buckets():
+    clock = LogicalClock()
+    a = WindowedCounter("x", clock, window=4)
+    a.inc(2)
+    b = WindowedCounter("x", LogicalClock(6), window=4)
+    b.inc(5)
+    a.merge(b.summary())
+    assert a.total == 7
+    assert a.summary()["buckets"] == {"0": 2, "1": 5}
+
+
+# -- gauge series -------------------------------------------------------
+
+def test_gauge_series_last_write_per_tick_wins():
+    clock = LogicalClock()
+    gauge = GaugeSeries("rank", clock)
+    gauge.set(5)
+    gauge.set(3)                      # same tick: overwrite
+    clock.tick()
+    gauge.set(1)
+    assert gauge.last == 1
+    assert gauge.summary()["points"] == [[0, 3], [1, 1]]
+
+
+def test_gauge_series_merge_overwrites_per_tick():
+    clock = LogicalClock()
+    a = GaugeSeries("rank", clock)
+    a.set(9)
+    a.merge({"points": [[0, 4], [7, 1]]})
+    assert a.summary()["points"] == [[0, 4], [7, 1]]
+
+
+# -- quantile sketch ----------------------------------------------------
+
+def test_sketch_quantiles_within_relative_error():
+    sketch = QuantileSketch("lat", alpha=0.01)
+    values = [0.001 * i for i in range(1, 1001)]
+    for value in values:
+        sketch.observe(value)
+    for q in (0.5, 0.9, 0.99):
+        exact = values[max(0, math.ceil(q * len(values)) - 1)]
+        estimate = sketch.quantile(q)
+        assert abs(estimate - exact) / exact <= 0.011
+
+
+def test_sketch_zero_and_negative_share_the_zero_bucket():
+    sketch = QuantileSketch("x")
+    sketch.observe(0.0)
+    sketch.observe(-3.0)
+    sketch.observe(10.0)
+    assert sketch.zero == 2
+    assert sketch.quantile(0.1) == 0.0
+    assert sketch.count == 3
+
+
+def test_sketch_merge_is_exact_and_order_independent():
+    serial = QuantileSketch("x")
+    part_a = QuantileSketch("x")
+    part_b = QuantileSketch("x")
+    for index in range(200):
+        value = 0.5 + (index % 17) * 0.25
+        serial.observe(value)
+        (part_a if index % 2 else part_b).observe(value)
+    merged = QuantileSketch("x")
+    merged.merge(part_a.summary())
+    merged.merge(part_b.summary())
+    assert merged.summary() == serial.summary()
+    # Reverse merge order: byte-identical summaries either way.
+    other = QuantileSketch("x")
+    other.merge(part_b.summary())
+    other.merge(part_a.summary())
+    assert other.summary() == merged.summary()
+
+
+def test_sketch_merge_rejects_alpha_mismatch():
+    sketch = QuantileSketch("x", alpha=0.01)
+    foreign = QuantileSketch("x", alpha=0.05)
+    foreign.observe(1.0)
+    with pytest.raises(ValueError):
+        sketch.merge(foreign.summary())
+
+
+# -- registry -----------------------------------------------------------
+
+def test_registry_instruments_are_cached_by_name():
+    ts = Timeseries()
+    assert ts.windowed("a") is ts.windowed("a")
+    assert ts.gauge_series("g") is ts.gauge_series("g")
+    assert ts.sketch("s") is ts.sketch("s")
+
+
+def test_registry_roundtrip_through_to_dict_merge():
+    ts = Timeseries()
+    for index in range(20):
+        ts.tick()
+        ts.windowed("runs").inc()
+        ts.gauge_series("rank").set(20 - index)
+        ts.sketch("score").observe(0.1 * (index + 1))
+    clone = Timeseries()
+    clone.merge(ts.to_dict())
+    assert clone.to_dict() == ts.to_dict()
+    assert clone.now == ts.now
+
+
+def test_registry_merge_takes_max_clock():
+    ts = Timeseries()
+    ts.tick(5)
+    ts.merge({"clock": 3})
+    assert ts.now == 5
+    ts.merge({"clock": 11})
+    assert ts.now == 11
+
+
+def test_timer_observes_into_a_timing_sketch():
+    ts = Timeseries()
+    with ts.timer("stage.x.seconds"):
+        pass
+    sketch = ts.sketch("stage.x.seconds")
+    assert sketch.timing is True
+    assert sketch.count == 1
+
+
+def test_jobs_invariance_by_construction():
+    """The same consumption order yields identical serialized series
+    no matter how worker buffers were split."""
+    def consume(ts):
+        for index in range(30):
+            ts.tick()
+            ts.windowed("runs", window=8).inc()
+            ts.sketch("score").observe(float(index % 7))
+    serial = Timeseries()
+    consume(serial)
+    # "Workers": two buffers merged into a consumer that ticked the
+    # same 30 progress points.
+    consumer = Timeseries()
+    worker = Timeseries()
+    for index in range(30):
+        consumer.tick()
+        target = consumer if index % 3 else worker
+        # worker buffers observe against the consumer's clock position
+        worker.clock.now = consumer.clock.now
+        target.windowed("runs", window=8).inc()
+        target.sketch("score").observe(float(index % 7))
+    consumer.merge(worker.to_dict())
+    assert json.dumps(consumer.to_dict(), sort_keys=True) \
+        == json.dumps(serial.to_dict(), sort_keys=True)
+
+
+# -- the null registry --------------------------------------------------
+
+def test_null_timeseries_hands_out_singletons():
+    assert NULL_TIMESERIES.windowed("a") is NULL_TIMESERIES.windowed("b")
+    assert NULL_TIMESERIES.gauge_series("a") \
+        is NULL_TIMESERIES.sketch("b")
+    assert NULL_TIMESERIES.timer("a") is NULL_TIMESERIES.timer("b")
+    assert NULL_TIMESERIES.tick() == 0
+    assert NULL_TIMESERIES.now == 0
+
+
+def test_null_timeseries_instruments_do_nothing():
+    instrument = NULL_TIMESERIES.windowed("x")
+    instrument.inc()
+    instrument.set(3)
+    instrument.observe(1.0)
+    assert instrument.quantile(0.5) is None
+    assert NULL_TIMESERIES.to_dict()["windowed"] == {}
+    with NULL_TIMESERIES.timer("t"):
+        pass
+
+
+def test_obs_bundle_wires_the_timeseries():
+    obs = Observability()
+    assert obs.timeseries.enabled
+    assert NULL_OBS.timeseries is NULL_TIMESERIES
+    with obs.timer("stage.y.seconds"):
+        pass
+    payload = obs.to_payload()
+    assert payload["timeseries"]["sketches"]["stage.y.seconds"]["count"] \
+        == 1
+    other = Observability()
+    other.merge_payload(payload)
+    assert other.timeseries.sketch("stage.y.seconds").count == 1
+
+
+# -- snapshots ----------------------------------------------------------
+
+def test_snapshot_roundtrip(tmp_path):
+    ts = Timeseries()
+    ts.tick(4)
+    ts.windowed("runs").inc(4)
+    snapshot = build_snapshot(ts, fleet={"reports": 4}, complete=True)
+    assert snapshot["version"] == SNAPSHOT_FORMAT_VERSION
+    path = tmp_path / "snap.json"
+    assert publish_snapshot(str(path), snapshot)
+    loaded = read_snapshot(str(path))
+    assert loaded["complete"] is True
+    assert loaded["clock"] == 4
+    assert loaded["series"]["windowed"]["runs"]["total"] == 4
+    assert loaded["fleet"] == {"reports": 4}
+
+
+def test_publish_snapshot_is_atomic(tmp_path):
+    path = tmp_path / "snap.json"
+    ts = Timeseries()
+    publish_snapshot(str(path), build_snapshot(ts))
+    publish_snapshot(str(path), build_snapshot(ts, complete=True))
+    # No temp droppings left behind.
+    assert [p.name for p in tmp_path.iterdir()] == ["snap.json"]
+    assert read_snapshot(str(path))["complete"] is True
+
+
+def test_read_snapshot_rejects_non_snapshots(tmp_path):
+    path = tmp_path / "not.json"
+    path.write_text("{\"foo\": 1}\n")
+    with pytest.raises(NotASnapshot):
+        read_snapshot(str(path))
+    path.write_text("not json at all")
+    with pytest.raises(NotASnapshot):
+        read_snapshot(str(path))
+
+
+def test_default_window_constant():
+    ts = Timeseries()
+    assert ts.windowed("x").window == DEFAULT_WINDOW

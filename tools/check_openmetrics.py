@@ -1,0 +1,146 @@
+#!/usr/bin/env python
+"""Validate an OpenMetrics text exposition (format self-check for CI).
+
+Reads the exposition from a file argument or stdin and checks the
+subset of the OpenMetrics text format `repro obs export` emits:
+
+* every metric family has a ``# TYPE`` line with a known type before
+  its first sample, and at most one ``# TYPE``/``# HELP`` per family;
+* sample lines parse as ``name{label="value",...} number`` with metric
+  and label names matching ``[a-zA-Z_:][a-zA-Z0-9_:]*``;
+* every sample's family (name minus the ``_total``/``_count``/
+  ``_sum``/``_window`` suffix) was declared by a ``# TYPE`` line;
+* the document ends with exactly one ``# EOF`` terminator and nothing
+  follows it.
+
+Usage: ``repro obs export ... | python tools/check_openmetrics.py``
+(exits non-zero listing every violation).
+"""
+
+import re
+import sys
+
+KNOWN_TYPES = ("counter", "gauge", "summary", "histogram", "info",
+               "unknown")
+SAMPLE_SUFFIXES = ("_total", "_count", "_sum", "_window", "_bucket",
+                   "_created")
+
+NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>[^ ]+)$")
+LABEL_RE = re.compile(
+    r'^(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>[^"]*)"$')
+
+
+def family_of(name):
+    """The declared family a sample name belongs to."""
+    for suffix in SAMPLE_SUFFIXES:
+        if name.endswith(suffix):
+            return name[:-len(suffix)]
+    return name
+
+
+def _check_value(value):
+    if value in ("NaN", "+Inf", "-Inf"):
+        return True
+    try:
+        float(value)
+    except ValueError:
+        return False
+    return True
+
+
+def check(lines):
+    """Validate exposition *lines*; returns a list of error strings."""
+    errors = []
+    declared = {}                     # family -> type
+    helped = set()
+    saw_eof = False
+    for lineno, raw in enumerate(lines, 1):
+        line = raw.rstrip("\n")
+        if saw_eof and line.strip():
+            errors.append("%d: content after # EOF: %r" % (lineno, line))
+            continue
+        if not line.strip():
+            continue
+        if line == "# EOF":
+            saw_eof = True
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ", 3)
+            if len(parts) != 4:
+                errors.append("%d: malformed TYPE line: %r"
+                              % (lineno, line))
+                continue
+            _, _, name, kind = parts
+            if not NAME_RE.match(name):
+                errors.append("%d: bad metric name %r" % (lineno, name))
+            if kind not in KNOWN_TYPES:
+                errors.append("%d: unknown metric type %r for %s"
+                              % (lineno, kind, name))
+            if name in declared:
+                errors.append("%d: duplicate TYPE for %s"
+                              % (lineno, name))
+            declared[name] = kind
+            continue
+        if line.startswith("# HELP "):
+            parts = line.split(" ", 3)
+            name = parts[2] if len(parts) >= 3 else ""
+            if name in helped:
+                errors.append("%d: duplicate HELP for %s"
+                              % (lineno, name))
+            helped.add(name)
+            continue
+        if line.startswith("#"):
+            errors.append("%d: unknown comment line: %r" % (lineno, line))
+            continue
+        match = SAMPLE_RE.match(line)
+        if not match:
+            errors.append("%d: unparseable sample line: %r"
+                          % (lineno, line))
+            continue
+        name = match.group("name")
+        if family_of(name) not in declared:
+            errors.append("%d: sample %s has no # TYPE declaration"
+                          % (lineno, name))
+        labels = match.group("labels")
+        if labels:
+            for pair in labels.split(","):
+                if not LABEL_RE.match(pair):
+                    errors.append("%d: bad label %r in %s"
+                                  % (lineno, pair, name))
+        if not _check_value(match.group("value")):
+            errors.append("%d: bad sample value %r in %s"
+                          % (lineno, match.group("value"), name))
+    if not saw_eof:
+        errors.append("missing # EOF terminator")
+    if not declared:
+        errors.append("no metric families declared")
+    return errors
+
+
+def main(argv):
+    if len(argv) > 1:
+        with open(argv[1]) as handle:
+            lines = handle.readlines()
+    else:
+        lines = sys.stdin.readlines()
+    errors = check(lines)
+    if errors:
+        print("OpenMetrics check FAILED (%d problem%s):"
+              % (len(errors), "" if len(errors) == 1 else "s"))
+        for error in errors:
+            print("  " + error)
+        return 1
+    families = sum(1 for line in lines if line.startswith("# TYPE "))
+    samples = sum(1 for line in lines
+                  if line.strip() and not line.startswith("#"))
+    print("OpenMetrics check OK: %d families, %d samples"
+          % (families, samples))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
