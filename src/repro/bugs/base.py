@@ -16,6 +16,7 @@ plus the evaluation anchors the experiment drivers need:
 """
 
 import enum
+from types import MappingProxyType
 
 from repro.runtime.workload import RunPlan, Workload
 
@@ -77,8 +78,10 @@ class BugBenchmark(Workload):
 
     # ---- paper-reported results (for paper-vs-measured tables) -------------
     #: Table 6 / Table 7 cells, verbatim strings such as "3", "2*", "-",
-    #: "N/A"
-    paper_results = {}
+    #: "N/A".  The default is an *immutable* empty mapping: a shared
+    #: mutable ``{}`` here would let one workload's mutation leak into
+    #: every class that never declared its own dict.
+    paper_results = MappingProxyType({})
 
     #: MiniC source with the real bug's patch applied (None when the
     #: miniature does not model the patch); used to verify that the
@@ -127,14 +130,22 @@ class BugBenchmark(Workload):
 
 
 def line_of(source, marker):
-    """Return the 1-based line number of the first line containing
-    *marker* in MiniC *source*.
+    """Return the 1-based line number of the line containing *marker*
+    in MiniC *source*.
 
     Bug modules anchor root-cause and patch lines with source comments
     (``// A: root cause``) and resolve them through this helper, so the
-    anchors survive edits to the miniature programs.
+    anchors survive edits to the miniature programs.  An ambiguous
+    marker — one appearing on several lines — raises ``ValueError``
+    instead of silently anchoring to the first hit; generated sources
+    (:mod:`repro.bugs.synth`) rely on this to catch template collisions.
     """
-    for number, text in enumerate(source.splitlines(), 1):
-        if marker in text:
-            return number
-    raise ValueError("marker %r not found in source" % (marker,))
+    hits = [number for number, text
+            in enumerate(source.splitlines(), 1) if marker in text]
+    if not hits:
+        raise ValueError("marker %r not found in source" % (marker,))
+    if len(hits) > 1:
+        raise ValueError(
+            "marker %r is ambiguous: lines %s"
+            % (marker, ", ".join(str(n) for n in hits)))
+    return hits[0]

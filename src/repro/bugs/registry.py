@@ -1,4 +1,14 @@
-"""Registry of the 31 bug benchmarks (Table 4)."""
+"""Registry of the 31 bug benchmarks (Table 4) — plus synthetics.
+
+Besides the hand-built corpus, :func:`get_bug` lazily resolves any
+``synth-…`` name through the procedural generator
+(:mod:`repro.bugs.synth`).  Synthetic bugs are a pure function of
+their name, so they need no eager registration: :func:`bug_names`
+stays the 31-bug corpus (the default fleet population and the CLI's
+listing), while every consumer that dispatches by name — executor,
+ledger, fleet stream/triage, checkpoint resume — handles synthetic
+workloads unchanged.
+"""
 
 from repro.bugs.sequential import SEQUENTIAL_BUGS
 from repro.bugs.concurrency import CONCURRENCY_BUGS
@@ -24,8 +34,19 @@ def all_bugs():
 
 
 def get_bug(name):
-    """Instantiate the bug workload named *name* (KeyError if unknown)."""
-    return _BY_NAME[name]()
+    """Instantiate the bug workload named *name* (KeyError if unknown).
+
+    Corpus names hit the static table; ``synth-…`` names resolve
+    through the procedural generator.
+    """
+    cls = _BY_NAME.get(name)
+    if cls is None:
+        from repro.bugs import synth
+
+        if not synth.is_synth_name(name):
+            raise KeyError(name)
+        cls = synth.resolve_class(name)
+    return cls()
 
 
 def bug_names():

@@ -5,6 +5,11 @@ Commands:
 * ``bugs``                       — list the 31 benchmark failures;
 * ``run <bug> [--passing]``      — execute one benchmark run;
 * ``log <bug> [--no-toggling]``  — LBRLOG/LCRLOG report at the failure;
+* ``synth list/show/emit``       — the procedural bug synthesizer
+  (:mod:`repro.bugs.synth`): list a seeded population, show one
+  generated workload, or emit MiniC sources to a directory.  Every
+  ``run``/``log``/``diagnose``/``triage`` command accepts synthetic
+  ``synth-…`` names alongside the corpus names (see ``docs/synth.md``);
 * ``diagnose <bug> [--tool T]``  — statistical diagnosis (default
   LBRA/LCRA by bug category; ``--tool cbi|cci|pbi`` runs a baseline;
   the choice list comes from the pluggable tool registry,
@@ -13,7 +18,11 @@ Commands:
   reports from a simulated fleet of the 31 bugs, cluster them by fault
   signature, and dispatch one diagnosis campaign per cluster (see
   ``docs/fleet.md``); deterministic by seed and jobs-invariant;
+  ``--synth N`` swaps the corpus population for N synthesized bugs;
 * ``experiment <name>``          — regenerate one paper table/figure;
+  ``experiment curves --knob K --points P --seed S`` sweeps one
+  synthesizer knob and reports rank-of-true-root-cause as a function
+  of the difficulty parameter;
 * ``experiment all``             — regenerate every table/figure;
 * ``experiments``                — list available experiment names;
 * ``resume [<session-id>]``      — resume an interrupted
@@ -103,6 +112,41 @@ def _version():
         return repro.__version__
 
 
+def _bug_name(value):
+    """argparse type: a corpus bug name or a well-formed ``synth-…`` name.
+
+    The corpus positionals used to be ``choices=sorted(bug_names())``;
+    synthetic workloads (:mod:`repro.bugs.synth`) have an unbounded
+    namespace, so validation moves here — still failing fast with the
+    usual argparse exit instead of a traceback from deep inside a run.
+    """
+    if value in bug_names():
+        return value
+    from repro.bugs import synth
+
+    if synth.is_synth_name(value):
+        try:
+            synth.SynthSpec.from_name(value)
+        except synth.SynthSpecError as exc:
+            raise argparse.ArgumentTypeError(str(exc))
+        return value
+    raise argparse.ArgumentTypeError(
+        "unknown bug %r (list corpus names with `repro bugs`; "
+        "synthetic names look like synth-seq-p2-l1-a4-w0-s7, see "
+        "`repro synth list`)" % (value,))
+
+
+def _synth_name(value):
+    """argparse type: a well-formed ``synth-…`` name only."""
+    from repro.bugs import synth
+
+    try:
+        synth.SynthSpec.from_name(value)
+    except synth.SynthSpecError as exc:
+        raise argparse.ArgumentTypeError(str(exc))
+    return value
+
+
 def _experiment_registry():
     from repro.experiments import (
         ablations,
@@ -120,6 +164,8 @@ def _experiment_registry():
         table6,
         table7,
     )
+    from repro.experiments import curves
+
     return {
         "table1": table1.run,
         "table2": table2.run,
@@ -140,6 +186,10 @@ def _experiment_registry():
         "adaptive": adaptive.run,
         "ablation-pollution": ablations.run_pollution,
         "ablation-lcr-capacity": ablations.run_lcr_capacity,
+        # `experiment all` gets a fast smoke sweep; `experiment curves`
+        # invoked by name honors --knob/--points/--per-point/--seed.
+        "curves": lambda executor=None: curves.run(
+            points=2, per_point=2, baseline_runs=60, executor=executor),
     }
 
 
@@ -404,6 +454,11 @@ def _cmd_triage(args, out):
     """``repro triage``: simulate the fleet, cluster, diagnose."""
     from repro.fleet import FleetStream, triage_reports
 
+    population = args.bugs
+    if args.synth is not None:
+        from repro.bugs import synth
+
+        population = synth.population_names(args.synth, seed=args.seed)
     with _backend_session(args):
         executor = _build_executor(args)
         with _fault_session(args, out), _ledger_session(args), \
@@ -411,7 +466,7 @@ def _cmd_triage(args, out):
             # Shut the pool down inside the fault session (see
             # _cmd_diagnose).
             try:
-                stream = FleetStream(population=args.bugs,
+                stream = FleetStream(population=population,
                                      seed=args.seed, executor=executor)
                 reports = stream.generate(args.reports)
                 result = triage_reports(
@@ -422,15 +477,52 @@ def _cmd_triage(args, out):
             finally:
                 if executor is not None:
                     executor.shutdown()
-    if len(reports) < args.reports:
-        out.write("warning: fleet produced %d/%d reports before the "
-                  "attempt cap\n" % (len(reports), args.reports))
+    if stream.shortfall is not None:
+        out.write("warning: %s\n" % stream.shortfall.describe())
     out.write(result.table().format() + "\n")
     _write_stats(executor, out)
     if args.snapshot_out:
         out.write("telemetry snapshot published to %s (render with "
                   "`repro obs watch` / `repro obs export`)\n"
                   % args.snapshot_out)
+    return 0
+
+
+def _cmd_synth(args, out):
+    """``repro synth list/show/emit``: the procedural bug synthesizer."""
+    import os
+
+    from repro.bugs import synth
+
+    if args.synth_command == "list":
+        for name in synth.population_names(args.n, seed=args.seed,
+                                           kind=args.kind):
+            out.write(name + "\n")
+        return 0
+    if args.synth_command == "show":
+        bug = synth.make_benchmark(synth.SynthSpec.from_name(args.name))
+        out.write(bug.spec.describe() + "\n")
+        out.write("root cause line: %d   patch line: %d\n"
+                  % (bug.root_cause_lines[0], bug.patch_lines[0]))
+        out.write("failing args: %s   passing args: %s\n"
+                  % (bug.failing_args, bug.passing_args))
+        out.write("\n")
+        source = bug.patched_source if args.patched else bug.source
+        out.write(source)
+        return 0
+    # emit
+    names = list(args.names) or synth.population_names(
+        args.n, seed=args.seed, kind=args.kind)
+    os.makedirs(args.out, exist_ok=True)
+    for name in names:
+        bug = synth.make_benchmark(synth.SynthSpec.from_name(name))
+        for suffix, text in ((".c", bug.source),
+                             (".patched.c", bug.patched_source)):
+            with open(os.path.join(args.out, name + suffix), "w") \
+                    as handle:
+                handle.write(text)
+    out.write("%d workloads (%d files) written to %s\n"
+              % (len(names), 2 * len(names), args.out))
     return 0
 
 
@@ -457,7 +549,20 @@ def _cmd_experiment(args, out):
         # Shut the pool down inside the fault session (see _cmd_diagnose).
         try:
             for index, name in enumerate(names):
-                result = registry[name](executor=executor)
+                if name == "curves" and args.name == "curves":
+                    # Invoked by name: honor the sweep flags.  Under
+                    # `experiment all` the registry's fixed smoke
+                    # sweep runs instead, keeping `all` fast.
+                    from repro.experiments import curves
+
+                    kwargs = dict(knob=args.knob, points=args.points,
+                                  per_point=args.per_point,
+                                  seed=args.seed)
+                    if args.baseline_runs is not None:
+                        kwargs["baseline_runs"] = args.baseline_runs
+                    result = curves.run(executor=executor, **kwargs)
+                else:
+                    result = registry[name](executor=executor)
                 if index:
                     out.write("\n")
                 out.write(result.format() + "\n")
@@ -867,7 +972,8 @@ def build_parser():
 
     run_parser = commands.add_parser("run", help="execute one run",
                                      parents=[backend, obs])
-    run_parser.add_argument("bug", choices=sorted(bug_names()))
+    run_parser.add_argument("bug", type=_bug_name,
+                            help="corpus bug name or synth-… name")
     run_parser.add_argument("--passing", action="store_true",
                             help="use the passing plan")
 
@@ -875,7 +981,8 @@ def build_parser():
         "log", help="LBRLOG/LCRLOG report at the failure",
         parents=[backend, obs],
     )
-    log_parser.add_argument("bug", choices=sorted(bug_names()))
+    log_parser.add_argument("bug", type=_bug_name,
+                            help="corpus bug name or synth-… name")
     log_parser.add_argument("--no-toggling", action="store_true")
     log_parser.add_argument(
         "--tool", default="auto", choices=("auto", "lbrlog", "lcrlog"),
@@ -886,7 +993,8 @@ def build_parser():
         "diagnose", help="statistical failure diagnosis",
         parents=[backend, executor, obs, ledger, fault, durability],
     )
-    diag_parser.add_argument("bug", choices=sorted(bug_names()))
+    diag_parser.add_argument("bug", type=_bug_name,
+                             help="corpus bug name or synth-… name")
     diag_parser.add_argument(
         "--tool", default="auto",
         choices=("auto",) + tuple(available_tools()),
@@ -912,6 +1020,36 @@ def build_parser():
         parents=[backend, executor, obs, ledger, fault, durability],
     )
     exp_parser.add_argument("name")
+    from repro.bugs import synth as _synth
+    from repro.experiments.curves import DEFAULT_BASELINE_RUNS
+
+    curves_flags = exp_parser.add_argument_group(
+        "curves", "knob sweep over synthesized bugs (`experiment "
+                  "curves` only; `experiment all` runs a fixed smoke "
+                  "sweep instead)")
+    curves_flags.add_argument(
+        "--knob", default="propagation", choices=_synth.KNOBS,
+        help="difficulty knob to sweep (default: %(default)s)",
+    )
+    curves_flags.add_argument(
+        "--points", type=int, default=4, metavar="N",
+        help="points along the knob's range (default: %(default)s)",
+    )
+    curves_flags.add_argument(
+        "--per-point", type=int, default=25, metavar="N",
+        help="synthesized bugs per point (default: %(default)s)",
+    )
+    curves_flags.add_argument(
+        "--seed", type=int, default=0, metavar="S",
+        help="population seed; the whole table is a pure function of "
+             "(knob, points, per-point, seed) (default: %(default)s)",
+    )
+    curves_flags.add_argument(
+        "--baseline-runs", type=int, default=None, metavar="N",
+        help="failure+success runs each for the sampling baseline "
+             "(default: the driver's, currently %d)"
+             % DEFAULT_BASELINE_RUNS,
+    )
 
     from repro.fleet.signature import (
         DEFAULT_DEPTH,
@@ -950,11 +1088,18 @@ def build_parser():
         choices=GRANULARITIES,
         help="signature shape granularity (default: %(default)s)",
     )
-    triage_parser.add_argument(
+    population = triage_parser.add_mutually_exclusive_group()
+    population.add_argument(
         "--bugs", nargs="+", default=None, metavar="BUG",
-        choices=sorted(bug_names()),
-        help="restrict the fleet population to these bugs "
-             "(default: all 31)",
+        type=_bug_name,
+        help="restrict the fleet population to these bugs — corpus or "
+             "synth-… names (default: all 31)",
+    )
+    population.add_argument(
+        "--synth", type=int, default=None, metavar="N",
+        help="replace the corpus population with N synthesized bugs "
+             "drawn from the seeded mixed population of "
+             "repro.bugs.synth (uses --seed)",
     )
     triage_parser.add_argument(
         "--snapshot-out", metavar="FILE.json", default=None,
@@ -963,6 +1108,49 @@ def build_parser():
              "watch`, render it with `repro obs export` (enables "
              "observability)",
     )
+
+    synth_parser = commands.add_parser(
+        "synth", help="procedural bug synthesizer: list, inspect, or "
+                      "emit seeded synthetic workloads",
+    )
+    synth_commands = synth_parser.add_subparsers(dest="synth_command",
+                                                 required=True)
+    synth_list = synth_commands.add_parser(
+        "list", help="list a seeded population of synthetic bug names",
+    )
+    synth_show = synth_commands.add_parser(
+        "show", help="show one synthetic workload: spec, anchors, "
+                     "and generated MiniC source",
+    )
+    synth_show.add_argument("name", type=_synth_name,
+                            help="synth-… name (see `repro synth list`)")
+    synth_show.add_argument("--patched", action="store_true",
+                            help="show the patched source instead")
+    synth_emit = synth_commands.add_parser(
+        "emit", help="write generated MiniC sources to a directory",
+    )
+    synth_emit.add_argument(
+        "names", nargs="*", type=_synth_name, metavar="NAME",
+        help="synth-… names to emit (default: a seeded population)",
+    )
+    synth_emit.add_argument(
+        "--out", required=True, metavar="DIR",
+        help="directory to write <name>.c (and <name>.patched.c) into",
+    )
+    for sub in (synth_list, synth_emit):
+        sub.add_argument(
+            "--n", type=int, default=10, metavar="N",
+            help="population size (default: %(default)s)",
+        )
+        sub.add_argument(
+            "--seed", type=int, default=0, metavar="S",
+            help="population seed (default: %(default)s)",
+        )
+        sub.add_argument(
+            "--kind", default="mix", choices=("mix", "seq", "conc"),
+            help="population mix: sequential, concurrency, or the "
+                 "corpus-shaped blend (default: %(default)s)",
+        )
 
     resume_parser = commands.add_parser(
         "resume", help="resume an interrupted --checkpoint invocation"
@@ -1135,6 +1323,7 @@ def main(argv=None, out=None):
         "log": _cmd_log,
         "diagnose": _cmd_diagnose,
         "triage": _cmd_triage,
+        "synth": _cmd_synth,
         "experiments": _cmd_experiments,
         "experiment": _cmd_experiment,
         "resume": _cmd_resume,

@@ -29,13 +29,20 @@ as ``--jobs 1``.  See ``docs/fleet.md``.
 """
 
 from repro.fleet.signature import FaultSignature, extract_signature
-from repro.fleet.stream import FailureReport, FleetStream
+from repro.fleet.stream import (
+    FailureReport,
+    FleetShortfallWarning,
+    FleetStream,
+    StreamShortfall,
+)
 from repro.fleet.triage import TriageResult, triage_reports
 
 __all__ = [
     "FailureReport",
     "FaultSignature",
+    "FleetShortfallWarning",
     "FleetStream",
+    "StreamShortfall",
     "TriageResult",
     "extract_signature",
     "triage_reports",

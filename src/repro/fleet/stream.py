@@ -29,11 +29,41 @@ never reads it; that is the fault signature's job
 
 import hashlib
 import random
+import time
+import warnings
 from dataclasses import dataclass, field
 
 from repro.bugs.registry import bug_names, get_bug
 from repro.core.api import get_log_tool
 from repro.obs import get_obs
+
+
+@dataclass(frozen=True)
+class StreamShortfall:
+    """Structured description of a starved report stream.
+
+    Mirrors the campaign-side
+    :class:`~repro.runtime.harness.ShortfallInfo`: when the attempt cap
+    trips before *want* reports manifested, the stream records what it
+    actually delivered instead of silently under-delivering.
+    """
+
+    want: int
+    got: int
+    attempts: int
+    limit: int
+
+    def describe(self):
+        return (
+            "fleet stream exhausted %d/%d attempts with %d/%d "
+            "reports manifested" % (
+                self.attempts, self.limit, self.got, self.want,
+            )
+        )
+
+
+class FleetShortfallWarning(UserWarning):
+    """A fleet stream delivered fewer reports than requested."""
 
 
 @dataclass
@@ -85,6 +115,9 @@ class FleetStream:
         self._rng = random.Random(seed)
         self._apps = {}               # name -> (workload, tool, ring)
         self._cursors = {}            # name -> next plan index
+        #: :class:`StreamShortfall` of the most recent starved
+        #: :meth:`reports` sweep, or ``None`` when it delivered in full
+        self.shortfall = None
 
     def _app(self, name):
         """The (workload, log tool, ring) of one application, built once."""
@@ -110,14 +143,27 @@ class FleetStream:
         one tick (report ingest is a deterministic progress point — the
         stream is a pure function of ``(population, seed)``, so the
         clock is jobs-invariant) and lands in the ``fleet.reports``
-        windowed series; per-report generation latency feeds the
-        ``stage.ingest.seconds`` timing sketch.
+        windowed series.  Every emission attempt — manifesting or not —
+        feeds the ``stage.attempt.seconds`` timing sketch; the
+        ``stage.ingest.seconds`` sketch gets the true per-report
+        generation latency (all attempt time accumulated since the
+        previous report), so skipped attempts don't skew the ``obs
+        watch`` latency panel.
+
+        If the attempt cap trips first, the sweep is recorded as a
+        :class:`StreamShortfall` on :attr:`shortfall`, counted under
+        ``fleet.stream.shortfall``, and surfaced as a
+        :class:`FleetShortfallWarning` — the fleet analogue of a
+        campaign's shortfall report — instead of silently yielding
+        fewer than *n* reports.
         """
         obs = get_obs()
         timeseries = obs.timeseries
         produced = 0
         attempts = 0
+        pending_seconds = 0.0
         limit = n * self.ATTEMPT_FACTOR + 50
+        self.shortfall = None
         while produced < n and attempts < limit:
             name = self.population[
                 self._rng.randrange(len(self.population))]
@@ -126,8 +172,12 @@ class FleetStream:
             self._cursors[name] = k + 1
             attempts += 1
             obs.counter("fleet.stream.attempts").inc()
-            with timeseries.timer("stage.ingest.seconds"):
-                status = tool.run_plan(workload.failing_run_plan(k))
+            started = time.perf_counter()
+            status = tool.run_plan(workload.failing_run_plan(k))
+            elapsed = time.perf_counter() - started
+            timeseries.sketch("stage.attempt.seconds",
+                              timing=True).observe(elapsed)
+            pending_seconds += elapsed
             if not workload.is_failure(status):
                 # The failing input happened not to manifest: a fleet
                 # member emits nothing for a successful run.
@@ -136,6 +186,9 @@ class FleetStream:
             obs.counter("fleet.stream.reports").inc()
             timeseries.tick()
             timeseries.windowed("fleet.reports").inc()
+            timeseries.sketch("stage.ingest.seconds",
+                              timing=True).observe(pending_seconds)
+            pending_seconds = 0.0
             yield FailureReport(
                 report_id=_report_id(name, k),
                 app=name,
@@ -144,10 +197,22 @@ class FleetStream:
                 status=status,
                 program=tool.program,
             )
+        if produced < n:
+            self.shortfall = StreamShortfall(
+                want=n, got=produced, attempts=attempts, limit=limit,
+            )
+            obs.counter("fleet.stream.shortfall").inc()
+            warnings.warn(self.shortfall.describe(),
+                          FleetShortfallWarning, stacklevel=2)
 
     def generate(self, n):
         """The next *n* failure reports, as a list."""
         return list(self.reports(n))
 
 
-__all__ = ["FailureReport", "FleetStream"]
+__all__ = [
+    "FailureReport",
+    "FleetShortfallWarning",
+    "FleetStream",
+    "StreamShortfall",
+]

@@ -71,9 +71,16 @@ class Workload:
     failure_output = None
 
     def is_failure(self, status):
-        """Classify one :class:`ExitStatus` as failure or success."""
-        if self.failure_output is not None:
-            return status.output_contains(self.failure_output)
+        """Classify one :class:`ExitStatus` as failure or success.
+
+        Machine faults always win: a run that crashed is a failure
+        even when :attr:`failure_output` is set and the marker text
+        never made it out — otherwise a crashed run would be pooled
+        with the success profiles and poison the ranking.  Subclasses
+        wanting different precedence override this hook.
+        """
         if status.fault is not None:
             return True
+        if self.failure_output is not None:
+            return status.output_contains(self.failure_output)
         return bool(status.exit_code)

@@ -1,0 +1,270 @@
+"""The procedural bug synthesizer (:mod:`repro.bugs.synth`).
+
+Covers the determinism contract (same spec -> byte-identical source,
+including across processes), the ground-truth anchors, behavioral
+correctness of the generated workloads over a knob grid, registry
+resolution, and the diagnosis sanity anchors (LBRA/LCRA rank 1 at the
+easiest knob settings).
+"""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.bugs import synth
+from repro.bugs.base import line_of
+from repro.bugs.registry import ALL_BUGS, bug_names, get_bug
+from repro.core.api import get_tool
+from repro.core.lbrlog import LbrLogTool
+from repro.core.lcrlog import LcrLogTool
+
+
+def _tool_for(bug):
+    if bug.category == "sequential":
+        return LbrLogTool(bug)
+    return LcrLogTool(bug)
+
+
+# ---------------------------------------------------------------------------
+# SynthSpec: names, validation, knobs
+# ---------------------------------------------------------------------------
+
+def test_spec_name_round_trip():
+    spec = synth.SynthSpec(kind="seq", propagation=2, pollution=1,
+                           ambiguity=4, seed=7)
+    assert spec.name == "synth-seq-p2-l1-a4-w0-s7"
+    assert synth.SynthSpec.from_name(spec.name) == spec
+
+
+def test_conc_spec_name_round_trip():
+    spec = synth.SynthSpec(kind="conc", ambiguity=2, window=9, seed=3)
+    assert spec.name == "synth-conc-p0-l0-a2-w9-s3"
+    assert synth.SynthSpec.from_name(spec.name) == spec
+
+
+@pytest.mark.parametrize("bad", [
+    "sort",                               # corpus name
+    "synth-seq-p2",                       # truncated
+    "synth-xyz-p0-l0-a1-w0-s0",           # unknown kind
+    "synth-seq-p99-l0-a1-w0-s0",          # out of range
+    "synth-seq-p0-l0-a1-w5-s0",           # seq with a window
+    "synth-conc-p1-l0-a1-w0-s0",          # conc with propagation
+])
+def test_malformed_names_rejected(bad):
+    with pytest.raises(synth.SynthSpecError):
+        synth.SynthSpec.from_name(bad)
+
+
+def test_spec_validation_rejects_out_of_range_knobs():
+    with pytest.raises(synth.SynthSpecError):
+        synth.SynthSpec(kind="seq", propagation=synth.KNOB_RANGES[
+            "propagation"][1] + 1)
+    with pytest.raises(synth.SynthSpecError):
+        synth.SynthSpec(kind="seq", ambiguity=0)
+    with pytest.raises(synth.SynthSpecError):
+        synth.SynthSpec(kind="nope")
+
+
+def test_with_knob_moves_one_axis():
+    spec = synth.SynthSpec(kind="seq", seed=5)
+    moved = spec.with_knob("pollution", 3)
+    assert moved.pollution == 3
+    assert moved.seed == 5
+    assert moved.kind == "seq"
+    assert spec.pollution == 0
+
+
+# ---------------------------------------------------------------------------
+# Determinism: byte-identical generation
+# ---------------------------------------------------------------------------
+
+def test_source_is_deterministic_in_process():
+    spec = synth.SynthSpec(kind="seq", propagation=2, pollution=1,
+                           ambiguity=3, seed=11)
+    a = synth.make_benchmark(spec)
+    b = synth.make_benchmark(synth.SynthSpec.from_name(spec.name))
+    assert a.source == b.source
+    assert a.patched_source == b.patched_source
+    assert a.root_cause_lines == b.root_cause_lines
+
+
+def test_source_is_deterministic_across_processes():
+    # The generator must not depend on hash randomization or any other
+    # per-process state: a fresh interpreter emits the same bytes.
+    name = "synth-conc-p0-l0-a2-w5-s9"
+    bug = get_bug(name)
+    code = (
+        "from repro.bugs.registry import get_bug\n"
+        "import hashlib, sys\n"
+        "bug = get_bug(%r)\n"
+        "sys.stdout.write(hashlib.sha256("
+        "bug.source.encode()).hexdigest())\n" % name
+    )
+    digest = subprocess.run(
+        [sys.executable, "-c", code], capture_output=True, text=True,
+        check=True,
+    ).stdout.strip()
+    import hashlib
+    assert digest == hashlib.sha256(bug.source.encode()).hexdigest()
+
+
+def test_different_seeds_vary_the_program():
+    a = synth.make_benchmark(synth.SynthSpec(kind="seq", seed=0))
+    b = synth.make_benchmark(synth.SynthSpec(kind="seq", seed=1))
+    assert a.source != b.source
+
+
+# ---------------------------------------------------------------------------
+# Ground-truth anchors
+# ---------------------------------------------------------------------------
+
+def test_anchors_point_at_the_marked_lines():
+    bug = synth.make_benchmark(synth.SynthSpec(
+        kind="seq", propagation=1, pollution=1, ambiguity=3, seed=2))
+    anchor = line_of(bug.source, "// A:")
+    assert bug.root_cause_lines == (anchor,)
+    assert bug.patch_lines == (anchor,)
+    assert "// F: failure site" in bug.source
+    assert "// A: patched" in bug.patched_source
+
+
+def test_conc_anchor_is_the_fpe_load():
+    bug = synth.make_benchmark(synth.SynthSpec(kind="conc",
+                                               window=3, seed=4))
+    anchor_line = bug.source.splitlines()[bug.root_cause_lines[0] - 1]
+    assert "// A: root cause" in anchor_line
+    assert bug.fpe_state_tags == ("load@I",)
+
+
+# ---------------------------------------------------------------------------
+# Behavior over a knob grid: failing fails, passing passes,
+# patched no longer fails
+# ---------------------------------------------------------------------------
+
+GRID = [
+    synth.SynthSpec(kind="seq", seed=0),
+    synth.SynthSpec(kind="seq", propagation=3, seed=1),
+    synth.SynthSpec(kind="seq", pollution=2, ambiguity=4, seed=2),
+    synth.SynthSpec(kind="conc", seed=0),
+    synth.SynthSpec(kind="conc", ambiguity=2, window=6, seed=1),
+]
+
+
+@pytest.mark.parametrize("spec", GRID, ids=lambda s: s.name)
+def test_grid_failing_and_passing_behavior(spec):
+    bug = synth.make_benchmark(spec)
+    tool = _tool_for(bug)
+    failing = tool.run_failing(0)
+    assert bug.is_failure(failing), failing.describe()
+    for k in range(len(bug.passing_args)):
+        passing = tool.run_passing(k)
+        assert not bug.is_failure(passing), passing.describe()
+
+
+@pytest.mark.parametrize("spec", GRID, ids=lambda s: s.name)
+def test_grid_patched_workload_passes(spec):
+    fixed = synth.make_benchmark(spec).patched()
+    tool = _tool_for(fixed)
+    status = tool.run_failing(0)
+    assert not fixed.is_failure(status), status.describe()
+
+
+# ---------------------------------------------------------------------------
+# Diagnosis sanity: the paper tools find the planted root cause
+# ---------------------------------------------------------------------------
+
+def test_lbra_ranks_planted_root_cause_first_at_easiest_knobs():
+    bug = synth.make_benchmark(synth.SynthSpec(kind="seq", seed=0))
+    report = get_tool("lbra")(bug).run_diagnosis(6, 6)
+    assert report.rank_of_line(bug.root_cause_lines) == 1
+
+
+def test_lcra_ranks_planted_fpe_first_at_easiest_knobs():
+    bug = synth.make_benchmark(synth.SynthSpec(kind="conc", seed=0))
+    report = get_tool("lcra")(bug).run_diagnosis(6, 6)
+    assert report.rank_of_coherence(bug.root_cause_lines,
+                                    bug.fpe_state_tags) == 1
+
+
+# ---------------------------------------------------------------------------
+# Populations and sweeps
+# ---------------------------------------------------------------------------
+
+def test_population_is_deterministic_and_kind_filtered():
+    first = synth.population_names(8, seed=3)
+    second = synth.population_names(8, seed=3)
+    assert first == second
+    assert len(set(first)) == 8
+    seq_only = synth.population_names(5, seed=3, kind="seq")
+    assert all(name.startswith("synth-seq-") for name in seq_only)
+    conc_only = synth.population_names(5, seed=3, kind="conc")
+    assert all(name.startswith("synth-conc-") for name in conc_only)
+
+
+def test_population_objects_match_names():
+    names = synth.population_names(4, seed=1)
+    bugs = synth.population(4, seed=1)
+    assert [b.name for b in bugs] == list(names)
+
+
+def test_sweep_specs_hold_other_knobs_fixed():
+    grid = synth.sweep_specs("pollution", [0, 2], per_point=3, seed=5)
+    assert sorted(grid) == [0, 2]
+    flat = [spec for value in sorted(grid) for spec in grid[value]]
+    assert len(flat) == 6
+    assert [s.pollution for s in flat] == [0, 0, 0, 2, 2, 2]
+    assert len({s.seed for s in flat}) == 6       # fresh seed per bug
+    assert all(s.kind == "seq" for s in flat)
+    assert all(s.propagation == 0 and s.ambiguity == 1 for s in flat)
+
+
+def test_knob_values_span_the_range():
+    values = synth.knob_values("window", 4)
+    low, high = synth.KNOB_RANGES["window"]
+    assert values[0] == low
+    assert values[-1] == high
+    assert values == sorted(set(values))
+
+
+# ---------------------------------------------------------------------------
+# Registry integration
+# ---------------------------------------------------------------------------
+
+def test_get_bug_resolves_synth_names_lazily():
+    bug = get_bug("synth-seq-p1-l0-a2-w0-s0")
+    assert bug.name == "synth-seq-p1-l0-a2-w0-s0"
+    assert bug.category == "sequential"
+
+
+def test_get_bug_rejects_malformed_synth_names():
+    with pytest.raises(KeyError):
+        get_bug("synth-bogus")
+    with pytest.raises(KeyError):
+        get_bug("no-such-bug")
+
+
+def test_corpus_listing_stays_synthetic_free():
+    # The 31-bug corpus is the default fleet population and the CLI
+    # listing; synthetic classes resolve lazily and never leak in.
+    assert len(bug_names()) == 31
+    assert not any(synth.is_synth_name(name) for name in bug_names())
+    assert not any(synth.is_synth_name(cls.name) for cls in ALL_BUGS)
+
+
+# ---------------------------------------------------------------------------
+# Base-class hardening the synthesizer exposed
+# ---------------------------------------------------------------------------
+
+def test_line_of_rejects_ambiguous_markers():
+    source = "int a;   // A: x\nint b;   // A: x\n"
+    with pytest.raises(ValueError, match="ambiguous"):
+        line_of(source, "// A:")
+
+
+def test_paper_results_default_is_immutable_and_unshared():
+    a = synth.make_benchmark(synth.SynthSpec(kind="seq", seed=0))
+    b = synth.make_benchmark(synth.SynthSpec(kind="seq", seed=1))
+    with pytest.raises(TypeError):
+        a.paper_results["top1"] = "1"
+    assert dict(b.paper_results) == {}

@@ -55,3 +55,67 @@ def test_empty_population_rejected():
 def test_reports_share_one_program_per_application():
     reports = FleetStream(population=["sort"], seed=0).generate(3)
     assert len({id(r.program) for r in reports}) == 1
+
+
+# ---------------------------------------------------------------------------
+# Shortfall reporting and stage timing (regression: starved streams
+# used to silently yield fewer than n reports with no telemetry)
+# ---------------------------------------------------------------------------
+
+def _stubborn_sort(name):
+    """A 'sort' workload whose failing plan never manifests."""
+    bug = get_bug("sort")
+    bug.failing_run_plan = bug.passing_run_plan
+    return bug
+
+
+def test_starved_stream_reports_its_shortfall(monkeypatch):
+    from repro.fleet import FleetShortfallWarning
+    from repro.fleet import stream as stream_mod
+    from repro.obs import Observability, use
+
+    monkeypatch.setattr(stream_mod, "get_bug", _stubborn_sort)
+    stream = FleetStream(population=["sort"], seed=0)
+    with use(Observability()) as obs:
+        with pytest.warns(FleetShortfallWarning):
+            reports = stream.generate(2)
+    assert reports == []
+    assert stream.shortfall is not None
+    assert stream.shortfall.want == 2
+    assert stream.shortfall.got == 0
+    assert stream.shortfall.attempts == stream.shortfall.limit
+    assert "0/2" in stream.shortfall.describe()
+    assert obs.counter("fleet.stream.shortfall").value == 1
+
+
+def test_healthy_stream_leaves_no_shortfall():
+    import warnings
+
+    stream = FleetStream(population=["sort"], seed=0)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")   # any warning fails the test
+        reports = stream.generate(3)
+    assert len(reports) == 3
+    assert stream.shortfall is None
+
+
+def test_stage_timers_split_attempts_from_ingest():
+    # Every emission attempt feeds stage.attempt.seconds; only yielded
+    # reports feed stage.ingest.seconds (with the accumulated attempt
+    # time), so skipped non-manifesting attempts can't dilute the
+    # per-report latency panel.
+    from repro.obs import Observability, use
+
+    # pbzip2 is a concurrency bug whose failing plan does not manifest
+    # on every attempt, so attempts > reports.
+    with use(Observability()) as obs:
+        reports = FleetStream(population=["pbzip2"], seed=0).generate(3)
+    assert len(reports) == 3
+    attempt = obs.timeseries.sketch("stage.attempt.seconds",
+                                    timing=True)
+    ingest = obs.timeseries.sketch("stage.ingest.seconds", timing=True)
+    assert ingest.count == 3
+    assert attempt.count == obs.counter("fleet.stream.attempts").value
+    assert attempt.count >= ingest.count
+    # All attempt time is accounted for in the ingest accumulation.
+    assert ingest.total == pytest.approx(attempt.total)

@@ -71,22 +71,37 @@ def test_default_failure_classification():
     assert not workload.is_failure(passing)
 
 
+class FakeStatus:
+    def __init__(self, items, fault=None):
+        self._items = items
+        self.fault = fault
+        self.exit_code = 0
+
+    def output_contains(self, text):
+        return any(text in i for i in self._items
+                   if isinstance(i, str))
+
+
+class ByOutput(Thresholdy):
+    failure_output = "boom"
+
+
 def test_failure_output_classification():
-    class ByOutput(Thresholdy):
-        failure_output = "boom"
-
     workload = ByOutput()
-
-    class FakeStatus:
-        def __init__(self, items):
-            self._items = items
-
-        def output_contains(self, text):
-            return any(text in i for i in self._items
-                       if isinstance(i, str))
-
     assert workload.is_failure(FakeStatus(["x boom y"]))
     assert not workload.is_failure(FakeStatus(["fine"]))
+
+
+def test_fault_wins_over_failure_output():
+    # Regression: a run that crashed before the marker text made it
+    # out is a failure even on a failure_output workload — the old
+    # classifier checked the output first and pooled crashed runs with
+    # the successes, poisoning the ranking statistics.
+    workload = ByOutput()
+    crashed = FakeStatus(["no marker here"], fault=object())
+    assert workload.is_failure(crashed)
+    # And a fault also wins over the exit-code default.
+    assert Thresholdy().is_failure(FakeStatus([], fault=object()))
 
 
 def test_campaign_collects_quotas():

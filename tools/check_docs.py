@@ -40,6 +40,7 @@ REQUIRED_DOCS = (
     "docs/observability.md",
     "docs/performance.md",
     "docs/resilience.md",
+    "docs/synth.md",
 )
 
 #: A doc path reference must start with one of these repo directories.
